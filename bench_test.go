@@ -1,0 +1,351 @@
+// Benchmarks: one target per paper table/figure (see DESIGN.md's
+// per-experiment index). Each bench regenerates its figure through the
+// experiments harness and reports the figure's headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` doubles as the full
+// reproduction run.
+package ceer_test
+
+import (
+	"sync"
+	"testing"
+
+	"ceer/internal/ceer"
+	"ceer/internal/experiments"
+	"ceer/internal/gpu"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+// benchContext trains Ceer once and shares it across all benches.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx, benchErr = experiments.NewContext(experiments.Options{
+			Seed:              42,
+			ProfileIterations: 100,
+			MeasureIters:      12,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+func BenchmarkFig01DAGExport(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig01(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = r.Nodes
+	}
+	b.ReportMetric(float64(nodes), "dag-nodes")
+}
+
+func BenchmarkFig02HeavyOpTimes(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig02Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig02(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgRatioVsP3[gpu.K80], "P2/P3-ratio")
+	b.ReportMetric(r.AvgRatioVsP3[gpu.T4], "G4/P3-ratio")
+	b.ReportMetric(r.AvgRatioVsP3[gpu.M60], "G3/P3-ratio")
+}
+
+func BenchmarkFig03HeavyOpCosts(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig03Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig03(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.WinCounts[gpu.T4]), "G4-wins")
+	b.ReportMetric(float64(r.WinCounts[gpu.V100]), "P3-wins")
+}
+
+func BenchmarkFig04ReluScaling(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig04Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig04(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	minR2 := 1.0
+	for _, s := range r.Series {
+		if s.R2 < minR2 {
+			minR2 = s.R2
+		}
+	}
+	b.ReportMetric(minR2, "min-R2")
+}
+
+func BenchmarkFig05VariabilityCDF(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig05Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig05(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 1.0
+	for _, m := range gpu.AllModels() {
+		if f := r.FracBelow01[m]; f < worst {
+			worst = f
+		}
+	}
+	b.ReportMetric(worst*100, "pct-below-0.1")
+}
+
+func BenchmarkFig06DataParallelScaling(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig06Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig06(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgReduction[2]*100, "k2-reduction-pct")
+	b.ReportMetric(r.AvgReduction[3]*100, "k3-reduction-pct")
+	b.ReportMetric(r.AvgReduction[4]*100, "k4-reduction-pct")
+}
+
+func BenchmarkFig07CommOverhead(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig07Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig07(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	minR2 := 1.0
+	for _, s := range r.Series {
+		if s.R2 < minR2 {
+			minR2 = s.R2
+		}
+	}
+	b.ReportMetric(minR2, "min-R2")
+}
+
+func BenchmarkFig08Validation(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig08Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig08(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgAbsErr*100, "avg-err-pct")
+	b.ReportMetric(boolMetric(r.RankingAgreement), "ranking-ok")
+}
+
+func BenchmarkFig09HourlyBudget(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig09Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig09(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(boolMetric(r.CeerMatchesObserved), "optimal-match")
+}
+
+func BenchmarkFig10TotalBudget(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig10(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.BestPredicted.K), "best-P3-gpus")
+	b.ReportMetric(r.CheapestFeasibleSlowdown, "cheapest-slowdown-x")
+}
+
+func BenchmarkFig11CostMinimization(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.CostMinResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig11(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgAbsErr*100, "cost-err-pct")
+	b.ReportMetric(boolMetric(r.BestPredicted.GPU == gpu.T4 && r.BestPredicted.K == 1), "picked-1xG4")
+}
+
+func BenchmarkFig12MarketPrices(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.CostMinResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig12(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(boolMetric(r.BestPredicted.GPU == gpu.K80 && r.BestPredicted.K == 1), "picked-1xP2")
+}
+
+func BenchmarkSec3AClassShares(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClassShares(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec4AAblations(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Sec4AResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Sec4A(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanErr[ceer.Full]*100, "full-err-pct")
+	b.ReportMetric(r.MeanErr[ceer.NoComm]*100, "no-comm-err-pct")
+	b.ReportMetric(r.MeanErr[ceer.HeavyOnlyNoComm]*100, "heavy-only-err-pct")
+}
+
+func BenchmarkSec4BOpModelQuality(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.Sec4BResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Sec4B(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MedianTestMAPE*100, "median-op-mape-pct")
+	b.ReportMetric(r.R2Min, "min-train-R2")
+}
+
+func BenchmarkOverallAccuracy(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.OverallResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Overall(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanErr*100, "mean-err-pct")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func BenchmarkExtBatchSensitivity(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.ExtBatchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ExtBatch(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := r.Rows[0]
+	for _, row := range r.Rows {
+		if row.PerSampleMs < best.PerSampleMs {
+			best = row
+		}
+	}
+	b.ReportMetric(float64(best.Batch), "best-batch")
+}
+
+func BenchmarkExtMemoryMatrix(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.ExtMemoryResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ExtMemory(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	infeasible := 0
+	for _, row := range r.Rows {
+		for _, fits := range row.FitsGPU {
+			if !fits {
+				infeasible++
+			}
+		}
+	}
+	b.ReportMetric(float64(infeasible), "infeasible-cells")
+}
+
+func BenchmarkExtSelectionAblation(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var r *experiments.ExtSelectionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ExtSelection(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanErr["auto"]*100, "auto-err-pct")
+	b.ReportMetric(r.MeanErr["all-linear"]*100, "linear-err-pct")
+	b.ReportMetric(float64(r.QuadCount["auto"]), "auto-quadratics")
+}

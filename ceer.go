@@ -1,0 +1,288 @@
+// Package ceer is the public API of this repository: a from-scratch Go
+// reproduction of "Empirical Analysis and Modeling of Compute Times of
+// CNN Operations on AWS Cloud" (Hafeez & Gandhi, IISWC 2020).
+//
+// Ceer predicts the training time and rental cost of a CNN on each of
+// AWS's GPU instance families (P3/V100, P2/K80, G4/T4, G3/M60) and
+// recommends the configuration minimizing a user objective. The
+// pipeline mirrors the paper:
+//
+//  1. Profile the 8 training-set CNNs op-by-op on every GPU model
+//     (here: against the repository's calibrated hardware simulator —
+//     see DESIGN.md for the substitution rationale).
+//  2. Classify operation types empirically into heavy / light / CPU.
+//  3. Fit one input-size regression per (GPU, heavy op), medians for
+//     light and CPU ops, and a per-(GPU, #GPUs) linear model of the
+//     data-parallel communication overhead versus parameter count.
+//  4. Predict per Eq. (2): T = (S_GPU(CNN) + Σ t_op(input)) · D/(k·B),
+//     C = T · hourly price; recommend argmin Obj(T, C).
+//
+// Basic use:
+//
+//	sys, err := ceer.Train(ceer.TrainOptions{Seed: 1})
+//	g, err := ceer.BuildModel("inception-v3", 32)
+//	rec, err := sys.Recommend(g, ceer.ImageNet, ceer.OnDemand,
+//	    ceer.AllConfigs(4), ceer.MinimizeCost)
+//	fmt.Println(rec.Best.Cfg, rec.Best.CostUSD)
+package ceer
+
+import (
+	"fmt"
+	"io"
+
+	internal "ceer/internal/ceer"
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/sim"
+	"ceer/internal/tensor"
+	"ceer/internal/trace"
+	"ceer/internal/zoo"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while
+// documentation and behaviour live with the implementations.
+type (
+	// Graph is a CNN training-iteration DAG (op-level, forward +
+	// backward + optimizer update + input pipeline).
+	Graph = graph.Graph
+	// GraphBuilder builds custom CNN graphs layer by layer.
+	GraphBuilder = nn.Builder
+	// Dataset describes a training set (only the sample count enters
+	// the time model).
+	Dataset = dataset.Dataset
+	// InstanceConfig is a deployable (GPU model, GPU count) choice.
+	InstanceConfig = cloud.Config
+	// Pricing selects On-Demand or market-ratio price tables.
+	Pricing = cloud.Pricing
+	// GPUModel identifies one of the four AWS GPU device models.
+	GPUModel = gpu.Model
+	// Prediction is a training-time and cost prediction for one
+	// configuration.
+	Prediction = internal.Prediction
+	// Recommendation is the outcome of a recommender run.
+	Recommendation = internal.Recommendation
+	// Objective scores (training seconds, cost USD); lower is better.
+	Objective = internal.Objective
+	// Constraint filters candidate configurations (budget caps).
+	Constraint = internal.Constraint
+	// Measurement is one simulated "observed" training run.
+	Measurement = sim.Measurement
+	// Variant selects predictor ablations (Full, NoComm, ...).
+	Variant = internal.Variant
+	// Padding selects SAME/VALID window semantics for GraphBuilder
+	// convolutions and pooling.
+	Padding = tensor.Padding
+)
+
+// Window padding policies for GraphBuilder layers.
+const (
+	// SamePadding pads so stride-1 windows preserve spatial size.
+	SamePadding = tensor.Same
+	// ValidPadding applies no padding.
+	ValidPadding = tensor.Valid
+)
+
+// Pricing schemes.
+const (
+	// OnDemand uses AWS's published On-Demand prices.
+	OnDemand = cloud.OnDemand
+	// MarketRatio re-prices instances by commodity GPU market ratios
+	// (the paper's Figure 12 scenario).
+	MarketRatio = cloud.MarketRatio
+)
+
+// GPU models.
+const (
+	V100 = gpu.V100
+	K80  = gpu.K80
+	T4   = gpu.T4
+	M60  = gpu.M60
+)
+
+// Predictor ablation variants (Section IV analyses).
+const (
+	Full            = internal.Full
+	NoComm          = internal.NoComm
+	HeavyOnly       = internal.HeavyOnly
+	HeavyOnlyNoComm = internal.HeavyOnlyNoComm
+)
+
+// Built-in datasets.
+var (
+	// ImageNet is the 1.2M-sample ILSVRC-2012 training set.
+	ImageNet = dataset.ImageNet
+	// ImageNetSubset6400 is the paper's Figure 6 subset.
+	ImageNetSubset6400 = dataset.ImageNetSubset6400
+)
+
+// Objectives.
+var (
+	// MinimizeTime optimizes pure training time.
+	MinimizeTime = internal.MinimizeTime
+	// MinimizeCost optimizes pure rental cost.
+	MinimizeCost = internal.MinimizeCost
+)
+
+// MaxHourlyBudget rejects configurations costing more than usdPerHour
+// (+slack) to rent.
+func MaxHourlyBudget(usdPerHour, slack float64) Constraint {
+	return internal.MaxHourlyBudget(usdPerHour, slack)
+}
+
+// MaxTotalBudget rejects configurations whose predicted training cost
+// exceeds usd.
+func MaxTotalBudget(usd float64) Constraint { return internal.MaxTotalBudget(usd) }
+
+// FitsGPUMemory rejects configurations whose per-GPU training footprint
+// (weights, optimizer state, retained activations) exceeds the GPU's
+// memory — an 8 GB M60 cannot train what a 16 GB V100 can at the same
+// batch size.
+func FitsGPUMemory(g *Graph) Constraint { return internal.FitsGPUMemory(g) }
+
+// EstimateMemoryGB returns the estimated per-GPU training footprint of
+// a graph, in gigabytes.
+func EstimateMemoryGB(g *Graph) float64 { return g.EstimateMemory().TotalGB() }
+
+// Models returns the names of the 12 built-in CNN architectures.
+func Models() []string { return zoo.Names() }
+
+// TrainingModels returns the paper's 8 training-set CNNs.
+func TrainingModels() []string { return zoo.TrainingSet() }
+
+// TestModels returns the paper's 4 held-out CNNs.
+func TestModels() []string { return zoo.TestSet() }
+
+// BuildModel constructs a built-in CNN's training graph at the given
+// per-GPU batch size (the paper default is 32).
+func BuildModel(name string, batch int64) (*Graph, error) { return zoo.Build(name, batch) }
+
+// NewGraphBuilder starts a custom CNN definition; see nn.Builder's
+// layer methods (Conv, BatchNorm, ReLU, MaxPool, Dense, Concat, Add,
+// SoftmaxLoss, ...).
+func NewGraphBuilder(name string, batch int64) *GraphBuilder { return nn.NewBuilder(name, batch) }
+
+// AllConfigs enumerates every candidate (GPU model, k) configuration
+// with 1..maxK GPUs per family.
+func AllConfigs(maxK int) []InstanceConfig { return cloud.Configs(maxK) }
+
+// NewDataset describes a custom dataset by sample count.
+func NewDataset(name string, samples int64) Dataset {
+	return Dataset{Name: name, Samples: samples}
+}
+
+// TrainOptions configures the measurement-and-fit campaign.
+type TrainOptions struct {
+	// Seed drives the simulated measurement noise (deterministic).
+	Seed uint64
+	// ProfileIterations is the op-level profiling depth per (CNN, GPU);
+	// 0 selects the default (200; the paper profiles 1,000).
+	ProfileIterations int
+	// CommIterations is the iteration sample per communication
+	// observation; 0 selects the default (30).
+	CommIterations int
+}
+
+// System is a trained Ceer instance plus the profiling corpus it was
+// trained on.
+type System struct {
+	pred   *internal.Predictor
+	bundle *trace.Bundle
+}
+
+// Train runs the full paper pipeline: profile the 8 training-set CNNs
+// on all four GPU models, collect multi-GPU communication observations,
+// and fit every Ceer model.
+func Train(opts TrainOptions) (*System, error) {
+	pl := internal.DefaultPipeline(opts.Seed)
+	if opts.ProfileIterations > 0 {
+		pl.ProfileIterations = opts.ProfileIterations
+	}
+	if opts.CommIterations > 0 {
+		pl.CommIterations = opts.CommIterations
+	}
+	pred, bundle, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	if err != nil {
+		return nil, err
+	}
+	return &System{pred: pred, bundle: bundle}, nil
+}
+
+// Predictor exposes the underlying trained predictor for advanced use
+// (op-model inspection, ablation variants).
+func (s *System) Predictor() *internal.Predictor { return s.pred }
+
+// Save serializes the trained models as JSON, so a system can be
+// trained once and reloaded without re-profiling.
+func (s *System) Save(w io.Writer) error { return s.pred.Save(w) }
+
+// Load restores a System from JSON written by Save. The restored
+// system predicts and recommends identically; it carries no profiling
+// corpus.
+func Load(r io.Reader) (*System, error) {
+	pred, err := internal.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &System{pred: pred}, nil
+}
+
+// PredictTraining predicts the end-to-end training time and cost of one
+// epoch of ds on cfg.
+func (s *System) PredictTraining(g *Graph, cfg InstanceConfig, ds Dataset, p Pricing) (Prediction, error) {
+	return s.pred.PredictTraining(g, cfg, ds, p)
+}
+
+// PredictTrainingVariant is PredictTraining under an ablation variant.
+func (s *System) PredictTrainingVariant(g *Graph, cfg InstanceConfig, ds Dataset, p Pricing, v Variant) (Prediction, error) {
+	return s.pred.PredictTrainingVariant(g, cfg, ds, p, v)
+}
+
+// Recommend evaluates the candidates and returns the feasible one
+// minimizing the objective, plus every candidate's prediction.
+func (s *System) Recommend(g *Graph, ds Dataset, p Pricing, candidates []InstanceConfig,
+	obj Objective, constraints ...Constraint) (Recommendation, error) {
+	return s.pred.Recommend(g, ds, p, candidates, obj, constraints...)
+}
+
+// HeavyOps returns the operation types Ceer classified as heavy (the
+// paper's Figure 2 set).
+func (s *System) HeavyOps() []string {
+	types := s.pred.Class.HeavyTypes()
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// Observe runs a simulated "ground truth" training measurement — the
+// stand-in for actually renting the instance (see DESIGN.md). Useful
+// for validating predictions in examples and experiments.
+func Observe(g *Graph, cfg InstanceConfig, ds Dataset, measureIters int, seed uint64) (Measurement, error) {
+	return sim.Train(g, cfg, ds, measureIters, seed)
+}
+
+// HourlyCost returns the rental price of a configuration under a
+// pricing scheme.
+func HourlyCost(cfg InstanceConfig, p Pricing) (float64, error) { return cfg.HourlyCost(p) }
+
+// InstanceName returns the closest AWS instance name of a
+// configuration (e.g. "p3.8xlarge").
+func InstanceName(cfg InstanceConfig) string { return cfg.InstanceName() }
+
+// Config builds an InstanceConfig from a family code ("P3", "P2",
+// "G4", "G3") and GPU count.
+func Config(family string, k int) (InstanceConfig, error) {
+	m, ok := gpu.ModelByFamily(family)
+	if !ok {
+		return InstanceConfig{}, fmt.Errorf("ceer: unknown GPU family %q", family)
+	}
+	cfg := InstanceConfig{GPU: m, K: k}
+	if !cfg.Valid() {
+		return InstanceConfig{}, fmt.Errorf("ceer: invalid configuration %dx%s", k, family)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,232 @@
+package ceer_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ceer"
+)
+
+// trainedSystem caches one trained system for the package tests.
+var trainedSystem *ceer.System
+
+func system(t *testing.T) *ceer.System {
+	t.Helper()
+	if trainedSystem == nil {
+		sys, err := ceer.Train(ceer.TrainOptions{Seed: 7, ProfileIterations: 50, CommIterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainedSystem = sys
+	}
+	return trainedSystem
+}
+
+func TestPublicModelCatalog(t *testing.T) {
+	if len(ceer.Models()) != 12 {
+		t.Errorf("Models() = %d entries, want 12", len(ceer.Models()))
+	}
+	if len(ceer.TrainingModels()) != 8 || len(ceer.TestModels()) != 4 {
+		t.Error("train/test split sizes wrong")
+	}
+	g, err := ceer.BuildModel("alexnet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BatchSize != 16 || g.Params < 50e6 {
+		t.Errorf("alexnet graph metadata wrong: batch=%d params=%d", g.BatchSize, g.Params)
+	}
+	if _, err := ceer.BuildModel("nope", 16); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestPublicConfigHelpers(t *testing.T) {
+	cfg, err := ceer.Config("P3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GPU != ceer.V100 || cfg.K != 2 {
+		t.Errorf("Config = %+v", cfg)
+	}
+	if _, err := ceer.Config("ZZ", 1); err == nil {
+		t.Error("unknown family should error")
+	}
+	if _, err := ceer.Config("P3", 9); err == nil {
+		t.Error("oversized config should error")
+	}
+	hourly, err := ceer.HourlyCost(cfg, ceer.OnDemand)
+	if err != nil || hourly != 6.12 {
+		t.Errorf("2xP3 hourly = %v, %v; want 6.12", hourly, err)
+	}
+	if name := ceer.InstanceName(cfg); name == "" {
+		t.Error("InstanceName empty")
+	}
+	if got := len(ceer.AllConfigs(4)); got != 16 {
+		t.Errorf("AllConfigs(4) = %d", got)
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	sys := system(t)
+	g, err := ceer.BuildModel("inception-v3", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := ceer.Config("G4", 1)
+	pred, err := sys.PredictTraining(g, cfg, ceer.ImageNet, ceer.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ceer.Observe(g, cfg, ceer.ImageNet, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(pred.TotalSeconds-obs.TotalSeconds) / obs.TotalSeconds
+	if relErr > 0.15 {
+		t.Errorf("prediction error %.1f%% too high", relErr*100)
+	}
+	if pred.CostUSD <= 0 || pred.Iterations != ceer.ImageNet.Samples/32 {
+		t.Errorf("prediction fields wrong: %+v", pred)
+	}
+
+	rec, err := sys.Recommend(g, ceer.ImageNet, ceer.OnDemand, ceer.AllConfigs(4), ceer.MinimizeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Cfg.GPU != ceer.T4 {
+		t.Errorf("cost-optimal GPU = %s, want G4", rec.Best.Cfg)
+	}
+	if len(sys.HeavyOps()) != 20 {
+		t.Errorf("HeavyOps = %d, want 20", len(sys.HeavyOps()))
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	sys := system(t)
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ceer.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ceer.BuildModel("vgg-19", 32)
+	cfg, _ := ceer.Config("P2", 1)
+	a, err := sys.PredictTraining(g, cfg, ceer.ImageNetSubset6400, ceer.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.PredictTraining(g, cfg, ceer.ImageNetSubset6400, ceer.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds != b.TotalSeconds {
+		t.Error("reloaded system predicts differently")
+	}
+}
+
+func TestPublicCustomGraph(t *testing.T) {
+	sys := system(t)
+	b := ceer.NewGraphBuilder("custom-net", 32)
+	x := b.Input(64, 64, 3)
+	x = b.ConvSq(x, 32, 3, 1, ceer.SamePadding)
+	x = b.BatchNorm(x)
+	x = b.ReLU(x)
+	x = b.MaxPool(x, 2, 2, ceer.ValidPadding)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	b.SoftmaxLoss(x)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := ceer.NewDataset("tiny", 3200)
+	cfg, _ := ceer.Config("G3", 1)
+	pred, err := sys.PredictTraining(g, cfg, ds, ceer.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TotalSeconds <= 0 {
+		t.Error("custom graph prediction non-positive")
+	}
+}
+
+func TestPublicAblationVariant(t *testing.T) {
+	sys := system(t)
+	g, _ := ceer.BuildModel("alexnet", 32)
+	cfg, _ := ceer.Config("P3", 1)
+	full, err := sys.PredictTrainingVariant(g, cfg, ceer.ImageNetSubset6400, ceer.OnDemand, ceer.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noComm, err := sys.PredictTrainingVariant(g, cfg, ceer.ImageNetSubset6400, ceer.OnDemand, ceer.NoComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noComm.TotalSeconds >= full.TotalSeconds {
+		t.Error("no-comm variant must predict less time than full")
+	}
+}
+
+func TestPublicBudgetConstraints(t *testing.T) {
+	sys := system(t)
+	g, _ := ceer.BuildModel("resnet-101", 32)
+	rec, err := sys.Recommend(g, ceer.ImageNet, ceer.OnDemand, ceer.AllConfigs(4),
+		ceer.MinimizeTime, ceer.MaxTotalBudget(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.CostUSD > 10 {
+		t.Errorf("recommended config exceeds budget: $%.2f", rec.Best.CostUSD)
+	}
+	if rec.Best.Cfg.GPU != ceer.V100 {
+		t.Errorf("best under $10 = %s, want a P3 config (paper Fig. 10)", rec.Best.Cfg)
+	}
+}
+
+func TestPublicMemoryFeasibility(t *testing.T) {
+	sys := system(t)
+	g, err := ceer.BuildModel("vgg-19", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := ceer.EstimateMemoryGB(g); gb < 8 || gb > 16 {
+		t.Fatalf("vgg-19@64 memory = %.1f GB, expected 8-16", gb)
+	}
+	rec, err := sys.Recommend(g, ceer.ImageNetSubset6400, ceer.OnDemand,
+		ceer.AllConfigs(4), ceer.MinimizeCost, ceer.FitsGPUMemory(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Cfg.GPU == ceer.M60 || rec.Best.Cfg.GPU == ceer.K80 {
+		t.Errorf("memory-infeasible GPU recommended: %s", rec.Best.Cfg)
+	}
+}
+
+func TestPublicDepthwiseUnseenWarning(t *testing.T) {
+	sys := system(t)
+	b := ceer.NewGraphBuilder("dwnet", 32)
+	x := b.Input(56, 56, 8)
+	x = b.ConvSq(x, 32, 3, 1, ceer.SamePadding)
+	x = b.DepthwiseConv(x, 3, 1, ceer.SamePadding)
+	x = b.ReLU(x)
+	y := b.GlobalAvgPool(x)
+	y = b.Squeeze(y)
+	y = b.Dense(y, 10)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := ceer.Config("P3", 1)
+	pred, err := sys.PredictTraining(g, cfg, ceer.ImageNetSubset6400, ceer.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Iter.UnseenHeavy) == 0 {
+		t.Error("depthwise conv should be flagged as an unseen heavy op")
+	}
+}

@@ -1,0 +1,88 @@
+// Command ceer-experiments regenerates the paper's tables and figures
+// (Figures 1–12, the Section III-A class shares, the Section IV model
+// quality and ablation analyses, and the overall accuracy summary).
+//
+// Usage:
+//
+//	ceer-experiments                  # run everything
+//	ceer-experiments -run fig8,fig11  # run a subset
+//	ceer-experiments -list            # list experiment IDs
+//	ceer-experiments -run fig1 -dot   # also dump the Fig. 1 DOT graph
+//	ceer-experiments -markdown        # emit results as Markdown sections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ceer/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	seed := flag.Uint64("seed", 42, "measurement noise seed")
+	iters := flag.Int("iters", 200, "profiling iterations for Ceer training")
+	measure := flag.Int("measure", 20, "iterations sampled per observed run")
+	dot := flag.Bool("dot", false, "with fig1: print the full DOT graph")
+	markdown := flag.Bool("markdown", false, "wrap each experiment in a Markdown section")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := runAll(*run, *seed, *iters, *measure, *dot, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "ceer-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runAll(runList string, seed uint64, iters, measure int, dot, markdown bool) error {
+	names := experiments.Names()
+	if runList != "" {
+		names = strings.Split(runList, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "training Ceer on the 8 training-set CNNs (seed %d)...\n", seed)
+	ctx, err := experiments.NewContext(experiments.Options{
+		Seed:              seed,
+		ProfileIterations: iters,
+		MeasureIters:      measure,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained in %.1fs\n\n", time.Since(start).Seconds())
+
+	for _, name := range names {
+		res, err := experiments.Run(name, ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if markdown {
+			fmt.Printf("## %s\n\n```\n", name)
+		}
+		if err := res.Table().Render(os.Stdout); err != nil {
+			return err
+		}
+		if markdown {
+			fmt.Printf("```\n\n")
+		}
+		if name == "fig1" && dot {
+			if f1, ok := res.(*experiments.Fig01Result); ok {
+				fmt.Println(f1.DOT)
+			}
+		}
+	}
+	return nil
+}

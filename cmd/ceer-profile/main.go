@@ -1,0 +1,140 @@
+// Command ceer-profile runs the simulated op-level profiler on one CNN
+// and GPU model and prints the aggregated trace — the raw material of
+// the paper's Section III analysis. With -dot it instead emits the
+// CNN's training DAG in Graphviz format (paper Figure 1).
+//
+// Usage:
+//
+//	ceer-profile -model inception-v3 -gpu P3 [-iters 200] [-batch 32] [-top 30]
+//	ceer-profile -model inception-v3 -dot > inception_v3.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/sim"
+	"ceer/internal/textutil"
+	"ceer/internal/trace"
+	"ceer/internal/zoo"
+)
+
+func main() {
+	model := flag.String("model", "inception-v3", "CNN name")
+	family := flag.String("gpu", "P3", "GPU family: P3, P2, G4, G3")
+	iters := flag.Int("iters", 200, "profiling iterations")
+	batch := flag.Int64("batch", 32, "per-GPU batch size")
+	top := flag.Int("top", 30, "rows to print (by total time)")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	dot := flag.Bool("dot", false, "emit the DAG in Graphviz DOT format and exit")
+	jsonOut := flag.Bool("json", false, "emit the raw profile as JSON instead of a table")
+	phases := flag.Bool("phases", false, "also print the per-phase time breakdown")
+	flag.Parse()
+
+	if err := run(*model, *family, *iters, *batch, *top, *seed, *dot, *jsonOut, *phases); err != nil {
+		fmt.Fprintln(os.Stderr, "ceer-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, family string, iters int, batch int64, top int, seed uint64, dot, jsonOut, phases bool) error {
+	g, err := zoo.Build(model, batch)
+	if err != nil {
+		return err
+	}
+	if dot {
+		_, err := fmt.Print(g.DOT())
+		return err
+	}
+	m, ok := gpu.ModelByFamily(family)
+	if !ok {
+		return fmt.Errorf("unknown GPU family %q (want P3, P2, G4, or G3)", family)
+	}
+	prof, err := (&sim.Profiler{Seed: seed, Iterations: iters, Retain: 16}).Profile(g, m)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return prof.ExportJSON(os.Stdout)
+	}
+
+	// Aggregate by op type.
+	type agg struct {
+		count int
+		total float64
+		nsd   float64
+	}
+	byType := make(map[ops.Type]*agg)
+	for _, s := range prof.Series {
+		a := byType[s.OpType]
+		if a == nil {
+			a = &agg{}
+			byType[s.OpType] = a
+		}
+		a.count++
+		a.total += s.Agg.Mean()
+		a.nsd += s.Agg.NormalizedStd()
+	}
+	var types []ops.Type
+	grand := 0.0
+	for t, a := range byType {
+		types = append(types, t)
+		grand += a.total
+	}
+	sort.Slice(types, func(i, j int) bool { return byType[types[i]].total > byType[types[j]].total })
+	if top > len(types) {
+		top = len(types)
+	}
+
+	tbl := &textutil.Table{
+		Title: fmt.Sprintf("Op-level profile: %s on %s (%s), %d iterations, batch %d",
+			model, family, m, iters, batch),
+		Header: []string{"operation", "class", "instances", "total ms/iter", "share", "avg nsd"},
+	}
+	for _, t := range types[:top] {
+		a := byType[t]
+		tbl.AddRow(string(t), ops.MustLookup(t).Class.String(),
+			fmt.Sprintf("%d", a.count), textutil.Ms(a.total),
+			textutil.Pct(a.total/grand),
+			fmt.Sprintf("%.3f", a.nsd/float64(a.count)))
+	}
+	tbl.AddNote("graph: %d nodes, %d unique op types, %.1fM params",
+		g.Len(), len(byType), float64(g.Params)/1e6)
+	tbl.AddNote("mean iteration op time: %s ms (excl. communication overhead)",
+		textutil.Ms(prof.MeanIterSeconds()))
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if phases {
+		return renderPhases(prof)
+	}
+	return nil
+}
+
+// renderPhases prints how iteration time splits across the training
+// phases (input pipeline, forward, backward, optimizer update).
+func renderPhases(prof *trace.Profile) error {
+	sums := map[graph.Phase]float64{}
+	counts := map[graph.Phase]int{}
+	total := 0.0
+	for _, s := range prof.Series {
+		sums[s.Phase] += s.Agg.Mean()
+		counts[s.Phase]++
+		total += s.Agg.Mean()
+	}
+	tbl := &textutil.Table{
+		Title:  "Per-phase breakdown",
+		Header: []string{"phase", "ops", "ms/iter", "share"},
+	}
+	for _, ph := range []graph.Phase{graph.InputPhase, graph.ForwardPhase, graph.BackwardPhase, graph.UpdatePhase} {
+		tbl.AddRow(ph.String(), fmt.Sprintf("%d", counts[ph]),
+			textutil.Ms(sums[ph]), textutil.Pct(sums[ph]/total))
+	}
+	tbl.AddNote("the backward pass dominates CNN training (roughly 2x the forward pass)")
+	return tbl.Render(os.Stdout)
+}

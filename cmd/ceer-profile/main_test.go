@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// quietStdout redirects os.Stdout to /dev/null for the duration of the
+// test, keeping table and JSON output out of the test logs.
+func quietStdout(t *testing.T) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = orig
+		_ = devnull.Close()
+	})
+}
+
+func TestRunTableMode(t *testing.T) {
+	quietStdout(t)
+	if err := run("alexnet", "P2", 5, 8, 5, 1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	quietStdout(t)
+	if err := run("inception-v1", "G4", 3, 4, 5, 1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDOTMode(t *testing.T) {
+	quietStdout(t)
+	if err := run("vgg-11", "P3", 1, 2, 5, 1, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "P3", 5, 8, 5, 1, false, false, false); err == nil {
+		t.Error("unknown model should error")
+	}
+	if err := run("alexnet", "ZZ", 5, 8, 5, 1, false, false, false); err == nil {
+		t.Error("unknown GPU family should error")
+	}
+	if err := run("alexnet", "P3", 0, 8, 5, 1, false, false, false); err == nil {
+		t.Error("zero iterations should error")
+	}
+}

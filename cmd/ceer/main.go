@@ -1,0 +1,308 @@
+// Command ceer trains the Ceer predictor and answers training-time,
+// cost, and instance-recommendation queries for the built-in CNN zoo.
+//
+// Usage:
+//
+//	ceer train -out models.json [-seed N] [-iters N]
+//	ceer predict -model inception-v3 [-models models.json] [-config 2xP3]
+//	    [-samples N] [-batch N] [-market]
+//	ceer recommend -model inception-v3 [-models models.json]
+//	    [-objective cost|time] [-hourly-budget X] [-total-budget X]
+//	    [-market] [-samples N] [-batch N]
+//	ceer zoo
+//
+// Without -models, predict/recommend train a fresh predictor in memory
+// (a few seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ceer"
+	"ceer/internal/textutil"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
+	case "zoo":
+		err = cmdZoo()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ceer: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ceer train -out models.json [-seed N] [-iters N]
+  ceer predict -model NAME [-models FILE] [-config 2xP3] [-samples N] [-batch N]
+               [-market] [-explain]
+  ceer recommend -model NAME [-models FILE] [-objective cost|time]
+                 [-hourly-budget X] [-total-budget X] [-memory] [-market]
+                 [-samples N] [-batch N]
+  ceer zoo`)
+}
+
+// loadOrTrain returns a system from -models, or trains one in memory.
+func loadOrTrain(path string, seed uint64) (*ceer.System, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ceer.Load(f)
+	}
+	fmt.Fprintln(os.Stderr, "ceer: no -models file given; training a fresh predictor...")
+	return ceer.Train(ceer.TrainOptions{Seed: seed})
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("out", "models.json", "output path for the trained models")
+	seed := fs.Uint64("seed", 1, "measurement noise seed")
+	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := ceer.Train(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %s; %d heavy op types; models written to %s\n",
+		strings.Join(ceer.TrainingModels(), ", "), len(sys.HeavyOps()), *out)
+	return nil
+}
+
+// parseConfig parses "2xP3" or "P3" (implying 1 GPU).
+func parseConfig(s string) (ceer.InstanceConfig, error) {
+	k := 1
+	fam := s
+	if i := strings.IndexByte(s, 'x'); i > 0 {
+		n, err := strconv.Atoi(s[:i])
+		if err != nil {
+			return ceer.InstanceConfig{}, fmt.Errorf("bad config %q", s)
+		}
+		k, fam = n, s[i+1:]
+	}
+	return ceer.Config(strings.ToUpper(fam), k)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "", "CNN name (see `ceer zoo`)")
+	modelsPath := fs.String("models", "", "trained models file (from `ceer train`)")
+	configStr := fs.String("config", "", "one configuration like 2xP3; empty = all")
+	samples := fs.Int64("samples", ceer.ImageNet.Samples, "dataset size in samples")
+	batch := fs.Int64("batch", 32, "per-GPU batch size")
+	market := fs.Bool("market", false, "use market-ratio prices instead of On-Demand")
+	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("predict: -model is required")
+	}
+	sys, err := loadOrTrain(*modelsPath, *seed)
+	if err != nil {
+		return err
+	}
+	g, err := ceer.BuildModel(*model, *batch)
+	if err != nil {
+		return err
+	}
+	ds := ceer.NewDataset("custom", *samples)
+	pricing := ceer.OnDemand
+	if *market {
+		pricing = ceer.MarketRatio
+	}
+	var cfgs []ceer.InstanceConfig
+	if *configStr != "" {
+		cfg, err := parseConfig(*configStr)
+		if err != nil {
+			return err
+		}
+		cfgs = []ceer.InstanceConfig{cfg}
+	} else {
+		cfgs = ceer.AllConfigs(4)
+	}
+	tbl := &textutil.Table{
+		Title:  fmt.Sprintf("Predicted training of %s (%d samples, batch %d, %s prices)", *model, *samples, *batch, pricing),
+		Header: []string{"config", "instance", "$/hr", "iter (ms)", "total (h)", "cost"},
+	}
+	for _, cfg := range cfgs {
+		pred, err := sys.PredictTraining(g, cfg, ds, pricing)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(cfg.String(), ceer.InstanceName(cfg),
+			fmt.Sprintf("%.3f", pred.HourlyUSD),
+			textutil.Ms(pred.Iter.PerIterSeconds),
+			textutil.Hours(pred.TotalSeconds),
+			textutil.USD(pred.CostUSD))
+		if len(pred.Iter.UnseenHeavy) > 0 {
+			tbl.AddNote("%s: unseen heavy ops %v — prediction degraded; retrain Ceer", cfg, pred.Iter.UnseenHeavy)
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *explain {
+		for _, cfg := range cfgs {
+			if err := renderExplanation(sys, g, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderExplanation prints the per-op-type attribution of one
+// configuration's predicted iteration.
+func renderExplanation(sys *ceer.System, g *ceer.Graph, cfg ceer.InstanceConfig) error {
+	ex, err := sys.Predictor().ExplainIteration(g, cfg.GPU, cfg.K)
+	if err != nil {
+		return err
+	}
+	tbl := &textutil.Table{
+		Title:  fmt.Sprintf("Attribution: %s on %s", g.Name, cfg),
+		Header: []string{"operation", "class", "instances", "ms/iter", "share"},
+	}
+	for i, c := range ex.Contributions {
+		if i >= 12 {
+			break
+		}
+		tbl.AddRow(string(c.OpType), c.Class.String(), fmt.Sprintf("%d", c.Count),
+			textutil.Ms(c.Seconds), textutil.Pct(c.Share))
+	}
+	tbl.AddNote("communication overhead: %s ms (%s of the iteration)",
+		textutil.Ms(ex.Iter.CommSeconds), textutil.Pct(ex.CommShare))
+	return tbl.Render(os.Stdout)
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	model := fs.String("model", "", "CNN name (see `ceer zoo`)")
+	modelsPath := fs.String("models", "", "trained models file (from `ceer train`)")
+	objective := fs.String("objective", "cost", "cost or time")
+	hourly := fs.Float64("hourly-budget", 0, "max hourly rental price (0 = unconstrained)")
+	total := fs.Float64("total-budget", 0, "max total training cost (0 = unconstrained)")
+	samples := fs.Int64("samples", ceer.ImageNet.Samples, "dataset size in samples")
+	batch := fs.Int64("batch", 32, "per-GPU batch size")
+	market := fs.Bool("market", false, "use market-ratio prices")
+	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	memory := fs.Bool("memory", false, "exclude configurations whose GPU memory cannot hold the training state")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("recommend: -model is required")
+	}
+	sys, err := loadOrTrain(*modelsPath, *seed)
+	if err != nil {
+		return err
+	}
+	g, err := ceer.BuildModel(*model, *batch)
+	if err != nil {
+		return err
+	}
+	ds := ceer.NewDataset("custom", *samples)
+	pricing := ceer.OnDemand
+	if *market {
+		pricing = ceer.MarketRatio
+	}
+	var obj ceer.Objective
+	switch *objective {
+	case "cost":
+		obj = ceer.MinimizeCost
+	case "time":
+		obj = ceer.MinimizeTime
+	default:
+		return fmt.Errorf("recommend: unknown objective %q", *objective)
+	}
+	var constraints []ceer.Constraint
+	if *hourly > 0 {
+		constraints = append(constraints, ceer.MaxHourlyBudget(*hourly, 0))
+	}
+	if *total > 0 {
+		constraints = append(constraints, ceer.MaxTotalBudget(*total))
+	}
+	if *memory {
+		constraints = append(constraints, ceer.FitsGPUMemory(g))
+	}
+	rec, err := sys.Recommend(g, ds, pricing, ceer.AllConfigs(4), obj, constraints...)
+	if err != nil {
+		return err
+	}
+	tbl := &textutil.Table{
+		Title:  fmt.Sprintf("Recommendation for %s (minimize %s)", *model, *objective),
+		Header: []string{"config", "instance", "$/hr", "total (h)", "cost", "feasible"},
+	}
+	for _, c := range rec.Candidates {
+		marker := ""
+		if c.Cfg == rec.Best.Cfg {
+			marker = " *"
+		}
+		tbl.AddRow(c.Cfg.String()+marker, ceer.InstanceName(c.Cfg),
+			fmt.Sprintf("%.3f", c.HourlyUSD), textutil.Hours(c.TotalSeconds),
+			textutil.USD(c.CostUSD), fmt.Sprintf("%v", c.Feasible))
+	}
+	tbl.AddNote("recommended: %s (%s) at %s, %s",
+		rec.Best.Cfg, ceer.InstanceName(rec.Best.Cfg),
+		textutil.Hours(rec.Best.TotalSeconds)+"h", textutil.USD(rec.Best.CostUSD))
+	return tbl.Render(os.Stdout)
+}
+
+func cmdZoo() error {
+	tbl := &textutil.Table{
+		Title:  "Built-in CNN zoo",
+		Header: []string{"model", "split", "params (M)", "DAG nodes"},
+	}
+	split := map[string]string{}
+	for _, n := range ceer.TrainingModels() {
+		split[n] = "train"
+	}
+	for _, n := range ceer.TestModels() {
+		split[n] = "test"
+	}
+	for _, name := range ceer.Models() {
+		g, err := ceer.BuildModel(name, 32)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(name, split[name], fmt.Sprintf("%.1f", float64(g.Params)/1e6),
+			fmt.Sprintf("%d", g.Len()))
+	}
+	return tbl.Render(os.Stdout)
+}

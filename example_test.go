@@ -1,0 +1,51 @@
+package ceer_test
+
+import (
+	"fmt"
+
+	"ceer"
+)
+
+// ExampleConfig shows configuration construction and pricing.
+func ExampleConfig() {
+	cfg, _ := ceer.Config("P3", 3)
+	hourly, _ := ceer.HourlyCost(cfg, ceer.OnDemand)
+	fmt.Printf("%s = %s at $%.2f/hr\n", cfg, ceer.InstanceName(cfg), hourly)
+	// Output: 3xP3 = p3.8xlarge (3 of 4 GPUs) at $9.18/hr
+}
+
+// ExampleAllConfigs enumerates the candidate set the recommender scans.
+func ExampleAllConfigs() {
+	cfgs := ceer.AllConfigs(2)
+	fmt.Println(len(cfgs), "candidates, first:", cfgs[0])
+	// Output: 8 candidates, first: 1xG3
+}
+
+// ExampleBuildModel shows zoo construction and graph metadata.
+func ExampleBuildModel() {
+	g, _ := ceer.BuildModel("resnet-50", 32)
+	fmt.Printf("%s: %.1fM params, batch %d\n", g.Name, float64(g.Params)/1e6, g.BatchSize)
+	// Output: resnet-50: 25.5M params, batch 32
+}
+
+// ExampleNewGraphBuilder defines a custom CNN and inspects it.
+func ExampleNewGraphBuilder() {
+	b := ceer.NewGraphBuilder("tiny", 16)
+	x := b.Input(32, 32, 3)
+	x = b.ConvSq(x, 8, 3, 1, ceer.SamePadding)
+	x = b.ReLU(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	b.SoftmaxLoss(x)
+	g, _ := b.Finish()
+	fmt.Printf("%d params, %.2f GB training footprint\n",
+		g.Params, ceer.EstimateMemoryGB(g))
+	// Output: 82146 params, 0.00 GB training footprint
+}
+
+// ExampleNewDataset shows the iteration arithmetic of Eq. (2).
+func ExampleNewDataset() {
+	ds := ceer.NewDataset("mydata", 64000)
+	fmt.Println("iterations at batch 32 on 2 GPUs:", ds.Iterations(2, 32))
+	// Output: iterations at batch 32 on 2 GPUs: 1000
+}

@@ -1,0 +1,80 @@
+// Budget planner: reproduce the paper's three Section V decision
+// scenarios for a CNN of your choice — hourly-budget throughput
+// maximization (Fig. 9), total-budget time minimization (Fig. 10), and
+// unconstrained cost minimization under both On-Demand and market
+// prices (Figs. 11–12).
+//
+// Usage: go run ./examples/budgetplanner [model]   (default resnet-101)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ceer"
+)
+
+func main() {
+	model := "resnet-101"
+	if len(os.Args) > 1 {
+		model = os.Args[1]
+	}
+
+	sys, err := ceer.Train(ceer.TrainOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := ceer.BuildModel(model, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Planning ImageNet training for %s (%.1fM params)\n\n", model, float64(g.Params)/1e6)
+
+	// Scenario 1 — hourly budget: the fastest configuration that rents
+	// for at most $3/hr (the paper tolerates a few cents of slack).
+	rec, err := sys.Recommend(g, ceer.ImageNet, ceer.OnDemand, ceer.AllConfigs(4),
+		ceer.MinimizeTime, ceer.MaxHourlyBudget(3.00, 0.42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Scenario 1 — fastest under $3/hr rental", rec)
+
+	// Scenario 2 — total budget: the fastest configuration whose whole
+	// training run costs at most $10.
+	rec, err = sys.Recommend(g, ceer.ImageNet, ceer.OnDemand, ceer.AllConfigs(4),
+		ceer.MinimizeTime, ceer.MaxTotalBudget(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Scenario 2 — fastest under a $10 total budget", rec)
+
+	// Scenario 3 — cost minimization, On-Demand prices.
+	rec, err = sys.Recommend(g, ceer.ImageNet, ceer.OnDemand, ceer.AllConfigs(4), ceer.MinimizeCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Scenario 3a — cheapest (On-Demand prices)", rec)
+
+	// Scenario 3 again under commodity market price ratios (Fig. 12):
+	// the older P2 instances become dramatically cheaper.
+	rec, err = sys.Recommend(g, ceer.ImageNet, ceer.MarketRatio, ceer.AllConfigs(4), ceer.MinimizeCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("Scenario 3b — cheapest (market-ratio prices)", rec)
+}
+
+func show(title string, rec ceer.Recommendation) {
+	fmt.Println(title)
+	feasible := 0
+	for _, c := range rec.Candidates {
+		if c.Feasible {
+			feasible++
+		}
+	}
+	fmt.Printf("  -> %s (%s): %.2f h, $%.2f  [%d/%d candidates feasible]\n\n",
+		rec.Best.Cfg, ceer.InstanceName(rec.Best.Cfg),
+		rec.Best.TotalSeconds/3600, rec.Best.CostUSD,
+		feasible, len(rec.Candidates))
+}

@@ -1,0 +1,3 @@
+module ceer
+
+go 1.22

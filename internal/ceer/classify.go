@@ -1,0 +1,124 @@
+// Package ceer implements the paper's primary contribution: the Ceer
+// model-driven predictor of CNN training time and cost on cloud GPU
+// instances (Section IV).
+//
+// Ceer is trained purely on op-level profiles and end-to-end
+// measurements of the 8 training-set CNNs. Its components are:
+//
+//   - an empirical heavy/light classification of GPU operation types by
+//     mean compute time on the P2 (K80) instance (threshold 0.5 ms);
+//   - one regression model per (GPU model, heavy operation type)
+//     relating compute time to the op's input sizes, with automatic
+//     linear-vs-quadratic selection (Section IV-B);
+//   - a single GPU-, CNN-, and operation-oblivious sample-median
+//     estimate for light GPU ops and another for CPU ops;
+//   - a per-(GPU model, GPU count) linear model of the per-iteration
+//     communication overhead as a function of the CNN's trainable
+//     parameter count (Section IV-C);
+//   - Eq. (2): per-iteration time = S_GPU(CNN) + Σᵢ t_GPU,op(inputᵢ),
+//     scaled by D/(k·B) iterations, and cost = time × hourly price;
+//   - an objective-driven recommender over candidate configurations
+//     (Section IV-D).
+package ceer
+
+import (
+	"fmt"
+
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+	"ceer/internal/trace"
+)
+
+// HeavyThresholdSeconds is the paper's heavy/light boundary: operations
+// whose mean compute time on the P2 instance is below 0.5 ms are light.
+const HeavyThresholdSeconds = 0.5e-3
+
+// ThresholdGPU is the GPU model on which the threshold is evaluated.
+const ThresholdGPU = gpu.K80
+
+// Classification is the empirically derived partition of operation
+// types observed in the training data.
+type Classification struct {
+	// Heavy, Light, and CPUOps partition the observed op types.
+	Heavy  map[ops.Type]bool
+	Light  map[ops.Type]bool
+	CPUOps map[ops.Type]bool
+	// MeanOnThresholdGPU records the evidence: mean compute time per op
+	// type on the threshold GPU.
+	MeanOnThresholdGPU map[ops.Type]float64
+}
+
+// Classify derives the heavy/light/CPU partition from a profile bundle.
+// CPU residency comes from the framework (the op catalog); GPU ops are
+// split by their mean time on the threshold GPU, exactly as in
+// Section III-A.
+func Classify(b *trace.Bundle) (*Classification, error) {
+	means := b.MeanTimeByType(ThresholdGPU)
+	if len(means) == 0 {
+		return nil, fmt.Errorf("ceer: no %s profiles in bundle; cannot classify", ThresholdGPU.Family())
+	}
+	c := &Classification{
+		Heavy:              make(map[ops.Type]bool),
+		Light:              make(map[ops.Type]bool),
+		CPUOps:             make(map[ops.Type]bool),
+		MeanOnThresholdGPU: means,
+	}
+	for t, mean := range means {
+		meta, ok := ops.Lookup(t)
+		if !ok {
+			return nil, fmt.Errorf("ceer: profiled op type %q not in catalog", t)
+		}
+		switch {
+		case meta.Class == ops.CPU:
+			c.CPUOps[t] = true
+		case mean >= HeavyThresholdSeconds:
+			c.Heavy[t] = true
+		default:
+			c.Light[t] = true
+		}
+	}
+	return c, nil
+}
+
+// Of returns the class assigned to an op type. Types never observed in
+// training fall back to the catalog's expected class: unseen light/CPU
+// ops reuse the median estimates (the paper's fallback), while unseen
+// heavy ops have no model and are reported by the predictor as warnings
+// (Section IV-D: Ceer must be retrained to cover them).
+func (c *Classification) Of(t ops.Type) ops.Class {
+	switch {
+	case c.Heavy[t]:
+		return ops.HeavyGPU
+	case c.CPUOps[t]:
+		return ops.CPU
+	case c.Light[t]:
+		return ops.LightGPU
+	}
+	if meta, ok := ops.Lookup(t); ok {
+		return meta.Class
+	}
+	return ops.LightGPU
+}
+
+// Observed reports whether the type appeared in the training data.
+func (c *Classification) Observed(t ops.Type) bool {
+	return c.Heavy[t] || c.Light[t] || c.CPUOps[t]
+}
+
+// HeavyTypes returns the heavy types, sorted.
+func (c *Classification) HeavyTypes() []ops.Type {
+	out := make([]ops.Type, 0, len(c.Heavy))
+	for t := range c.Heavy {
+		out = append(out, t)
+	}
+	sortTypes(out)
+	return out
+}
+
+func sortTypes(ts []ops.Type) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package ceer
+
+import (
+	"sort"
+
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+)
+
+// TypeContribution attributes a slice of a predicted iteration to one
+// operation type.
+type TypeContribution struct {
+	OpType ops.Type
+	// Class is Ceer's classification of the type.
+	Class ops.Class
+	// Count is the number of instances in the graph.
+	Count int
+	// Seconds is the predicted per-iteration time attributed to the
+	// type.
+	Seconds float64
+	// Share is Seconds over the whole predicted iteration (including
+	// communication).
+	Share float64
+}
+
+// Explanation decomposes one per-iteration prediction for reporting:
+// per-type contributions sorted by predicted time, plus the
+// communication overhead term.
+type Explanation struct {
+	Iter          IterPrediction
+	Contributions []TypeContribution
+	// CommShare is the communication overhead's share of the iteration.
+	CommShare float64
+}
+
+// ExplainIteration predicts one training iteration and attributes the
+// prediction to operation types — the "why is this CNN slow here"
+// companion to PredictIteration (used by `ceer predict -explain`).
+func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.Model, k int) (*Explanation, error) {
+	iter, err := p.PredictIteration(g, m, k, Full)
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		count   int
+		seconds float64
+	}
+	byType := make(map[ops.Type]*acc)
+	for _, n := range g.Nodes() {
+		t := n.Op.Type
+		a := byType[t]
+		if a == nil {
+			a = &acc{}
+			byType[t] = a
+		}
+		a.count++
+		switch p.Class.Of(t) {
+		case ops.HeavyGPU:
+			if om, ok := p.opModels[m][t]; ok {
+				pred := om.Model().Predict(n.Op.Features())
+				if pred < 0 {
+					pred = 0
+				}
+				a.seconds += pred
+			} else {
+				a.seconds += p.LightMedian
+			}
+		case ops.LightGPU:
+			a.seconds += p.LightMedian
+		case ops.CPU:
+			a.seconds += p.CPUMedian
+		}
+	}
+	ex := &Explanation{Iter: iter}
+	total := iter.PerIterSeconds
+	for t, a := range byType {
+		c := TypeContribution{
+			OpType:  t,
+			Class:   p.Class.Of(t),
+			Count:   a.count,
+			Seconds: a.seconds,
+		}
+		if total > 0 {
+			c.Share = a.seconds / total
+		}
+		ex.Contributions = append(ex.Contributions, c)
+	}
+	sort.Slice(ex.Contributions, func(i, j int) bool {
+		if ex.Contributions[i].Seconds != ex.Contributions[j].Seconds {
+			return ex.Contributions[i].Seconds > ex.Contributions[j].Seconds
+		}
+		return ex.Contributions[i].OpType < ex.Contributions[j].OpType
+	})
+	if total > 0 {
+		ex.CommShare = iter.CommSeconds / total
+	}
+	return ex, nil
+}

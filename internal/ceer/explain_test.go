@@ -1,0 +1,60 @@
+package ceer
+
+import (
+	"math"
+	"testing"
+
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+	"ceer/internal/zoo"
+)
+
+func TestExplainIteration(t *testing.T) {
+	p, _ := predictor(t)
+	g := zoo.MustBuild("vgg-19", 32)
+	ex, err := p.ExplainIteration(g, gpu.V100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Contributions) == 0 {
+		t.Fatal("no contributions")
+	}
+	// Contributions sorted descending.
+	for i := 1; i < len(ex.Contributions); i++ {
+		if ex.Contributions[i].Seconds > ex.Contributions[i-1].Seconds {
+			t.Error("contributions not sorted by predicted time")
+		}
+	}
+	// Attribution plus comm must reassemble the prediction.
+	sum := ex.Iter.CommSeconds
+	for _, c := range ex.Contributions {
+		sum += c.Seconds
+		if c.Count <= 0 {
+			t.Errorf("%s has non-positive count", c.OpType)
+		}
+	}
+	if math.Abs(sum-ex.Iter.PerIterSeconds) > 1e-9*ex.Iter.PerIterSeconds {
+		t.Errorf("attribution sums to %v, prediction is %v", sum, ex.Iter.PerIterSeconds)
+	}
+	// VGG-19's top contributor must be a conv-family op.
+	top := ex.Contributions[0].OpType
+	if top != ops.Conv2DBackpropFilter && top != ops.Conv2D && top != ops.Conv2DBackpropInput {
+		t.Errorf("VGG-19 top contributor = %s, want a convolution op", top)
+	}
+	// Shares sum to ~1.
+	shareSum := ex.CommShare
+	for _, c := range ex.Contributions {
+		shareSum += c.Share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+}
+
+func TestExplainIterationPropagatesErrors(t *testing.T) {
+	p, _ := predictor(t)
+	g := zoo.MustBuild("alexnet", 32)
+	if _, err := p.ExplainIteration(g, gpu.V100, 7); err == nil {
+		t.Error("untrained k should error")
+	}
+}

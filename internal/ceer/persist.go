@@ -1,0 +1,155 @@
+package ceer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+	"ceer/internal/regress"
+)
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// predictorJSON is the serialized form of a trained Predictor. Only the
+// chosen per-op models are persisted (the rejected selection candidates
+// are training-time artifacts).
+type predictorJSON struct {
+	Version int `json:"version"`
+
+	HeavyTypes []ops.Type           `json:"heavy_types"`
+	LightTypes []ops.Type           `json:"light_types"`
+	CPUTypes   []ops.Type           `json:"cpu_types"`
+	ClassMeans map[ops.Type]float64 `json:"class_means"`
+
+	OpModels []opModelJSON `json:"op_models"`
+
+	LightMedian float64 `json:"light_median"`
+	CPUMedian   float64 `json:"cpu_median"`
+
+	CommModels []commModelJSON `json:"comm_models"`
+}
+
+type opModelJSON struct {
+	Family   string         `json:"gpu"`
+	OpType   ops.Type       `json:"op"`
+	TrainObs int            `json:"train_obs"`
+	Model    *regress.Model `json:"model"`
+}
+
+type commModelJSON struct {
+	Family string         `json:"gpu"`
+	K      int            `json:"k"`
+	Model  *regress.Model `json:"model"`
+}
+
+// Save serializes the trained predictor as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	out := predictorJSON{
+		Version:     persistVersion,
+		ClassMeans:  p.Class.MeanOnThresholdGPU,
+		LightMedian: p.LightMedian,
+		CPUMedian:   p.CPUMedian,
+	}
+	for t := range p.Class.Heavy {
+		out.HeavyTypes = append(out.HeavyTypes, t)
+	}
+	for t := range p.Class.Light {
+		out.LightTypes = append(out.LightTypes, t)
+	}
+	for t := range p.Class.CPUOps {
+		out.CPUTypes = append(out.CPUTypes, t)
+	}
+	sortTypes(out.HeavyTypes)
+	sortTypes(out.LightTypes)
+	sortTypes(out.CPUTypes)
+	for _, om := range p.OpModels() {
+		out.OpModels = append(out.OpModels, opModelJSON{
+			Family:   om.GPU.Family(),
+			OpType:   om.OpType,
+			TrainObs: om.TrainObs,
+			Model:    om.Model(),
+		})
+	}
+	for _, m := range gpu.AllModels() {
+		for k := 1; k < 16; k++ {
+			if cm, ok := p.commModels[m][k]; ok {
+				out.CommModels = append(out.CommModels, commModelJSON{
+					Family: m.Family(), K: k, Model: cm.Fit,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load restores a predictor previously written by Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var in predictorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ceer: decoding predictor: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("ceer: unsupported predictor version %d (want %d)", in.Version, persistVersion)
+	}
+	if in.LightMedian <= 0 || in.CPUMedian <= 0 {
+		return nil, fmt.Errorf("ceer: serialized medians must be positive")
+	}
+	p := &Predictor{
+		Class: &Classification{
+			Heavy:              make(map[ops.Type]bool, len(in.HeavyTypes)),
+			Light:              make(map[ops.Type]bool, len(in.LightTypes)),
+			CPUOps:             make(map[ops.Type]bool, len(in.CPUTypes)),
+			MeanOnThresholdGPU: in.ClassMeans,
+		},
+		opModels:    make(map[gpu.Model]map[ops.Type]*OpModel),
+		commModels:  make(map[gpu.Model]map[int]*CommModel),
+		LightMedian: in.LightMedian,
+		CPUMedian:   in.CPUMedian,
+	}
+	for _, t := range in.HeavyTypes {
+		p.Class.Heavy[t] = true
+	}
+	for _, t := range in.LightTypes {
+		p.Class.Light[t] = true
+	}
+	for _, t := range in.CPUTypes {
+		p.Class.CPUOps[t] = true
+	}
+	for _, om := range in.OpModels {
+		m, ok := gpu.ModelByFamily(om.Family)
+		if !ok {
+			return nil, fmt.Errorf("ceer: unknown GPU family %q in op model", om.Family)
+		}
+		if om.Model == nil {
+			return nil, fmt.Errorf("ceer: op model %s/%s missing regression", om.Family, om.OpType)
+		}
+		if p.opModels[m] == nil {
+			p.opModels[m] = make(map[ops.Type]*OpModel)
+		}
+		p.opModels[m][om.OpType] = &OpModel{
+			GPU:       m,
+			OpType:    om.OpType,
+			TrainObs:  om.TrainObs,
+			Selection: &regress.Selection{Chosen: om.Model},
+		}
+	}
+	for _, cm := range in.CommModels {
+		m, ok := gpu.ModelByFamily(cm.Family)
+		if !ok {
+			return nil, fmt.Errorf("ceer: unknown GPU family %q in comm model", cm.Family)
+		}
+		if cm.Model == nil || cm.K < 1 {
+			return nil, fmt.Errorf("ceer: malformed comm model %s k=%d", cm.Family, cm.K)
+		}
+		if p.commModels[m] == nil {
+			p.commModels[m] = make(map[int]*CommModel)
+		}
+		p.commModels[m][cm.K] = &CommModel{GPU: m, K: cm.K, Fit: cm.Model}
+	}
+	return p, nil
+}

@@ -1,0 +1,100 @@
+package ceer
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/zoo"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	p, _ := predictor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Classification identical.
+	if len(loaded.Class.Heavy) != len(p.Class.Heavy) {
+		t.Errorf("heavy set size %d != %d", len(loaded.Class.Heavy), len(p.Class.Heavy))
+	}
+	if loaded.LightMedian != p.LightMedian || loaded.CPUMedian != p.CPUMedian {
+		t.Error("medians changed across roundtrip")
+	}
+
+	// Predictions identical for a test CNN across configurations.
+	g := zoo.MustBuild("inception-v3", 32)
+	for _, m := range gpu.AllModels() {
+		for _, k := range []int{1, 2, 4} {
+			cfg := cloud.Config{GPU: m, K: k}
+			a, err := p.PredictTraining(g, cfg, dataset.ImageNet, cloud.OnDemand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.PredictTraining(g, cfg, dataset.ImageNet, cloud.OnDemand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a.TotalSeconds-b.TotalSeconds) > 1e-9*a.TotalSeconds {
+				t.Errorf("%s: prediction changed: %v vs %v", cfg, a.TotalSeconds, b.TotalSeconds)
+			}
+			if a.CostUSD != b.CostUSD {
+				t.Errorf("%s: cost changed", cfg)
+			}
+		}
+	}
+
+	// A reloaded predictor can also drive the recommender.
+	rec, err := loaded.Recommend(g, dataset.ImageNet, cloud.OnDemand, cloud.Configs(4), MinimizeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Cfg.GPU != gpu.T4 || rec.Best.Cfg.K != 1 {
+		t.Errorf("reloaded recommendation = %s, want 1xG4", rec.Best.Cfg)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{nope",
+		"wrong version": `{"version": 99}`,
+		"bad medians":   `{"version": 1, "light_median": 0, "cpu_median": 1}`,
+		"bad family": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
+			"op_models": [{"gpu": "ZZ", "op": "Conv2D", "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
+		"missing model": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
+			"op_models": [{"gpu": "P3", "op": "Conv2D"}]}`,
+		"bad comm": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
+			"comm_models": [{"gpu": "P3", "k": 0, "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := Load(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	p, _ := predictor(t)
+	var a, b bytes.Buffer
+	if err := p.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save output should be deterministic")
+	}
+	if !strings.Contains(a.String(), "Conv2DBackpropFilter") {
+		t.Error("serialized predictor should contain op models")
+	}
+}

@@ -1,0 +1,154 @@
+package ceer
+
+import (
+	"fmt"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/sim"
+	"ceer/internal/trace"
+)
+
+// Pipeline drives the full measurement-and-training campaign of
+// Sections III and IV: profile the training-set CNNs on every GPU
+// model, measure multi-GPU runs to obtain communication-overhead
+// observations, and fit all Ceer models.
+type Pipeline struct {
+	// Seed drives the simulated measurement noise.
+	Seed uint64
+	// ProfileIterations is the op-level profiling depth (the paper uses
+	// 1,000 iterations).
+	ProfileIterations int
+	// CommIterations is the number of iterations measured per
+	// (CNN, GPU, k) for the communication observations.
+	CommIterations int
+	// Batch is the per-GPU batch size (the paper's default is 32).
+	Batch int64
+	// MaxK is the largest GPU count measured for the comm model.
+	MaxK int
+	// Retain caps raw samples kept per op for the median estimators.
+	Retain int
+}
+
+// DefaultPipeline returns the paper's configuration. A moderate
+// profiling depth is statistically equivalent to the paper's 1,000
+// iterations here because heavy-op noise is tight; raise
+// ProfileIterations for the variability study.
+func DefaultPipeline(seed uint64) Pipeline {
+	return Pipeline{
+		Seed:              seed,
+		ProfileIterations: 200,
+		CommIterations:    30,
+		Batch:             32,
+		MaxK:              4,
+		Retain:            64,
+	}
+}
+
+// Build is the graph-construction callback (normally zoo.Build).
+type Build func(name string, batch int64) (*graph.Graph, error)
+
+// CollectCommObs measures the per-iteration communication overhead of
+// each CNN on each (GPU, k) configuration: the measured iteration time
+// minus the summed op compute time, as derived from training logs
+// (Section IV-C).
+func (pl Pipeline) CollectCommObs(build Build, names []string) ([]CommObs, error) {
+	var out []CommObs
+	ds := dataset.ImageNetSubset6400
+	for _, name := range names {
+		g, err := build(name, pl.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("ceer: building %s: %w", name, err)
+		}
+		for _, m := range gpu.AllModels() {
+			for k := 1; k <= pl.MaxK; k++ {
+				meas, err := sim.Train(g, cloud.Config{GPU: m, K: k}, ds, pl.CommIterations, pl.Seed+7)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, CommObs{
+					CNN:      name,
+					GPU:      m,
+					K:        k,
+					Params:   g.Params,
+					Overhead: meas.PerIterSeconds - meas.ComputeSeconds,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Campaign runs the measurement campaign only: op-level profiles plus
+// communication observations, without fitting models.
+func (pl Pipeline) Campaign(build Build, names []string) (*trace.Bundle, []CommObs, error) {
+	prof := &sim.Profiler{Seed: pl.Seed, Iterations: pl.ProfileIterations, Retain: pl.Retain}
+	bundle, err := prof.ProfileAll(build, names, pl.Batch, gpu.AllModels())
+	if err != nil {
+		return nil, nil, err
+	}
+	commObs, err := pl.CollectCommObs(build, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bundle, commObs, nil
+}
+
+// TrainOn runs the full campaign over the named training-set CNNs and
+// returns both the trained predictor and the profile bundle (useful for
+// reporting).
+func (pl Pipeline) TrainOn(build Build, names []string) (*Predictor, *trace.Bundle, error) {
+	bundle, commObs, err := pl.Campaign(build, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := Train(bundle, commObs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pred, bundle, nil
+}
+
+// EvaluateOpModels measures each heavy-op model's held-out accuracy on
+// a test bundle (profiles of the test-set CNNs), returning the MAPE per
+// (GPU, op type) — the 2%–10% per-op validation of Section IV-B.
+func (p *Predictor) EvaluateOpModels(test *trace.Bundle) []OpModelEval {
+	var out []OpModelEval
+	for _, om := range p.OpModels() {
+		var xs [][]float64
+		var ys []float64
+		for _, prof := range test.ForGPU(om.GPU) {
+			for _, s := range prof.Series {
+				if s.OpType == om.OpType {
+					xs = append(xs, s.Features)
+					ys = append(ys, s.Agg.Mean())
+				}
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		out = append(out, OpModelEval{
+			GPU:      om.GPU,
+			OpType:   om.OpType,
+			Degree:   om.Model().Degree,
+			TrainR2:  om.Model().R2,
+			TestMAPE: om.Model().MAPE(xs, ys),
+			TestObs:  len(xs),
+		})
+	}
+	return out
+}
+
+// OpModelEval is one heavy-op model's quality summary.
+type OpModelEval struct {
+	GPU      gpu.Model
+	OpType   ops.Type
+	Degree   int
+	TrainR2  float64
+	TestMAPE float64
+	TestObs  int
+}

@@ -1,0 +1,375 @@
+package ceer
+
+import (
+	"fmt"
+	"sort"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/regress"
+	"ceer/internal/stats"
+	"ceer/internal/trace"
+)
+
+// OpModel is one fitted heavy-operation compute-time model.
+type OpModel struct {
+	GPU    gpu.Model
+	OpType ops.Type
+	// Selection holds the linear and (when fit) quadratic candidates and
+	// the chosen model.
+	Selection *regress.Selection
+	// TrainObs is the number of (instance) observations used.
+	TrainObs int
+}
+
+// Model returns the chosen regression model.
+func (m *OpModel) Model() *regress.Model { return m.Selection.Chosen }
+
+// CommModel is the fitted per-(GPU, k) communication-overhead model:
+// overhead seconds as a linear function of the parameter count.
+type CommModel struct {
+	GPU gpu.Model
+	K   int
+	Fit *regress.Model
+}
+
+// CommObs is one observed communication overhead: the measured
+// per-iteration training time minus the summed op compute time, for one
+// training-set CNN on one (GPU, k) configuration (Section IV-C).
+type CommObs struct {
+	CNN      string
+	GPU      gpu.Model
+	K        int
+	Params   int64
+	Overhead float64 // seconds per iteration
+}
+
+// Predictor is a trained Ceer instance.
+type Predictor struct {
+	Class *Classification
+	// opModels maps GPU → heavy op type → fitted model.
+	opModels map[gpu.Model]map[ops.Type]*OpModel
+	// LightMedian and CPUMedian are the t̃_l and t̃_c estimators of
+	// Section IV-B: GPU-, CNN-, and operation-oblivious sample medians.
+	LightMedian float64
+	CPUMedian   float64
+	// commModels maps GPU → k → fitted overhead model.
+	commModels map[gpu.Model]map[int]*CommModel
+}
+
+// Train fits all Ceer models from an op-level profile bundle (the 8
+// training CNNs × 4 GPU models) and end-to-end communication
+// observations, with automatic linear-vs-quadratic selection per heavy
+// operation.
+func Train(bundle *trace.Bundle, commObs []CommObs) (*Predictor, error) {
+	return TrainWithDegree(bundle, commObs, 0)
+}
+
+// TrainWithDegree is Train with the per-op polynomial degree forced:
+// 1 = all-linear, 2 = all-quadratic (falling back to linear only when a
+// quadratic cannot be fit), 0 = automatic selection (Section IV-B).
+// Forcing the degree supports the model-selection ablation.
+func TrainWithDegree(bundle *trace.Bundle, commObs []CommObs, degree int) (*Predictor, error) {
+	if degree < 0 || degree > 2 {
+		return nil, fmt.Errorf("ceer: unsupported forced degree %d", degree)
+	}
+	class, err := Classify(bundle)
+	if err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		Class:      class,
+		opModels:   make(map[gpu.Model]map[ops.Type]*OpModel),
+		commModels: make(map[gpu.Model]map[int]*CommModel),
+	}
+
+	// Heavy-op regressions, one per (GPU, type).
+	for _, m := range gpu.AllModels() {
+		profiles := bundle.ForGPU(m)
+		if len(profiles) == 0 {
+			continue
+		}
+		byType := make(map[ops.Type][]*trace.Series)
+		for _, prof := range profiles {
+			for _, s := range prof.Series {
+				if class.Heavy[s.OpType] {
+					byType[s.OpType] = append(byType[s.OpType], s)
+				}
+			}
+		}
+		p.opModels[m] = make(map[ops.Type]*OpModel, len(byType))
+		for t, series := range byType {
+			xs := make([][]float64, len(series))
+			ys := make([]float64, len(series))
+			for i, s := range series {
+				xs[i] = s.Features
+				ys[i] = s.Agg.Mean()
+			}
+			sel, err := fitOpModel(xs, ys, degree)
+			if err != nil {
+				return nil, fmt.Errorf("ceer: fitting %s on %s: %w", t, m.Family(), err)
+			}
+			p.opModels[m][t] = &OpModel{GPU: m, OpType: t, Selection: sel, TrainObs: len(series)}
+		}
+	}
+
+	// Median estimators over all light / CPU op instances across all
+	// GPUs and CNNs (raw retained samples).
+	var lightSamples, cpuSamples []float64
+	for _, prof := range bundle.Profiles {
+		for _, s := range prof.Series {
+			switch class.Of(s.OpType) {
+			case ops.LightGPU:
+				lightSamples = append(lightSamples, s.Agg.Retained()...)
+			case ops.CPU:
+				cpuSamples = append(cpuSamples, s.Agg.Retained()...)
+			}
+		}
+	}
+	if len(lightSamples) == 0 || len(cpuSamples) == 0 {
+		return nil, fmt.Errorf("ceer: bundle lacks light (%d) or CPU (%d) samples",
+			len(lightSamples), len(cpuSamples))
+	}
+	p.LightMedian = stats.Median(lightSamples)
+	p.CPUMedian = stats.Median(cpuSamples)
+
+	// Communication models: per (GPU, k), linear in the parameter count.
+	grouped := make(map[gpu.Model]map[int][]CommObs)
+	for _, o := range commObs {
+		if grouped[o.GPU] == nil {
+			grouped[o.GPU] = make(map[int][]CommObs)
+		}
+		grouped[o.GPU][o.K] = append(grouped[o.GPU][o.K], o)
+	}
+	for m, byK := range grouped {
+		p.commModels[m] = make(map[int]*CommModel, len(byK))
+		for k, obs := range byK {
+			xs := make([][]float64, len(obs))
+			ys := make([]float64, len(obs))
+			for i, o := range obs {
+				xs[i] = []float64{float64(o.Params)}
+				ys[i] = o.Overhead
+			}
+			fit, err := regress.Fit(xs, ys, 1)
+			if err != nil {
+				return nil, fmt.Errorf("ceer: fitting comm model %s k=%d: %w", m.Family(), k, err)
+			}
+			p.commModels[m][k] = &CommModel{GPU: m, K: k, Fit: fit}
+		}
+	}
+	return p, nil
+}
+
+// fitOpModel fits one heavy-op model, honoring a forced degree.
+func fitOpModel(xs [][]float64, ys []float64, degree int) (*regress.Selection, error) {
+	switch degree {
+	case 0:
+		return regress.SelectDegree(xs, ys)
+	case 1:
+		lin, err := regress.Fit(xs, ys, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &regress.Selection{Chosen: lin, Linear: lin}, nil
+	default:
+		quad, err := regress.Fit(xs, ys, 2)
+		if err != nil {
+			// Too few observations for a quadratic: fall back to linear.
+			lin, lerr := regress.Fit(xs, ys, 1)
+			if lerr != nil {
+				return nil, err
+			}
+			return &regress.Selection{Chosen: lin, Linear: lin}, nil
+		}
+		return &regress.Selection{Chosen: quad, Quadratic: quad}, nil
+	}
+}
+
+// OpModelFor returns the heavy-op model for (GPU, type), if trained.
+func (p *Predictor) OpModelFor(m gpu.Model, t ops.Type) (*OpModel, bool) {
+	om, ok := p.opModels[m][t]
+	return om, ok
+}
+
+// OpModels returns all heavy-op models sorted by (GPU family, type) for
+// reporting.
+func (p *Predictor) OpModels() []*OpModel {
+	var out []*OpModel
+	for _, byType := range p.opModels {
+		for _, om := range byType {
+			out = append(out, om)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GPU.Family() != out[j].GPU.Family() {
+			return out[i].GPU.Family() < out[j].GPU.Family()
+		}
+		return out[i].OpType < out[j].OpType
+	})
+	return out
+}
+
+// CommModelFor returns the communication model for (GPU, k), if trained.
+func (p *Predictor) CommModelFor(m gpu.Model, k int) (*CommModel, bool) {
+	cm, ok := p.commModels[m][k]
+	return cm, ok
+}
+
+// PredictComm evaluates S_GPU(CNN): the predicted per-iteration
+// communication overhead for a model with the given parameter count.
+func (p *Predictor) PredictComm(m gpu.Model, k int, params int64) (float64, error) {
+	cm, ok := p.commModels[m][k]
+	if !ok {
+		return 0, fmt.Errorf("ceer: no communication model for %s k=%d", m.Family(), k)
+	}
+	s := cm.Fit.Predict([]float64{float64(params)})
+	if s < 0 {
+		s = 0
+	}
+	return s, nil
+}
+
+// Variant selects which model components a prediction uses, enabling
+// the paper's ablation studies (Sections IV-A and IV-B).
+type Variant int
+
+const (
+	// Full is the complete Ceer model of Eq. (2).
+	Full Variant = iota
+	// NoComm drops the communication overhead S_GPU(CNN) — Eq. (1).
+	NoComm
+	// HeavyOnly drops the light-GPU and CPU medians.
+	HeavyOnly
+	// HeavyOnlyNoComm drops both.
+	HeavyOnlyNoComm
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "full"
+	case NoComm:
+		return "no-comm"
+	case HeavyOnly:
+		return "heavy-only"
+	case HeavyOnlyNoComm:
+		return "heavy-only-no-comm"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// IterPrediction decomposes a predicted per-iteration training time.
+type IterPrediction struct {
+	// HeavySeconds, LightSeconds, CPUSeconds, CommSeconds decompose
+	// PerIterSeconds.
+	HeavySeconds float64
+	LightSeconds float64
+	CPUSeconds   float64
+	CommSeconds  float64
+	// PerIterSeconds is the Eq. (2) parenthesized term.
+	PerIterSeconds float64
+	// UnseenHeavy lists heavy op types for which no trained model
+	// exists; their instances were estimated with the light median and
+	// the prediction should be treated as degraded (Section IV-D).
+	UnseenHeavy []ops.Type
+}
+
+// PredictIteration predicts the per-iteration training time of the CNN
+// graph on k GPUs of the given model, per Eq. (2)'s parenthesized term.
+func (p *Predictor) PredictIteration(g *graph.Graph, m gpu.Model, k int, v Variant) (IterPrediction, error) {
+	var out IterPrediction
+	unseen := make(map[ops.Type]bool)
+	for _, n := range g.Nodes() {
+		t := n.Op.Type
+		switch p.Class.Of(t) {
+		case ops.HeavyGPU:
+			om, ok := p.opModels[m][t]
+			if !ok {
+				unseen[t] = true
+				if v == Full || v == NoComm {
+					out.HeavySeconds += p.LightMedian
+				}
+				continue
+			}
+			pred := om.Model().Predict(n.Op.Features())
+			if pred < 0 {
+				pred = 0
+			}
+			out.HeavySeconds += pred
+		case ops.LightGPU:
+			if v == Full || v == NoComm {
+				out.LightSeconds += p.LightMedian
+			}
+		case ops.CPU:
+			if v == Full || v == NoComm {
+				out.CPUSeconds += p.CPUMedian
+			}
+		}
+	}
+	if v == Full || v == HeavyOnly {
+		s, err := p.PredictComm(m, k, g.Params)
+		if err != nil {
+			return IterPrediction{}, err
+		}
+		out.CommSeconds = s
+	}
+	out.PerIterSeconds = out.HeavySeconds + out.LightSeconds + out.CPUSeconds + out.CommSeconds
+	for t := range unseen {
+		out.UnseenHeavy = append(out.UnseenHeavy, t)
+	}
+	sortTypes(out.UnseenHeavy)
+	return out, nil
+}
+
+// Prediction is a full training-time and cost prediction for one
+// configuration.
+type Prediction struct {
+	CNN  string
+	Cfg  cloud.Config
+	Iter IterPrediction
+	// Iterations is D/(k·B).
+	Iterations int64
+	// TotalSeconds is the predicted one-epoch training time T.
+	TotalSeconds float64
+	// HourlyUSD and CostUSD give the configuration's price and the
+	// predicted training cost C = T × c.
+	HourlyUSD float64
+	CostUSD   float64
+}
+
+// PredictTraining predicts the end-to-end training time and cost of one
+// epoch of the dataset on the configuration, per Eq. (2).
+func (p *Predictor) PredictTraining(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, pricing cloud.Pricing) (Prediction, error) {
+	return p.PredictTrainingVariant(g, cfg, ds, pricing, Full)
+}
+
+// PredictTrainingVariant is PredictTraining with an ablation variant.
+func (p *Predictor) PredictTrainingVariant(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, pricing cloud.Pricing, v Variant) (Prediction, error) {
+	if !cfg.Valid() {
+		return Prediction{}, fmt.Errorf("ceer: invalid config %s", cfg)
+	}
+	iter, err := p.PredictIteration(g, cfg.GPU, cfg.K, v)
+	if err != nil {
+		return Prediction{}, err
+	}
+	hourly, err := cfg.HourlyCost(pricing)
+	if err != nil {
+		return Prediction{}, err
+	}
+	iters := ds.Iterations(cfg.K, g.BatchSize)
+	total := iter.PerIterSeconds * float64(iters)
+	return Prediction{
+		CNN:          g.Name,
+		Cfg:          cfg,
+		Iter:         iter,
+		Iterations:   iters,
+		TotalSeconds: total,
+		HourlyUSD:    hourly,
+		CostUSD:      total / 3600 * hourly,
+	}, nil
+}

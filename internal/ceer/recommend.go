@@ -1,0 +1,118 @@
+package ceer
+
+import (
+	"fmt"
+	"math"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+)
+
+// Objective scores a (training time, training cost) pair; the
+// recommender minimizes it (Section IV-D's Obj(T, C)).
+type Objective func(totalSeconds, costUSD float64) float64
+
+// MinimizeTime is the pure-performance objective.
+func MinimizeTime(t, _ float64) float64 { return t }
+
+// MinimizeCost is the pure-cost objective.
+func MinimizeCost(_, c float64) float64 { return c }
+
+// WeightedObjective blends normalized time and cost with weight w on
+// time (0 ≤ w ≤ 1); normalizers should be representative scales.
+func WeightedObjective(w, timeScale, costScale float64) Objective {
+	return func(t, c float64) float64 {
+		return w*t/timeScale + (1-w)*c/costScale
+	}
+}
+
+// Constraint accepts or rejects a candidate prediction (budget caps).
+type Constraint func(pred Prediction) bool
+
+// MaxHourlyBudget rejects configurations whose hourly price exceeds the
+// budget (with an optional slack matching the paper's trivially-violated
+// budgets in Figure 9: "+6 cents for P3").
+func MaxHourlyBudget(usdPerHour, slack float64) Constraint {
+	return func(p Prediction) bool { return p.HourlyUSD <= usdPerHour+slack }
+}
+
+// MaxTotalBudget rejects configurations whose predicted training cost
+// exceeds the budget (Figure 10's $10 cap).
+func MaxTotalBudget(usd float64) Constraint {
+	return func(p Prediction) bool { return p.CostUSD <= usd }
+}
+
+// FitsGPUMemory rejects configurations whose per-GPU training footprint
+// (weights + optimizer state + retained activations) exceeds the GPU
+// model's memory. Under data parallelism every GPU holds a full model
+// replica (Section II), so the per-GPU footprint is independent of k.
+func FitsGPUMemory(g *graph.Graph) Constraint {
+	need := g.EstimateMemory().TotalBytes()
+	return func(p Prediction) bool {
+		dev, ok := gpu.Lookup(p.Cfg.GPU)
+		if !ok {
+			return false
+		}
+		return need <= int64(dev.MemoryGB)*1e9
+	}
+}
+
+// Candidate pairs a configuration with its prediction and feasibility.
+type Candidate struct {
+	Prediction
+	// Feasible reports whether every constraint accepted the candidate.
+	Feasible bool
+	// Score is the objective value (only meaningful when feasible).
+	Score float64
+}
+
+// Recommendation is the outcome of a recommender run.
+type Recommendation struct {
+	// Best is the feasible candidate with the minimal objective.
+	Best Candidate
+	// Candidates lists every evaluated configuration (feasible or not)
+	// in the order given.
+	Candidates []Candidate
+}
+
+// Recommend evaluates every candidate configuration for training the
+// CNN over the dataset and returns the feasible one minimizing the
+// objective — the runtime loop of Section IV-D. It returns an error if
+// no candidate is feasible.
+func (p *Predictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.Pricing,
+	candidates []cloud.Config, obj Objective, constraints ...Constraint) (Recommendation, error) {
+	if len(candidates) == 0 {
+		return Recommendation{}, fmt.Errorf("ceer: no candidate configurations")
+	}
+	rec := Recommendation{}
+	bestScore := math.Inf(1)
+	found := false
+	for _, cfg := range candidates {
+		pred, err := p.PredictTraining(g, cfg, ds, pricing)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		cand := Candidate{Prediction: pred, Feasible: true}
+		for _, c := range constraints {
+			if !c(pred) {
+				cand.Feasible = false
+				break
+			}
+		}
+		if cand.Feasible {
+			cand.Score = obj(pred.TotalSeconds, pred.CostUSD)
+			if cand.Score < bestScore {
+				bestScore = cand.Score
+				rec.Best = cand
+				found = true
+			}
+		}
+		rec.Candidates = append(rec.Candidates, cand)
+	}
+	if !found {
+		return rec, fmt.Errorf("ceer: no feasible configuration among %d candidates", len(candidates))
+	}
+	return rec, nil
+}

@@ -1,0 +1,319 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/gpu"
+	"ceer/internal/rng"
+	"ceer/internal/stats"
+)
+
+func TestCatalogPrices(t *testing.T) {
+	// Exact prices from the paper (Section V).
+	want := map[string]float64{
+		"p3.2xlarge": 3.06, "p2.xlarge": 0.90, "g4dn.2xlarge": 0.752, "g3s.xlarge": 0.75,
+		"p3.8xlarge": 12.24, "p2.8xlarge": 7.20, "g4dn.12xlarge": 3.912, "g3.16xlarge": 4.56,
+	}
+	if len(Catalog) != len(want) {
+		t.Fatalf("catalog has %d instances, want %d", len(Catalog), len(want))
+	}
+	for name, price := range want {
+		inst, ok := FindInstance(name)
+		if !ok {
+			t.Errorf("missing instance %q", name)
+			continue
+		}
+		if inst.HourlyUSD != price {
+			t.Errorf("%s price = %v, want %v", name, inst.HourlyUSD, price)
+		}
+	}
+	if _, ok := FindInstance("m5.large"); ok {
+		t.Error("non-GPU instance should not resolve")
+	}
+}
+
+func TestProxyPricing(t *testing.T) {
+	// The paper's Section V proxy: a 3-GPU P2 costs 3/8 of p2.8xlarge
+	// ($2.70); 3-GPU G3 costs $3.42; 3-GPU G4 costs $2.934.
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{Config{gpu.K80, 3}, 2.70},
+		{Config{gpu.M60, 3}, 3.42},
+		{Config{gpu.T4, 3}, 2.934},
+		{Config{gpu.V100, 1}, 3.06},
+		{Config{gpu.V100, 4}, 12.24},
+		{Config{gpu.K80, 8}, 7.20},
+		{Config{gpu.K80, 1}, 0.90},
+	}
+	for _, c := range cases {
+		got, err := c.cfg.HourlyCost(OnDemand)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s cost = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestMarketPricing(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{Config{gpu.K80, 1}, 0.15},
+		{Config{gpu.K80, 4}, 0.60},
+		{Config{gpu.M60, 1}, 0.55},
+		{Config{gpu.T4, 2}, 1.90},
+		{Config{gpu.V100, 1}, 3.06},
+	}
+	for _, c := range cases {
+		got, err := c.cfg.HourlyCost(MarketRatio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s market cost = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidity(t *testing.T) {
+	if (Config{gpu.V100, 0}).Valid() {
+		t.Error("0 GPUs should be invalid")
+	}
+	if (Config{gpu.V100, 5}).Valid() {
+		t.Error("5-GPU P3 exceeds p3.8xlarge")
+	}
+	if !(Config{gpu.K80, 8}).Valid() {
+		t.Error("8-GPU P2 should be valid (p2.8xlarge)")
+	}
+	if _, err := (Config{gpu.V100, 9}).HourlyCost(OnDemand); err == nil {
+		t.Error("invalid config should not price")
+	}
+}
+
+func TestInstanceName(t *testing.T) {
+	cases := map[Config]string{
+		{gpu.V100, 1}: "p3.2xlarge",
+		{gpu.V100, 4}: "p3.8xlarge",
+		{gpu.K80, 3}:  "p2.8xlarge (3 of 8 GPUs)",
+	}
+	for cfg, want := range cases {
+		if got := cfg.InstanceName(); got != want {
+			t.Errorf("%s InstanceName = %q, want %q", cfg, got, want)
+		}
+	}
+	if (Config{gpu.V100, 3}).String() != "3xP3" {
+		t.Error("Config.String format changed")
+	}
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	cfgs := Configs(4)
+	// 4 per model (P2 clamped to 4 despite supporting 8).
+	if len(cfgs) != 16 {
+		t.Errorf("Configs(4) = %d entries, want 16", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if !c.Valid() {
+			t.Errorf("enumerated invalid config %s", c)
+		}
+	}
+	cfgs8 := Configs(8)
+	if len(cfgs8) != 20 { // P2 gets 8, others 4
+		t.Errorf("Configs(8) = %d entries, want 20", len(cfgs8))
+	}
+}
+
+func TestCommOverheadLinearInParams(t *testing.T) {
+	// Fixing (model, k), overhead must be exactly affine in params.
+	for _, m := range gpu.AllModels() {
+		s0, err := CommOverheadBase(m, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := CommOverheadBase(m, 2, 10_000_000)
+		s2, _ := CommOverheadBase(m, 2, 20_000_000)
+		if math.Abs((s2-s1)-(s1-s0)) > 1e-12 {
+			t.Errorf("%v overhead not affine in params", m)
+		}
+		if s1 <= s0 {
+			t.Errorf("%v overhead not increasing in params", m)
+		}
+	}
+}
+
+func TestCommOverheadMonotoneInK(t *testing.T) {
+	for _, m := range gpu.AllModels() {
+		prev := 0.0
+		for k := 1; k <= 8; k++ {
+			s, err := CommOverheadBase(m, k, 25_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s <= prev {
+				t.Errorf("%v overhead not increasing at k=%d", m, k)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestCommOverheadErrors(t *testing.T) {
+	if _, err := CommOverheadBase(gpu.V100, 0, 1000); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := CommOverheadBase(gpu.V100, 9, 1000); err == nil {
+		t.Error("k=9 should error")
+	}
+	if _, err := CommOverheadBase(gpu.V100, 2, -5); err == nil {
+		t.Error("negative params should error")
+	}
+	if _, err := CommOverheadBase(gpu.Model(99), 2, 5); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestSampleCommOverheadNoise(t *testing.T) {
+	src := rng.New(3)
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		s, err := SampleCommOverhead(gpu.T4, 2, 25_000_000, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, s)
+	}
+	nsd := stats.NormalizedStdDev(xs)
+	if nsd < 0.02 || nsd > 0.15 {
+		t.Errorf("comm noise normalized stddev = %v, want ~0.06", nsd)
+	}
+	base, _ := CommOverheadBase(gpu.T4, 2, 25_000_000)
+	if m := stats.Mean(xs); math.Abs(m-base)/base > 0.05 {
+		t.Errorf("sample mean %v deviates from base %v", m, base)
+	}
+	if _, err := SampleCommOverhead(gpu.T4, 0, 1, src); err == nil {
+		t.Error("sample with bad k should error")
+	}
+}
+
+func TestPricingString(t *testing.T) {
+	if OnDemand.String() != "on-demand" || MarketRatio.String() != "market-ratio" {
+		t.Error("pricing labels wrong")
+	}
+}
+
+// Property: proxy pricing is linear in k between offered sizes and never
+// cheaper per GPU than the multi-GPU instance's per-GPU price.
+func TestProxyPricingProperty(t *testing.T) {
+	f := func(kRaw uint8, mRaw uint8) bool {
+		models := gpu.AllModels()
+		m := models[int(mRaw)%len(models)]
+		maxK := 4
+		if m == gpu.K80 {
+			maxK = 8
+		}
+		k := int(kRaw)%maxK + 1
+		cfg := Config{GPU: m, K: k}
+		cost, err := cfg.HourlyCost(OnDemand)
+		if err != nil || cost <= 0 {
+			return false
+		}
+		if k == 1 {
+			return true
+		}
+		multiCost, _ := Config{GPU: m, K: maxK}.HourlyCost(OnDemand)
+		perGPU := multiCost / float64(maxK)
+		return math.Abs(cost-float64(k)*perGPU) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommScaleDiminishingReturns verifies the ground-truth shape behind
+// the paper's Figure 6: with a compute time C and overhead S(k), the
+// per-sample time C/k improvements shrink with k.
+func TestCommScaleDiminishingReturns(t *testing.T) {
+	const params = 6_600_000 // inception-v1
+	for _, m := range gpu.AllModels() {
+		// A plausible per-iteration compute time: ~28x the k=1 overhead
+		// (the u ≈ 0.036 calibration).
+		s1, err := CommOverheadBase(m, 1, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s1 / 0.09 // S1 = m(1)*unit = 2.5*unit; unit/C = 0.036
+		var perSample [5]float64
+		for k := 1; k <= 4; k++ {
+			sk, err := CommOverheadBase(m, k, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perSample[k] = (c + sk) / float64(k)
+		}
+		// Monotone improvement with diminishing steps.
+		for k := 2; k <= 4; k++ {
+			if perSample[k] >= perSample[k-1] {
+				t.Errorf("%v: per-sample time not improving at k=%d", m, k)
+			}
+		}
+		step2 := perSample[1] - perSample[2]
+		step3 := perSample[2] - perSample[3]
+		step4 := perSample[3] - perSample[4]
+		if !(step2 > step3 && step3 > step4) {
+			t.Errorf("%v: returns not diminishing: %v %v %v", m, step2, step3, step4)
+		}
+	}
+}
+
+func TestInstanceCatalogIntegrity(t *testing.T) {
+	// Exactly one single-GPU and one multi-GPU offering per model; all
+	// prices positive; names unique.
+	singles := map[gpu.Model]int{}
+	multis := map[gpu.Model]int{}
+	names := map[string]bool{}
+	for _, inst := range Catalog {
+		if inst.HourlyUSD <= 0 || inst.NumGPUs < 1 {
+			t.Errorf("%s: bad price or GPU count", inst.Name)
+		}
+		if names[inst.Name] {
+			t.Errorf("duplicate instance name %s", inst.Name)
+		}
+		names[inst.Name] = true
+		if inst.NumGPUs == 1 {
+			singles[inst.GPU]++
+		} else {
+			multis[inst.GPU]++
+		}
+	}
+	for _, m := range gpu.AllModels() {
+		if singles[m] != 1 || multis[m] != 1 {
+			t.Errorf("%v: %d single and %d multi offerings, want 1 and 1", m, singles[m], multis[m])
+		}
+	}
+}
+
+// Property: market pricing is exactly linear in k for every model.
+func TestMarketPricingLinearProperty(t *testing.T) {
+	f := func(kRaw, mRaw uint8) bool {
+		models := gpu.AllModels()
+		m := models[int(mRaw)%len(models)]
+		maxK := 4
+		if m == gpu.K80 {
+			maxK = 8
+		}
+		k := int(kRaw)%maxK + 1
+		c1, err1 := Config{GPU: m, K: 1}.HourlyCost(MarketRatio)
+		ck, err2 := Config{GPU: m, K: k}.HourlyCost(MarketRatio)
+		return err1 == nil && err2 == nil && math.Abs(ck-float64(k)*c1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package cloud
+
+import (
+	"fmt"
+
+	"ceer/internal/gpu"
+	"ceer/internal/rng"
+)
+
+// Communication-overhead ground truth (Sections III-D and IV-C).
+//
+// Every training iteration pays a communication penalty on top of the
+// GPU compute time: CPU↔GPU weight and gradient transfers on a single
+// GPU, plus gradient aggregation and synchronization stragglers under
+// data parallelism. Empirically (paper Figure 7) this penalty is nearly
+// linear in the number of model parameters for every GPU model and GPU
+// count, so the simulator generates it as
+//
+//	S(g, k, P) = (base_g + slope_g · P) · m(k) · noise
+//
+// where m(k) encodes the superlinear growth of synchronization cost
+// with the number of GPUs (stragglers become more likely, paper
+// Section III-D), calibrated so the training-time reductions at
+// k=2,3,4 land near the paper's observed 35.8%, 46.6%, and 53.6%.
+
+// commParams holds the per-GPU-model communication constants. Slower
+// platform interconnects (the K80-era P2 hosts) have both higher fixed
+// cost and higher per-parameter cost.
+type commParams struct {
+	baseSeconds    float64 // fixed per-iteration sync cost, k=1
+	secondsPerByte float64 // per-gradient-byte transfer cost, k=1
+}
+
+var commTable = map[gpu.Model]commParams{
+	gpu.V100: {baseSeconds: 1.2e-3, secondsPerByte: 0.0050e-9},
+	gpu.T4:   {baseSeconds: 2.3e-3, secondsPerByte: 0.0150e-9},
+	gpu.M60:  {baseSeconds: 5.0e-3, secondsPerByte: 0.0370e-9},
+	gpu.K80:  {baseSeconds: 13.0e-3, secondsPerByte: 0.1000e-9},
+}
+
+// commScale is m(k) for k = 1..8: the multiplier on the per-GPU
+// communication unit (base + slope·params). m(1) = 2.5 reflects that
+// even single-GPU training pays host↔device weight and gradient
+// transfers beyond the marginal sync unit (Section IV-A: ignoring this
+// hurts single-GPU predictions),
+// calibrated so Inception-v1 training time drops by roughly the paper's
+// 35.8% / 46.6% / 53.6% at k = 2 / 3 / 4. Values beyond k=4 extrapolate
+// the same straggler trend (needed for the 8-GPU P2 instance).
+var commScale = [9]float64{0, 2.5, 10.0, 19.0, 27.0, 34.0, 41.0, 48.0, 55.0}
+
+// commNoiseSigma is the lognormal noise level of the per-iteration
+// communication overhead (synchronization jitter).
+const commNoiseSigma = 0.06
+
+// bytesPerParam is the gradient element width (fp32).
+const bytesPerParam = 4
+
+// CommOverheadBase returns the noiseless per-iteration communication
+// overhead, in seconds, of training a model with the given parameter
+// count on k GPUs of the given model.
+func CommOverheadBase(m gpu.Model, k int, params int64) (float64, error) {
+	p, ok := commTable[m]
+	if !ok {
+		return 0, fmt.Errorf("cloud: no communication parameters for %v", m)
+	}
+	if k < 1 || k >= len(commScale) {
+		return 0, fmt.Errorf("cloud: unsupported GPU count %d", k)
+	}
+	if params < 0 {
+		return 0, fmt.Errorf("cloud: negative parameter count %d", params)
+	}
+	unit := p.baseSeconds + p.secondsPerByte*float64(params)*bytesPerParam
+	return unit * commScale[k], nil
+}
+
+// SampleCommOverhead draws one noisy per-iteration communication
+// overhead measurement.
+func SampleCommOverhead(m gpu.Model, k int, params int64, src *rng.Source) (float64, error) {
+	base, err := CommOverheadBase(m, k, params)
+	if err != nil {
+		return 0, err
+	}
+	return base * src.LogNormalFactor(commNoiseSigma), nil
+}

@@ -1,0 +1,176 @@
+// Package cloud models the AWS EC2 GPU offerings the paper evaluates:
+// the eight concrete instance types (four single-GPU, four multi-GPU)
+// with their On-Demand prices, the paper's proxy pricing rule for GPU
+// counts AWS does not sell directly, the market-price-ratio scenario of
+// Figure 12, and the ground-truth communication overhead of data-parallel
+// training (CPU↔GPU transfers plus inter-GPU synchronization).
+package cloud
+
+import (
+	"fmt"
+	"sort"
+
+	"ceer/internal/gpu"
+)
+
+// Instance describes one concrete AWS EC2 GPU instance offering.
+type Instance struct {
+	// Name is the AWS API name, e.g. "p3.2xlarge".
+	Name string
+	// GPU is the device model the instance carries.
+	GPU gpu.Model
+	// NumGPUs is the GPU count of the offering.
+	NumGPUs int
+	// HourlyUSD is the On-Demand hourly price.
+	HourlyUSD float64
+}
+
+// Catalog lists the eight instances of Section V, in the paper's order:
+// the four basic single-GPU instances followed by the four multi-GPU
+// instances.
+var Catalog = []Instance{
+	{Name: "p3.2xlarge", GPU: gpu.V100, NumGPUs: 1, HourlyUSD: 3.06},
+	{Name: "p2.xlarge", GPU: gpu.K80, NumGPUs: 1, HourlyUSD: 0.90},
+	{Name: "g4dn.2xlarge", GPU: gpu.T4, NumGPUs: 1, HourlyUSD: 0.752},
+	{Name: "g3s.xlarge", GPU: gpu.M60, NumGPUs: 1, HourlyUSD: 0.75},
+	{Name: "p3.8xlarge", GPU: gpu.V100, NumGPUs: 4, HourlyUSD: 12.24},
+	{Name: "p2.8xlarge", GPU: gpu.K80, NumGPUs: 8, HourlyUSD: 7.20},
+	{Name: "g4dn.12xlarge", GPU: gpu.T4, NumGPUs: 4, HourlyUSD: 3.912},
+	{Name: "g3.16xlarge", GPU: gpu.M60, NumGPUs: 4, HourlyUSD: 4.56},
+}
+
+// FindInstance returns the catalog entry with the given name.
+func FindInstance(name string) (Instance, bool) {
+	for _, inst := range Catalog {
+		if inst.Name == name {
+			return inst, true
+		}
+	}
+	return Instance{}, false
+}
+
+// singleGPUInstance returns the basic 1-GPU instance of a GPU model.
+func singleGPUInstance(m gpu.Model) Instance {
+	for _, inst := range Catalog {
+		if inst.GPU == m && inst.NumGPUs == 1 {
+			return inst
+		}
+	}
+	panic(fmt.Sprintf("cloud: no single-GPU instance for %v", m))
+}
+
+// multiGPUInstance returns the multi-GPU instance of a GPU model.
+func multiGPUInstance(m gpu.Model) Instance {
+	for _, inst := range Catalog {
+		if inst.GPU == m && inst.NumGPUs > 1 {
+			return inst
+		}
+	}
+	panic(fmt.Sprintf("cloud: no multi-GPU instance for %v", m))
+}
+
+// Pricing selects the price table of a scenario.
+type Pricing int
+
+const (
+	// OnDemand uses AWS's published On-Demand prices (with the paper's
+	// proxy rule for unoffered GPU counts: a k-GPU configuration costs
+	// k/n of the n-GPU instance).
+	OnDemand Pricing = iota
+	// MarketRatio re-prices the instances to reflect commodity GPU
+	// market price ratios (paper Figure 12): P3 $3.06, G4 $0.95,
+	// G3 $0.55, P2 $0.15 per GPU-hour, scaling linearly with GPU count.
+	MarketRatio
+)
+
+// String names the pricing scheme.
+func (p Pricing) String() string {
+	if p == MarketRatio {
+		return "market-ratio"
+	}
+	return "on-demand"
+}
+
+// marketSingleGPU holds the Figure 12 per-GPU hourly prices.
+var marketSingleGPU = map[gpu.Model]float64{
+	gpu.V100: 3.06,
+	gpu.T4:   0.95,
+	gpu.M60:  0.55,
+	gpu.K80:  0.15,
+}
+
+// Config identifies one deployable training configuration: a GPU model
+// and a GPU count on a single host.
+type Config struct {
+	GPU gpu.Model
+	K   int // number of GPUs (>= 1)
+}
+
+// String renders, e.g., "3xP3".
+func (c Config) String() string { return fmt.Sprintf("%dx%s", c.K, c.GPU.Family()) }
+
+// Valid reports whether the configuration is deployable (1–8 GPUs for
+// P2, 1–4 for the others, matching the largest single-host offerings).
+func (c Config) Valid() bool {
+	if c.K < 1 {
+		return false
+	}
+	return c.K <= multiGPUInstance(c.GPU).NumGPUs
+}
+
+// HourlyCost returns the hourly rental price of the configuration under
+// the chosen pricing scheme. Under OnDemand, exact catalog offerings
+// use their published price; other GPU counts use the paper's proxy
+// rule (k/n of the n-GPU instance price, Section V).
+func (c Config) HourlyCost(p Pricing) (float64, error) {
+	if !c.Valid() {
+		return 0, fmt.Errorf("cloud: invalid config %s", c)
+	}
+	if p == MarketRatio {
+		return float64(c.K) * marketSingleGPU[c.GPU], nil
+	}
+	if c.K == 1 {
+		return singleGPUInstance(c.GPU).HourlyUSD, nil
+	}
+	multi := multiGPUInstance(c.GPU)
+	if c.K == multi.NumGPUs {
+		return multi.HourlyUSD, nil
+	}
+	return float64(c.K) / float64(multi.NumGPUs) * multi.HourlyUSD, nil
+}
+
+// InstanceName returns the closest AWS instance name for the
+// configuration, with a "(k of n GPUs)" annotation for proxy sizes.
+func (c Config) InstanceName() string {
+	if c.K == 1 {
+		return singleGPUInstance(c.GPU).Name
+	}
+	multi := multiGPUInstance(c.GPU)
+	if c.K == multi.NumGPUs {
+		return multi.Name
+	}
+	return fmt.Sprintf("%s (%d of %d GPUs)", multi.Name, c.K, multi.NumGPUs)
+}
+
+// Configs enumerates every configuration with 1..maxK GPUs per model
+// (clamped to each model's largest offering), sorted by family then K —
+// the candidate set Ceer's recommender searches.
+func Configs(maxK int) []Config {
+	var out []Config
+	for _, m := range gpu.AllModels() {
+		limit := multiGPUInstance(m).NumGPUs
+		if maxK < limit {
+			limit = maxK
+		}
+		for k := 1; k <= limit; k++ {
+			out = append(out, Config{GPU: m, K: k})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GPU.Family() != out[j].GPU.Family() {
+			return out[i].GPU.Family() < out[j].GPU.Family()
+		}
+		return out[i].K < out[j].K
+	})
+	return out
+}

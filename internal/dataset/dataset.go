@@ -1,0 +1,30 @@
+// Package dataset describes training datasets by their metadata. Only
+// the sample count enters Ceer's training-time model (the D of
+// Eq. (1)/(2)); image dimensions document what the zoo models consume.
+package dataset
+
+// Dataset is a training-set descriptor.
+type Dataset struct {
+	Name    string
+	Samples int64
+	// Height, Width, Channels describe one sample image.
+	Height, Width, Channels int64
+}
+
+// ImageNet is the full ILSVRC-2012 training set used in Section V.
+var ImageNet = Dataset{Name: "imagenet", Samples: 1_200_000, Height: 224, Width: 224, Channels: 3}
+
+// ImageNetSubset6400 is the 6,400-sample subset used in the paper's
+// data-parallel scaling study (Figure 6).
+var ImageNetSubset6400 = Dataset{Name: "imagenet-6400", Samples: 6_400, Height: 224, Width: 224, Channels: 3}
+
+// Iterations returns the number of iterations one epoch takes with k
+// GPUs at per-GPU batch size b: D / (k·b), rounding up so every sample
+// is processed.
+func (d Dataset) Iterations(k int, b int64) int64 {
+	if k < 1 || b < 1 {
+		return 0
+	}
+	per := int64(k) * b
+	return (d.Samples + per - 1) / per
+}

@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltins(t *testing.T) {
+	if ImageNet.Samples != 1_200_000 {
+		t.Errorf("ImageNet samples = %d", ImageNet.Samples)
+	}
+	if ImageNetSubset6400.Samples != 6400 {
+		t.Errorf("subset samples = %d", ImageNetSubset6400.Samples)
+	}
+}
+
+func TestIterations(t *testing.T) {
+	d := Dataset{Name: "d", Samples: 6400}
+	cases := []struct {
+		k    int
+		b    int64
+		want int64
+	}{
+		{1, 32, 200},
+		{2, 32, 100},
+		{4, 32, 50},
+		{3, 32, 67}, // rounds up: 6400/96 = 66.7
+		{1, 7, 915}, // 6400/7 = 914.3
+		{0, 32, 0},  // invalid k
+		{1, 0, 0},   // invalid batch
+	}
+	for _, c := range cases {
+		if got := d.Iterations(c.k, c.b); got != c.want {
+			t.Errorf("Iterations(%d, %d) = %d, want %d", c.k, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: iterations cover the dataset — iterations·k·b >= samples,
+// and removing one iteration would not.
+func TestIterationsCoverProperty(t *testing.T) {
+	f := func(samplesRaw uint32, kRaw, bRaw uint8) bool {
+		samples := int64(samplesRaw%1_000_000) + 1
+		k := int(kRaw%8) + 1
+		b := int64(bRaw%128) + 1
+		d := Dataset{Name: "d", Samples: samples}
+		iters := d.Iterations(k, b)
+		per := int64(k) * b
+		if iters*per < samples {
+			return false
+		}
+		return (iters-1)*per < samples
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

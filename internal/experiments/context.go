@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the
+// paper's empirical study (Section III) and evaluation (Section V),
+// plus the Section IV model-quality and ablation analyses. Each
+// experiment returns a structured result with a Table renderer printing
+// the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"ceer/internal/ceer"
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/sim"
+	"ceer/internal/trace"
+	"ceer/internal/zoo"
+)
+
+// Context carries a trained Ceer instance, the training-set profile
+// bundle, and the simulation parameters shared by all experiments.
+type Context struct {
+	// Pred is Ceer trained on the 8 training-set CNNs.
+	Pred *ceer.Predictor
+	// TrainBundle holds the op-level profiles of the training CNNs.
+	TrainBundle *trace.Bundle
+	// Seed drives all "observed" measurement noise; experiment
+	// measurements use seeds derived from it, distinct from the
+	// training seed.
+	Seed uint64
+	// MeasureIters is the per-measurement iteration sample count.
+	MeasureIters int
+	// Batch is the per-GPU batch size (paper default 32).
+	Batch int64
+	// CommObs holds the communication observations the predictor was
+	// trained on (reused by the model-selection ablation).
+	CommObs []ceer.CommObs
+
+	graphs map[string]*graph.Graph
+}
+
+// Options tunes context construction.
+type Options struct {
+	Seed uint64
+	// ProfileIterations for the training campaign (default 200).
+	ProfileIterations int
+	// MeasureIters per observed run (default 20).
+	MeasureIters int
+}
+
+// NewContext trains Ceer on the training-set CNNs and prepares the
+// experiment harness.
+func NewContext(opts Options) (*Context, error) {
+	if opts.ProfileIterations == 0 {
+		opts.ProfileIterations = 200
+	}
+	if opts.MeasureIters == 0 {
+		opts.MeasureIters = 20
+	}
+	pl := ceer.DefaultPipeline(opts.Seed)
+	pl.ProfileIterations = opts.ProfileIterations
+	bundle, commObs, err := pl.Campaign(zoo.Build, zoo.TrainingSet())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: measurement campaign: %w", err)
+	}
+	pred, err := ceer.Train(bundle, commObs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training Ceer: %w", err)
+	}
+	return &Context{
+		Pred:         pred,
+		TrainBundle:  bundle,
+		Seed:         opts.Seed,
+		MeasureIters: opts.MeasureIters,
+		Batch:        zoo.DefaultBatch,
+		CommObs:      commObs,
+		graphs:       make(map[string]*graph.Graph),
+	}, nil
+}
+
+// Graph returns (building and caching) the named CNN at the context's
+// batch size.
+func (c *Context) Graph(name string) (*graph.Graph, error) {
+	if g, ok := c.graphs[name]; ok {
+		return g, nil
+	}
+	g, err := zoo.Build(name, c.Batch)
+	if err != nil {
+		return nil, err
+	}
+	c.graphs[name] = g
+	return g, nil
+}
+
+// measureSeed separates experiment observations from training noise.
+func (c *Context) measureSeed() uint64 { return c.Seed ^ 0x0B5E12345 }
+
+// Observe runs a simulated "real" training measurement.
+func (c *Context) Observe(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset) (sim.Measurement, error) {
+	return sim.Train(g, cfg, ds, c.MeasureIters, c.measureSeed())
+}
+
+// gpuOrder is the paper's presentation order: P3, P2, G4, G3.
+func gpuOrder() []gpu.Model { return gpu.AllModels() }

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ceer/internal/cloud"
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+	"ceer/internal/regress"
+	"ceer/internal/stats"
+	"ceer/internal/textutil"
+)
+
+// Fig01Result is the Figure 1 reproduction: the Inception-v3 training
+// DAG rendered in Graphviz DOT form.
+type Fig01Result struct {
+	DOT         string
+	Nodes       int
+	UniqueTypes int
+}
+
+// Fig01 exports the Inception-v3 DAG (paper Figure 1).
+func Fig01(c *Context) (*Fig01Result, error) {
+	g, err := c.Graph("inception-v3")
+	if err != nil {
+		return nil, err
+	}
+	return &Fig01Result{DOT: g.DOT(), Nodes: g.Len(), UniqueTypes: len(g.CountByType())}, nil
+}
+
+// Table summarizes the DAG statistics.
+func (r *Fig01Result) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Fig. 1 — Inception-v3 training DAG",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("operations (DAG nodes)", fmt.Sprintf("%d", r.Nodes))
+	t.AddRow("unique operation types", fmt.Sprintf("%d", r.UniqueTypes))
+	t.AddRow("DOT size (bytes)", fmt.Sprintf("%d", len(r.DOT)))
+	t.AddNote("full DOT output available via ceer-experiments -fig 1 -dot")
+	return t
+}
+
+// Fig02Row is one heavy operation's mean compute time per GPU model.
+type Fig02Row struct {
+	OpType  ops.Type
+	Seconds map[gpu.Model]float64
+}
+
+// Fig02Result reproduces Figure 2: compute times of the heavy GPU
+// operations across the four GPU model types, averaged over the
+// training-set CNN profiles.
+type Fig02Result struct {
+	Rows []Fig02Row
+	// AvgRatioVsP3 is the mean heavy-op slowdown of each model relative
+	// to P3 (paper: P2 ≈ 10×, G4 ≈ 4×; P2 ≈ 1.5× vs G3).
+	AvgRatioVsP3 map[gpu.Model]float64
+}
+
+// Fig02 computes the heavy-op compute-time matrix.
+func Fig02(c *Context) (*Fig02Result, error) {
+	means := make(map[gpu.Model]map[ops.Type]float64, 4)
+	for _, m := range gpuOrder() {
+		means[m] = c.TrainBundle.MeanTimeByType(m)
+	}
+	heavy := c.Pred.Class.HeavyTypes()
+	res := &Fig02Result{AvgRatioVsP3: make(map[gpu.Model]float64)}
+	for _, t := range heavy {
+		row := Fig02Row{OpType: t, Seconds: make(map[gpu.Model]float64, 4)}
+		for _, m := range gpuOrder() {
+			row.Seconds[m] = means[m][t]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// Order rows by P2 time, descending (the paper's visual ordering).
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return res.Rows[i].Seconds[gpu.K80] > res.Rows[j].Seconds[gpu.K80]
+	})
+	for _, m := range gpuOrder() {
+		if m == gpu.V100 {
+			res.AvgRatioVsP3[m] = 1
+			continue
+		}
+		sum := 0.0
+		for _, row := range res.Rows {
+			if p3 := row.Seconds[gpu.V100]; p3 > 0 {
+				sum += row.Seconds[m] / p3
+			}
+		}
+		res.AvgRatioVsP3[m] = sum / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Table renders the Figure 2 matrix in milliseconds.
+func (r *Fig02Result) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Fig. 2 — Heavy-operation compute times (ms)",
+		Header: []string{"operation", "P3", "P2", "G4", "G3"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(string(row.OpType),
+			textutil.Ms(row.Seconds[gpu.V100]), textutil.Ms(row.Seconds[gpu.K80]),
+			textutil.Ms(row.Seconds[gpu.T4]), textutil.Ms(row.Seconds[gpu.M60]))
+	}
+	t.AddNote("avg slowdown vs P3: P2 %.1fx, G4 %.1fx, G3 %.1fx (paper: ~10x, ~4x, ~6.7x)",
+		r.AvgRatioVsP3[gpu.K80], r.AvgRatioVsP3[gpu.T4], r.AvgRatioVsP3[gpu.M60])
+	return t
+}
+
+// Fig03Row is one heavy operation's compute cost per GPU model, in
+// dollars per execution (hourly price × compute time).
+type Fig03Row struct {
+	OpType ops.Type
+	// CostUSD is the rental cost over the op's compute time on the
+	// basic single-GPU instance of each model.
+	CostUSD map[gpu.Model]float64
+	// Cheapest is the model with the lowest cost.
+	Cheapest gpu.Model
+}
+
+// Fig03Result reproduces Figure 3: operation-level compute costs.
+type Fig03Result struct {
+	Rows []Fig03Row
+	// WinCounts counts how many operations each GPU model wins (paper:
+	// G4 wins 16 of 20, P3 wins the 4 pooling ops).
+	WinCounts map[gpu.Model]int
+	// PoolingP3Wins reports whether P3 is cheapest for all four pooling
+	// operations.
+	PoolingP3Wins bool
+}
+
+// Fig03 derives per-op costs from the Figure 2 times and instance
+// prices.
+func Fig03(c *Context) (*Fig03Result, error) {
+	f2, err := Fig02(c)
+	if err != nil {
+		return nil, err
+	}
+	hourly := make(map[gpu.Model]float64, 4)
+	for _, m := range gpuOrder() {
+		cost, err := cloud.Config{GPU: m, K: 1}.HourlyCost(cloud.OnDemand)
+		if err != nil {
+			return nil, err
+		}
+		hourly[m] = cost
+	}
+	res := &Fig03Result{WinCounts: make(map[gpu.Model]int), PoolingP3Wins: true}
+	pooling := map[ops.Type]bool{ops.MaxPool: true, ops.MaxPoolGrad: true, ops.AvgPool: true, ops.AvgPoolGrad: true}
+	for _, row := range f2.Rows {
+		cr := Fig03Row{OpType: row.OpType, CostUSD: make(map[gpu.Model]float64, 4)}
+		best, bestCost := gpu.V100, 0.0
+		for i, m := range gpuOrder() {
+			cost := row.Seconds[m] / 3600 * hourly[m]
+			cr.CostUSD[m] = cost
+			if i == 0 || cost < bestCost {
+				best, bestCost = m, cost
+			}
+		}
+		cr.Cheapest = best
+		res.WinCounts[best]++
+		if pooling[row.OpType] && best != gpu.V100 {
+			res.PoolingP3Wins = false
+		}
+		res.Rows = append(res.Rows, cr)
+	}
+	return res, nil
+}
+
+// Table renders Figure 3 in nano-dollars per execution.
+func (r *Fig03Result) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Fig. 3 — Heavy-operation compute costs (nano-$ per execution)",
+		Header: []string{"operation", "P3", "P2", "G4", "G3", "cheapest"},
+	}
+	nd := func(v float64) string { return fmt.Sprintf("%.1f", v*1e9) }
+	for _, row := range r.Rows {
+		t.AddRow(string(row.OpType),
+			nd(row.CostUSD[gpu.V100]), nd(row.CostUSD[gpu.K80]),
+			nd(row.CostUSD[gpu.T4]), nd(row.CostUSD[gpu.M60]),
+			row.Cheapest.Family())
+	}
+	t.AddNote("wins: G4 %d, P3 %d, G3 %d, P2 %d (paper: G4 16, P3 4)",
+		r.WinCounts[gpu.T4], r.WinCounts[gpu.V100], r.WinCounts[gpu.M60], r.WinCounts[gpu.K80])
+	t.AddNote("P3 cheapest on all pooling ops: %v", r.PoolingP3Wins)
+	return t
+}
+
+// Fig04Series is the ReLU time-vs-input-size scatter and linear fit for
+// one GPU model.
+type Fig04Series struct {
+	GPU gpu.Model
+	// InputBytes and Seconds are the observed (size, mean time) points.
+	InputBytes []float64
+	Seconds    []float64
+	// Slope and Intercept describe the fitted line; R2 its quality.
+	Slope, Intercept, R2 float64
+}
+
+// Fig04Result reproduces Figure 4: ReLU compute time vs input size with
+// regression fits.
+type Fig04Result struct {
+	Series []Fig04Series
+}
+
+// Fig04 collects the ReLU samples from the training bundle and fits a
+// line per GPU.
+func Fig04(c *Context) (*Fig04Result, error) {
+	res := &Fig04Result{}
+	for _, m := range gpuOrder() {
+		s := Fig04Series{GPU: m}
+		var xs [][]float64
+		var ys []float64
+		for _, prof := range c.TrainBundle.ForGPU(m) {
+			for _, ser := range prof.Series {
+				if ser.OpType != ops.Relu {
+					continue
+				}
+				size := float64(ser.InputBytes)
+				s.InputBytes = append(s.InputBytes, size)
+				s.Seconds = append(s.Seconds, ser.Agg.Mean())
+				xs = append(xs, []float64{size})
+				ys = append(ys, ser.Agg.Mean())
+			}
+		}
+		if len(xs) < 3 {
+			return nil, fmt.Errorf("experiments: only %d ReLU observations on %s", len(xs), m.Family())
+		}
+		fit, err := regress.Fit(xs, ys, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Recover slope/intercept in natural units from two probes.
+		y0 := fit.Predict([]float64{0})
+		y1 := fit.Predict([]float64{1e6})
+		s.Intercept = y0
+		s.Slope = (y1 - y0) / 1e6
+		s.R2 = fit.R2
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Table summarizes the per-GPU ReLU fits.
+func (r *Fig04Result) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Fig. 4 — ReLU compute time vs input size (linear fits)",
+		Header: []string{"GPU", "points", "us/MB slope", "intercept (us)", "R^2"},
+	}
+	for _, s := range r.Series {
+		t.AddRow(s.GPU.Family(), fmt.Sprintf("%d", len(s.Seconds)),
+			fmt.Sprintf("%.2f", s.Slope*1e12), // seconds per byte -> µs per MB
+			textutil.Us(s.Intercept), fmt.Sprintf("%.3f", s.R2))
+	}
+	t.AddNote("compute time scales linearly with input size on every GPU model")
+	return t
+}
+
+// Fig05Result reproduces Figure 5: the CDF of the normalized standard
+// deviation (std/mean) of heavy-operation compute times per unique
+// (operation, input size), for each GPU model.
+type Fig05Result struct {
+	// PerGPU maps each model to its sample of normalized deviations.
+	PerGPU map[gpu.Model][]float64
+	// FracBelow01 is the fraction of values below 0.1 per GPU (paper:
+	// ~95% overall).
+	FracBelow01 map[gpu.Model]float64
+	// P95 is the 95th percentile of normalized deviation per GPU.
+	P95 map[gpu.Model]float64
+}
+
+// Fig05 computes the variability CDF from the training bundle.
+func Fig05(c *Context) (*Fig05Result, error) {
+	res := &Fig05Result{
+		PerGPU:      make(map[gpu.Model][]float64),
+		FracBelow01: make(map[gpu.Model]float64),
+		P95:         make(map[gpu.Model]float64),
+	}
+	for _, m := range gpuOrder() {
+		var nsds []float64
+		for _, prof := range c.TrainBundle.ForGPU(m) {
+			for _, ser := range prof.Series {
+				if !c.Pred.Class.Heavy[ser.OpType] {
+					continue
+				}
+				nsds = append(nsds, ser.Agg.NormalizedStd())
+			}
+		}
+		if len(nsds) == 0 {
+			return nil, fmt.Errorf("experiments: no heavy series for %s", m.Family())
+		}
+		cdf := stats.NewCDF(nsds)
+		res.PerGPU[m] = nsds
+		res.FracBelow01[m] = cdf.At(0.1)
+		res.P95[m] = cdf.Quantile(0.95)
+	}
+	return res, nil
+}
+
+// Table summarizes the variability CDF.
+func (r *Fig05Result) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Fig. 5 — CDF of normalized stddev of heavy-op compute times",
+		Header: []string{"GPU", "series", "frac < 0.1", "p95"},
+	}
+	for _, m := range gpuOrder() {
+		t.AddRow(m.Family(), fmt.Sprintf("%d", len(r.PerGPU[m])),
+			textutil.Pct(r.FracBelow01[m]), fmt.Sprintf("%.3f", r.P95[m]))
+	}
+	t.AddNote("paper: 95%% of normalized deviations below 0.1")
+	return t
+}
+
+// ClassShareResult supports the Section III-A claims: heavy operations
+// contribute 47%–94% of training time; light operations < 7%.
+type ClassShareResult struct {
+	// Share maps CNN name → class → fraction of op time (on the
+	// threshold GPU, P2).
+	Share map[string]map[ops.Class]float64
+}
+
+// ClassShares computes per-CNN class contribution shares on P2.
+func ClassShares(c *Context) (*ClassShareResult, error) {
+	res := &ClassShareResult{Share: make(map[string]map[ops.Class]float64)}
+	for _, prof := range c.TrainBundle.ForGPU(gpu.K80) {
+		res.Share[prof.CNN] = prof.ClassShare()
+	}
+	if len(res.Share) == 0 {
+		return nil, fmt.Errorf("experiments: no P2 profiles")
+	}
+	return res, nil
+}
+
+// Table renders the class shares.
+func (r *ClassShareResult) Table() *textutil.Table {
+	t := &textutil.Table{
+		Title:  "Sec. III-A — Training-time share by op class (P2)",
+		Header: []string{"CNN", "heavy", "light", "cpu"},
+	}
+	names := make([]string, 0, len(r.Share))
+	for n := range r.Share {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := r.Share[n]
+		t.AddRow(n, textutil.Pct(s[ops.HeavyGPU]), textutil.Pct(s[ops.LightGPU]), textutil.Pct(s[ops.CPU]))
+	}
+	t.AddNote("paper: heavy ops contribute 47%%-94%%; light ops < 7%%")
+	return t
+}
+
+// modelParams exposes zoo parameter counts for reports.
+func modelParams(c *Context, name string) (int64, error) {
+	g, err := c.Graph(name)
+	if err != nil {
+		return 0, err
+	}
+	return g.Params, nil
+}

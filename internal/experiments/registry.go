@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ceer/internal/textutil"
+)
+
+// Renderable is any experiment result that can print its table.
+type Renderable interface {
+	Table() *textutil.Table
+}
+
+// Runner executes one registered experiment.
+type Runner func(*Context) (Renderable, error)
+
+// registry maps experiment IDs to runners. IDs follow the paper's
+// figure/section numbering.
+var registry = map[string]Runner{
+	"fig1":    func(c *Context) (Renderable, error) { return Fig01(c) },
+	"fig2":    func(c *Context) (Renderable, error) { return Fig02(c) },
+	"fig3":    func(c *Context) (Renderable, error) { return Fig03(c) },
+	"fig4":    func(c *Context) (Renderable, error) { return Fig04(c) },
+	"fig5":    func(c *Context) (Renderable, error) { return Fig05(c) },
+	"fig6":    func(c *Context) (Renderable, error) { return Fig06(c) },
+	"fig7":    func(c *Context) (Renderable, error) { return Fig07(c) },
+	"fig8":    func(c *Context) (Renderable, error) { return Fig08(c) },
+	"fig9":    func(c *Context) (Renderable, error) { return Fig09(c) },
+	"fig10":   func(c *Context) (Renderable, error) { return Fig10(c) },
+	"fig11":   func(c *Context) (Renderable, error) { return Fig11(c) },
+	"fig12":   func(c *Context) (Renderable, error) { return Fig12(c) },
+	"sec3a":   func(c *Context) (Renderable, error) { return ClassShares(c) },
+	"sec4a":   func(c *Context) (Renderable, error) { return Sec4A(c) },
+	"sec4b":   func(c *Context) (Renderable, error) { return Sec4B(c) },
+	"overall": func(c *Context) (Renderable, error) { return Overall(c) },
+	// Extensions beyond the paper (DESIGN.md Section 6).
+	"ext-batch":     func(c *Context) (Renderable, error) { return ExtBatch(c) },
+	"ext-memory":    func(c *Context) (Renderable, error) { return ExtMemory(c) },
+	"ext-selection": func(c *Context) (Renderable, error) { return ExtSelection(c) },
+}
+
+// Names returns every registered experiment ID in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// figN sorts numerically; section/overall entries after.
+		wi, wj := sortKey(out[i]), sortKey(out[j])
+		if wi != wj {
+			return wi < wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func sortKey(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "fig%d", &n); err == nil {
+		return n
+	}
+	return 100
+}
+
+// Run executes one experiment by ID.
+func Run(name string, c *Context) (Renderable, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(c)
+}

@@ -1,0 +1,159 @@
+// Package gpu simulates the op-level execution behaviour of the four
+// AWS GPU models the paper studies: NVIDIA Tesla V100 (P3 instances),
+// K80 (P2), T4 Tensor Core (G4), and Tesla M60 (G3).
+//
+// Because real GPU hardware is unavailable in this reproduction, the
+// package substitutes an analytic roofline execution model per device:
+// each operation's noiseless compute time is derived from its FLOP count
+// and memory traffic against the device's *effective* throughputs
+// (architecture efficiency folded in), with shape-dependent utilization
+// and per-(device, op-type) efficiency factors calibrated so the paper's
+// empirical relationships hold — the P3 ≈ 10× P2 and ≈ 4× G4 average
+// heavy-op speedups, G3 ≈ 1.5× faster than P2, the pooling-operation
+// cost crossover where P3 beats G4, and the quadratic input-size scaling
+// of Conv2DBackpropFilter. Measurement noise is multiplicative
+// lognormal, tight for heavy GPU ops (normalized stddev mostly < 0.1,
+// Figure 5) and loose for light GPU and CPU ops.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model identifies one of the four AWS GPU device models.
+type Model int
+
+const (
+	// V100 is the NVIDIA Tesla V100 (P3 instances).
+	V100 Model = iota
+	// K80 is the NVIDIA K80 (P2 instances).
+	K80
+	// T4 is the NVIDIA T4 Tensor Core (G4 instances).
+	T4
+	// M60 is the NVIDIA Tesla M60 (G3 instances).
+	M60
+)
+
+// String returns the device model name.
+func (m Model) String() string {
+	switch m {
+	case V100:
+		return "Tesla V100"
+	case K80:
+		return "K80"
+	case T4:
+		return "T4"
+	case M60:
+		return "Tesla M60"
+	default:
+		return fmt.Sprintf("gpu(%d)", int(m))
+	}
+}
+
+// Family returns the AWS instance family letter code for the model
+// ("P3", "P2", "G4", "G3").
+func (m Model) Family() string {
+	switch m {
+	case V100:
+		return "P3"
+	case K80:
+		return "P2"
+	case T4:
+		return "G4"
+	case M60:
+		return "G3"
+	default:
+		return "??"
+	}
+}
+
+// Device holds the simulation parameters of one GPU model. Throughputs
+// are *effective* values: the sustained rates a well-tuned cuDNN kernel
+// achieves, not datasheet peaks.
+type Device struct {
+	Model    Model
+	MemoryGB int
+	// CUDACores is informational (Section II's hardware description).
+	CUDACores int
+
+	// computeTFLOPS is the effective dense fp32 arithmetic throughput.
+	computeTFLOPS float64
+	// memBWGBps is the effective memory bandwidth.
+	memBWGBps float64
+	// launchUS is the per-kernel launch overhead in microseconds.
+	launchUS float64
+	// rooflineR0 shifts the utilization knee: compute time is modeled as
+	// flops/C + r0·bytes/C, so kernels with low arithmetic intensity pay
+	// proportionally more (tensor-core devices have a higher knee).
+	rooflineR0 float64
+	// bpfContention scales the superlinear (quadratic) term of
+	// Conv2DBackpropFilter: gradient accumulation contention grows with
+	// input size.
+	bpfContention float64
+	// cpuFactor scales host-side op times (instance families ship
+	// different host CPUs).
+	cpuFactor float64
+}
+
+var devices = map[Model]*Device{
+	V100: {
+		Model: V100, MemoryGB: 16, CUDACores: 5120,
+		computeTFLOPS: 10.0, memBWGBps: 750, launchUS: 4,
+		rooflineR0: 40, bpfContention: 0.35, cpuFactor: 0.95,
+	},
+	K80: {
+		Model: K80, MemoryGB: 12, CUDACores: 2496,
+		computeTFLOPS: 1.0, memBWGBps: 80, launchUS: 10,
+		rooflineR0: 12.5, bpfContention: 0.55, cpuFactor: 1.15,
+	},
+	T4: {
+		Model: T4, MemoryGB: 16, CUDACores: 2560,
+		computeTFLOPS: 2.5, memBWGBps: 220, launchUS: 5,
+		rooflineR0: 9, bpfContention: 0.40, cpuFactor: 1.0,
+	},
+	M60: {
+		Model: M60, MemoryGB: 8, CUDACores: 2048,
+		computeTFLOPS: 1.6, memBWGBps: 135, launchUS: 8,
+		rooflineR0: 13, bpfContention: 0.50, cpuFactor: 1.1,
+	},
+}
+
+// Lookup returns the device for a model.
+func Lookup(m Model) (*Device, bool) {
+	d, ok := devices[m]
+	return d, ok
+}
+
+// MustLookup returns the device for a known model, panicking otherwise.
+func MustLookup(m Model) *Device {
+	d, ok := devices[m]
+	if !ok {
+		panic(fmt.Sprintf("gpu: unknown model %v", m))
+	}
+	return d
+}
+
+// AllModels returns the four models in a stable order (P3, P2, G4, G3 —
+// the paper's presentation order).
+func AllModels() []Model { return []Model{V100, K80, T4, M60} }
+
+// ModelByFamily resolves an AWS family code ("P3") to its GPU model.
+func ModelByFamily(family string) (Model, bool) {
+	for _, m := range AllModels() {
+		if m.Family() == family {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Families returns the four family codes sorted alphabetically.
+func Families() []string {
+	out := make([]string, 0, 4)
+	for _, m := range AllModels() {
+		out = append(out, m.Family())
+	}
+	sort.Strings(out)
+	return out
+}

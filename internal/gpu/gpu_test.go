@@ -1,0 +1,384 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/ops"
+	"ceer/internal/rng"
+	"ceer/internal/stats"
+	"ceer/internal/tensor"
+)
+
+func TestDeviceLookup(t *testing.T) {
+	for _, m := range AllModels() {
+		d, ok := Lookup(m)
+		if !ok || d.Model != m {
+			t.Errorf("Lookup(%v) failed", m)
+		}
+		if d.computeTFLOPS <= 0 || d.memBWGBps <= 0 || d.launchUS <= 0 {
+			t.Errorf("%v has non-positive throughput parameters", m)
+		}
+	}
+	if _, ok := Lookup(Model(99)); ok {
+		t.Error("unknown model should miss")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic")
+		}
+	}()
+	MustLookup(Model(99))
+}
+
+func TestFamilies(t *testing.T) {
+	cases := map[Model]string{V100: "P3", K80: "P2", T4: "G4", M60: "G3"}
+	for m, fam := range cases {
+		if m.Family() != fam {
+			t.Errorf("%v.Family() = %q, want %q", m, m.Family(), fam)
+		}
+		got, ok := ModelByFamily(fam)
+		if !ok || got != m {
+			t.Errorf("ModelByFamily(%q) = %v, %v", fam, got, ok)
+		}
+	}
+	if _, ok := ModelByFamily("ZZ"); ok {
+		t.Error("unknown family should miss")
+	}
+	if len(Families()) != 4 {
+		t.Error("Families should return 4 codes")
+	}
+	if Model(99).Family() != "??" || Model(99).String() == "" {
+		t.Error("unknown model rendering wrong")
+	}
+}
+
+func bigConv() *ops.Op {
+	w := tensor.Win(3, 1, tensor.Same)
+	return &ops.Op{
+		Type:   ops.Conv2D,
+		Inputs: []tensor.Spec{tensor.F32(32, 56, 56, 128), tensor.F32(3, 3, 128, 128)},
+		Output: tensor.F32(32, 56, 56, 128),
+		Window: &w,
+	}
+}
+
+func bigPool() *ops.Op {
+	w := tensor.Win(2, 2, tensor.Valid)
+	return &ops.Op{
+		Type:   ops.MaxPool,
+		Inputs: []tensor.Spec{tensor.F32(32, 112, 112, 128)},
+		Output: tensor.F32(32, 56, 56, 128),
+		Window: &w,
+	}
+}
+
+func reluOp(elems int64) *ops.Op {
+	in := tensor.F32(elems)
+	return &ops.Op{Type: ops.Relu, Inputs: []tensor.Spec{in}, Output: in}
+}
+
+func TestSpeedOrdering(t *testing.T) {
+	// P3 fastest, P2 slowest on representative heavy ops (Fig. 2).
+	for _, op := range []*ops.Op{bigConv(), bigPool(), reluOp(20e6)} {
+		tP3 := MustLookup(V100).BaseTime(op)
+		tG4 := MustLookup(T4).BaseTime(op)
+		tG3 := MustLookup(M60).BaseTime(op)
+		tP2 := MustLookup(K80).BaseTime(op)
+		if !(tP3 < tG4 && tG4 < tG3 && tG3 < tP2) {
+			t.Errorf("%s: ordering violated: P3=%.3gms G4=%.3gms G3=%.3gms P2=%.3gms",
+				op.Type, tP3*1e3, tG4*1e3, tG3*1e3, tP2*1e3)
+		}
+	}
+}
+
+func TestSpeedRatios(t *testing.T) {
+	// The paper's average heavy-op ratios: P3 ~10× vs P2, ~4× vs G4,
+	// and P2 ~1.5× slower than G3. Check a compute-heavy op lands in
+	// generous bands around those.
+	op := bigConv()
+	tP3 := MustLookup(V100).BaseTime(op)
+	tP2 := MustLookup(K80).BaseTime(op)
+	tG4 := MustLookup(T4).BaseTime(op)
+	tG3 := MustLookup(M60).BaseTime(op)
+	if r := tP2 / tP3; r < 6 || r > 14 {
+		t.Errorf("P2/P3 conv ratio = %.1f, want ~10", r)
+	}
+	if r := tG4 / tP3; r < 2.5 || r > 6 {
+		t.Errorf("G4/P3 conv ratio = %.1f, want ~4", r)
+	}
+	if r := tP2 / tG3; r < 1.2 || r > 2.2 {
+		t.Errorf("P2/G3 conv ratio = %.1f, want ~1.5", r)
+	}
+}
+
+func TestPoolingCostCrossover(t *testing.T) {
+	// On pooling ops, P3's time advantage over G4 must exceed the price
+	// ratio 3.06/0.752 ≈ 4.07, so P3 is the cheaper choice (Fig. 3);
+	// on BN-grad, it must be below it, so G4 wins.
+	pool := bigPool()
+	rPool := MustLookup(T4).BaseTime(pool) / MustLookup(V100).BaseTime(pool)
+	if rPool < 4.5 {
+		t.Errorf("G4/P3 pooling time ratio = %.2f, want > 4.5 for cost crossover", rPool)
+	}
+	bn := &ops.Op{
+		Type:   ops.FusedBatchNormGradV3,
+		Inputs: []tensor.Spec{tensor.F32(32, 56, 56, 128), tensor.F32(32, 56, 56, 128), tensor.F32(128)},
+		Output: tensor.F32(32, 56, 56, 128),
+	}
+	rBN := MustLookup(T4).BaseTime(bn) / MustLookup(V100).BaseTime(bn)
+	if rBN > 3.6 {
+		t.Errorf("G4/P3 BN-grad time ratio = %.2f, want < 3.6 so G4 is cost-optimal", rBN)
+	}
+}
+
+func TestG3SlowerThanP2OnSomeOps(t *testing.T) {
+	// Paper: "for some operations, G3 has higher compute times than P2".
+	w := tensor.Win(2, 2, tensor.Valid)
+	mpg := &ops.Op{
+		Type:   ops.MaxPoolGrad,
+		Inputs: []tensor.Spec{tensor.F32(32, 112, 112, 64), tensor.F32(32, 56, 56, 64), tensor.F32(32, 56, 56, 64)},
+		Output: tensor.F32(32, 112, 112, 64),
+		Window: &w,
+	}
+	if MustLookup(M60).BaseTime(mpg) <= MustLookup(K80).BaseTime(mpg) {
+		t.Error("MaxPoolGrad should be slower on G3 than on P2")
+	}
+}
+
+func TestMonotoneInInputSize(t *testing.T) {
+	d := MustLookup(T4)
+	prev := 0.0
+	for _, elems := range []int64{1e5, 1e6, 1e7, 5e7} {
+		cur := d.BaseTime(reluOp(elems))
+		if cur <= prev {
+			t.Errorf("Relu time not monotone at %d elems", elems)
+		}
+		prev = cur
+	}
+}
+
+func TestBackpropFilterSuperlinear(t *testing.T) {
+	// Doubling the spatial input more than doubles Conv2DBackpropFilter
+	// time (the quadratic term), while plain Conv2D stays near-linear.
+	mk := func(tp ops.Type, h int64) *ops.Op {
+		w := tensor.Win(3, 1, tensor.Same)
+		x := tensor.F32(32, h, h, 64)
+		f := tensor.F32(3, 3, 64, 64)
+		if tp == ops.Conv2D {
+			return &ops.Op{Type: tp, Inputs: []tensor.Spec{x, f}, Output: x, Window: &w}
+		}
+		return &ops.Op{Type: tp, Inputs: []tensor.Spec{x, x}, Output: f, Window: &w}
+	}
+	d := MustLookup(V100)
+	rBPF := d.BaseTime(mk(ops.Conv2DBackpropFilter, 112)) / d.BaseTime(mk(ops.Conv2DBackpropFilter, 56))
+	rFwd := d.BaseTime(mk(ops.Conv2D, 112)) / d.BaseTime(mk(ops.Conv2D, 56))
+	// Spatial doubling quadruples FLOPs; the BPF ratio must exceed the
+	// forward ratio by a clear margin.
+	if rBPF <= rFwd*1.2 {
+		t.Errorf("BPF scaling %.2f not superlinear vs fwd %.2f", rBPF, rFwd)
+	}
+}
+
+func TestHeavyNoiseTight(t *testing.T) {
+	// Sampled heavy-op times must show normalized stddev < 0.1 (Fig. 5).
+	d := MustLookup(K80)
+	op := bigConv()
+	src := rng.New(42)
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, d.SampleTime(op, src))
+	}
+	if nsd := stats.NormalizedStdDev(xs); nsd >= 0.1 || nsd <= 0 {
+		t.Errorf("heavy op normalized stddev = %v, want (0, 0.1)", nsd)
+	}
+}
+
+func TestLightAndCPUNoiseLoose(t *testing.T) {
+	d := MustLookup(K80)
+	light := &ops.Op{Type: ops.Cast, Inputs: []tensor.Spec{tensor.F32(1000)}, Output: tensor.F32(1000)}
+	cpu := &ops.Op{Type: ops.OneHot, Inputs: []tensor.Spec{tensor.F32(32)}, Output: tensor.F32(32, 1000)}
+	for _, op := range []*ops.Op{light, cpu} {
+		src := rng.New(7)
+		var xs []float64
+		for i := 0; i < 2000; i++ {
+			xs = append(xs, d.SampleTime(op, src))
+		}
+		if nsd := stats.NormalizedStdDev(xs); nsd < 0.1 {
+			t.Errorf("%s normalized stddev = %v, want >= 0.1 (high variability)", op.Type, nsd)
+		}
+	}
+	if hSig := d.Sigma(bigConv()); hSig >= d.Sigma(light) {
+		t.Error("heavy sigma should be below light sigma")
+	}
+}
+
+func TestCPUOpsUseHostModel(t *testing.T) {
+	op := &ops.Op{Type: ops.IteratorGetNext, Output: tensor.SpecOf(tensor.NHWC(32, 224, 224, 3), tensor.Uint8)}
+	// Different GPU devices only differ by cpuFactor for CPU ops.
+	tP3 := MustLookup(V100).BaseTime(op)
+	tP2 := MustLookup(K80).BaseTime(op)
+	wantRatio := MustLookup(K80).cpuFactor / MustLookup(V100).cpuFactor
+	if got := tP2 / tP3; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("CPU op ratio = %v, want cpuFactor ratio %v", got, wantRatio)
+	}
+	if tP3 < 100*us {
+		t.Errorf("IteratorGetNext too fast: %v s", tP3)
+	}
+}
+
+func TestHeavyThresholdSeparation(t *testing.T) {
+	// The paper's heavy/light boundary: heavy ops exceed 0.5 ms on P2
+	// for realistic training-scale tensors; metadata ops never do.
+	d := MustLookup(K80)
+	if got := d.BaseTime(bigConv()); got < 0.5e-3 {
+		t.Errorf("big conv on P2 = %v s, want > 0.5ms", got)
+	}
+	meta := &ops.Op{Type: ops.Reshape, Inputs: []tensor.Spec{tensor.F32(32, 4096)}, Output: tensor.F32(32, 4096)}
+	if got := d.BaseTime(meta); got > 0.1e-3 {
+		t.Errorf("Reshape on P2 = %v s, want < 0.1ms", got)
+	}
+}
+
+// Property: sampled times are always positive and the noiseless base is
+// deterministic.
+func TestBaseTimeDeterministicProperty(t *testing.T) {
+	f := func(seed uint64, elemsRaw uint32) bool {
+		elems := int64(elemsRaw%1e7) + 1
+		op := reluOp(elems)
+		for _, m := range AllModels() {
+			d := MustLookup(m)
+			a, b := d.BaseTime(op), d.BaseTime(op)
+			if a != b || a <= 0 {
+				return false
+			}
+			if d.SampleTime(op, rng.New(seed)) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: across all devices, times for the same op preserve the
+// P3 < G4 ordering for sufficiently large memory-bound tensors.
+func TestOrderingProperty(t *testing.T) {
+	f := func(elemsRaw uint32) bool {
+		elems := int64(elemsRaw%5e7) + 1e6
+		op := reluOp(elems)
+		return MustLookup(V100).BaseTime(op) < MustLookup(T4).BaseTime(op) &&
+			MustLookup(T4).BaseTime(op) < MustLookup(K80).BaseTime(op)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvShapeFactorRegimes(t *testing.T) {
+	mk := func(kh, kw int64) *ops.Op {
+		w := tensor.Window{KernelH: kh, KernelW: kw, StrideH: 1, StrideW: 1, Padding: tensor.Same}
+		in := tensor.F32(8, 14, 14, 64)
+		f := tensor.SpecOf(tensor.NewShape(kh, kw, 64, 64), tensor.Float32)
+		return &ops.Op{Type: ops.Conv2D, Inputs: []tensor.Spec{in, f}, Output: in, Window: &w}
+	}
+	t4 := MustLookup(T4)
+	p3 := MustLookup(V100)
+	// T4 runs 1x1 convs (GEMMs) with a boost and asymmetric kernels with
+	// a penalty; V100 is neutral to both.
+	if t4.convShapeFactor(mk(1, 1)) <= 1.0 {
+		t.Error("T4 should boost 1x1 convs")
+	}
+	if t4.convShapeFactor(mk(1, 7)) >= 1.0 {
+		t.Error("T4 should penalize asymmetric kernels")
+	}
+	if p3.convShapeFactor(mk(1, 1)) != 1.0 || p3.convShapeFactor(mk(7, 1)) != 1.0 {
+		t.Error("V100 should be regime-neutral")
+	}
+	if t4.convShapeFactor(mk(3, 3)) != 1.0 {
+		t.Error("square non-1x1 kernels should be neutral on T4")
+	}
+	// Non-conv ops are never affected.
+	relu := reluOp(1000)
+	if t4.convShapeFactor(relu) != 1.0 {
+		t.Error("non-conv op should have factor 1")
+	}
+	noWin := &ops.Op{Type: ops.Conv2D, Inputs: []tensor.Spec{tensor.F32(1, 4, 4, 1)}, Output: tensor.F32(1, 4, 4, 1)}
+	if t4.convShapeFactor(noWin) != 1.0 {
+		t.Error("windowless conv should have factor 1")
+	}
+}
+
+func TestShapeJitterProperties(t *testing.T) {
+	d := MustLookup(V100)
+	op1 := reluOp(1_000_000)
+	op2 := reluOp(1_000_001)
+	// Deterministic per shape.
+	if d.shapeJitter(op1) != d.shapeJitter(op1) {
+		t.Error("jitter must be deterministic")
+	}
+	// Bounded.
+	for _, elems := range []int64{10, 1e4, 1e6, 3e7} {
+		j := d.shapeJitter(reluOp(elems))
+		if j < 1-shapeJitterAmp || j > 1+shapeJitterAmp {
+			t.Errorf("jitter %v out of [%v, %v]", j, 1-shapeJitterAmp, 1+shapeJitterAmp)
+		}
+	}
+	// Different shapes generally differ (kernel-selection surface).
+	if d.shapeJitter(op1) == d.shapeJitter(op2) {
+		t.Error("distinct shapes should land on distinct jitter points")
+	}
+	// CPU ops are exempt (host code has no kernel-selection effect).
+	cpuOp := &ops.Op{Type: ops.OneHot, Inputs: []tensor.Spec{tensor.F32(32)}, Output: tensor.F32(32, 1000)}
+	if d.shapeJitter(cpuOp) != 1 {
+		t.Error("CPU op jitter must be 1")
+	}
+}
+
+func TestOpEfficiencyTableSanity(t *testing.T) {
+	// Every efficiency is positive and within a plausible band, for
+	// every (device, heavy type) pair.
+	for _, m := range AllModels() {
+		for _, tp := range ops.HeavyTypes() {
+			eff := opEfficiency(m, tp)
+			if eff <= 0 || eff > 1.5 {
+				t.Errorf("efficiency(%v, %s) = %v out of (0, 1.5]", m, tp, eff)
+			}
+		}
+	}
+	// The calibrated inequalities behind the paper's crossovers.
+	if opEfficiency(T4, ops.MaxPool) >= opEfficiency(V100, ops.MaxPool) {
+		t.Error("pooling must be relatively worse on T4 than V100")
+	}
+	if opEfficiency(T4, ops.FusedBatchNormGradV3) <= opEfficiency(V100, ops.FusedBatchNormGradV3) {
+		t.Error("BN-grad must be relatively better on T4")
+	}
+	if opEfficiency(M60, ops.MaxPoolGrad) >= opEfficiency(K80, ops.MaxPoolGrad) {
+		t.Error("MaxPoolGrad must be worse on M60 than K80 (Fig. 2 inversion)")
+	}
+}
+
+func TestDepthwiseConvTiming(t *testing.T) {
+	w := tensor.Win(3, 1, tensor.Same)
+	in := tensor.F32(32, 56, 56, 64)
+	f := tensor.SpecOf(tensor.NewShape(3, 3, 64, 1), tensor.Float32)
+	dw := &ops.Op{Type: ops.DepthwiseConv2D, Inputs: []tensor.Spec{in, f}, Output: in, Window: &w}
+	full := &ops.Op{Type: ops.Conv2D,
+		Inputs: []tensor.Spec{in, tensor.SpecOf(tensor.NewShape(3, 3, 64, 64), tensor.Float32)},
+		Output: in, Window: &w}
+	for _, m := range AllModels() {
+		d := MustLookup(m)
+		if d.BaseTime(dw) >= d.BaseTime(full) {
+			t.Errorf("%v: depthwise conv should be cheaper than the full conv", m)
+		}
+		if d.BaseTime(dw) <= 0 {
+			t.Errorf("%v: depthwise time non-positive", m)
+		}
+	}
+}

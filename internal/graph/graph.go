@@ -1,0 +1,248 @@
+// Package graph represents a CNN training iteration as a directed
+// acyclic graph of operation instances, the same abstraction TensorFlow
+// exposes through tf.Session (paper Section II, Figure 1).
+//
+// Each node is one ops.Op; each edge records that a node consumes the
+// output tensor of another. Ceer consumes graphs purely structurally: it
+// walks the nodes, reads each op's type and input sizes, and reads the
+// graph's trainable-parameter count for the communication model.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ceer/internal/ops"
+)
+
+// NodeID identifies a node within one Graph.
+type NodeID int
+
+// Phase tags which part of a training iteration a node belongs to. The
+// tag is informational (used in reports and DOT rendering); Ceer's
+// models are phase-oblivious.
+type Phase int
+
+const (
+	// InputPhase covers the input pipeline (iterator, decode, one-hot).
+	InputPhase Phase = iota
+	// ForwardPhase covers the forward pass.
+	ForwardPhase
+	// BackwardPhase covers gradient computation.
+	BackwardPhase
+	// UpdatePhase covers optimizer parameter updates.
+	UpdatePhase
+)
+
+// String returns a short phase label.
+func (p Phase) String() string {
+	switch p {
+	case InputPhase:
+		return "input"
+	case ForwardPhase:
+		return "forward"
+	case BackwardPhase:
+		return "backward"
+	case UpdatePhase:
+		return "update"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Node is one operation instance in the DAG.
+type Node struct {
+	ID     NodeID
+	Name   string
+	Op     *ops.Op
+	Phase  Phase
+	Inputs []NodeID // producer nodes whose outputs this node consumes
+}
+
+// Graph is a CNN training-iteration DAG plus the model-level metadata
+// Ceer needs (trainable parameter count, batch size).
+type Graph struct {
+	// Name identifies the CNN, e.g. "inception-v3".
+	Name string
+	// BatchSize is the per-GPU minibatch size the graph was built for.
+	BatchSize int64
+	// Params is the number of trainable parameters (weights) in the
+	// model, the predictor of the communication-overhead model.
+	Params int64
+
+	nodes []*Node
+	byID  map[NodeID]*Node
+}
+
+// New creates an empty graph.
+func New(name string, batchSize int64) *Graph {
+	return &Graph{Name: name, BatchSize: batchSize, byID: make(map[NodeID]*Node)}
+}
+
+// Add appends a node for op with the given name, phase, and producer
+// dependencies, returning its ID. Dependencies must already exist.
+func (g *Graph) Add(name string, op *ops.Op, phase Phase, deps ...NodeID) (NodeID, error) {
+	if op == nil {
+		return 0, errors.New("graph: nil op")
+	}
+	for _, d := range deps {
+		if _, ok := g.byID[d]; !ok {
+			return 0, fmt.Errorf("graph: node %q depends on unknown node %d", name, d)
+		}
+	}
+	id := NodeID(len(g.nodes))
+	n := &Node{ID: id, Name: name, Op: op, Phase: phase, Inputs: append([]NodeID(nil), deps...)}
+	g.nodes = append(g.nodes, n)
+	g.byID[id] = n
+	return id, nil
+}
+
+// MustAdd is Add for programmatically built graphs where dependency IDs
+// are known-valid; it panics on error.
+func (g *Graph) MustAdd(name string, op *ops.Op, phase Phase, deps ...NodeID) NodeID {
+	id, err := g.Add(name, op, phase, deps...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node {
+	return g.byID[id]
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns the nodes in insertion order. The slice is shared; do
+// not modify it.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Validate checks that the graph is a well-formed DAG: every node's op
+// validates, every dependency exists, and insertion order is a valid
+// topological order (Add enforces this by construction, making cycles
+// impossible; Validate re-checks defensively).
+func (g *Graph) Validate() error {
+	if g.BatchSize <= 0 {
+		return fmt.Errorf("graph %q: non-positive batch size %d", g.Name, g.BatchSize)
+	}
+	for _, n := range g.nodes {
+		if err := n.Op.Validate(); err != nil {
+			return fmt.Errorf("graph %q node %q: %w", g.Name, n.Name, err)
+		}
+		for _, d := range n.Inputs {
+			if d >= n.ID {
+				return fmt.Errorf("graph %q node %q: dependency %d not before node %d", g.Name, n.Name, d, n.ID)
+			}
+			if _, ok := g.byID[d]; !ok {
+				return fmt.Errorf("graph %q node %q: unknown dependency %d", g.Name, n.Name, d)
+			}
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the node IDs in a valid topological order. Because
+// Add only accepts already-present dependencies, insertion order is one.
+func (g *Graph) TopoOrder() []NodeID {
+	out := make([]NodeID, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// CountByType returns the number of node instances per operation type.
+func (g *Graph) CountByType() map[ops.Type]int {
+	out := make(map[ops.Type]int)
+	for _, n := range g.nodes {
+		out[n.Op.Type]++
+	}
+	return out
+}
+
+// CountByClass returns the number of node instances per execution class
+// — the n_h, n_l, n_c of Section IV-B.
+func (g *Graph) CountByClass() map[ops.Class]int {
+	out := make(map[ops.Class]int)
+	for _, n := range g.nodes {
+		out[n.Op.Class()]++
+	}
+	return out
+}
+
+// UniqueTypes returns the distinct operation types present, sorted.
+func (g *Graph) UniqueTypes() []ops.Type {
+	seen := g.CountByType()
+	out := make([]ops.Type, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalFLOPs sums the per-op FLOP estimates over the whole iteration.
+func (g *Graph) TotalFLOPs() int64 {
+	var total int64
+	for _, n := range g.nodes {
+		total += n.Op.FLOPs()
+	}
+	return total
+}
+
+// Stats summarizes a graph for reports.
+type Stats struct {
+	Name        string
+	Nodes       int
+	UniqueTypes int
+	Heavy       int
+	Light       int
+	CPU         int
+	Params      int64
+	TotalFLOPs  int64
+}
+
+// Summarize computes the graph's Stats.
+func (g *Graph) Summarize() Stats {
+	byClass := g.CountByClass()
+	return Stats{
+		Name:        g.Name,
+		Nodes:       g.Len(),
+		UniqueTypes: len(g.CountByType()),
+		Heavy:       byClass[ops.HeavyGPU],
+		Light:       byClass[ops.LightGPU],
+		CPU:         byClass[ops.CPU],
+		Params:      g.Params,
+		TotalFLOPs:  g.TotalFLOPs(),
+	}
+}
+
+// DOT renders the graph in Graphviz DOT format (paper Figure 1 shows
+// such a rendering for Inception-v3). Heavy ops are drawn as filled
+// boxes, light ops as plain boxes, CPU ops as ellipses.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for _, n := range g.nodes {
+		shape, style := "box", ""
+		switch n.Op.Class() {
+		case ops.HeavyGPU:
+			style = ` style=filled fillcolor="#cde3f7"`
+		case ops.CPU:
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s%s];\n", n.ID, fmt.Sprintf("%s\\n%s", n.Name, n.Op.Type), shape, style)
+	}
+	for _, n := range g.nodes {
+		for _, d := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", d, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/ops"
+	"ceer/internal/tensor"
+)
+
+func reluOp() *ops.Op {
+	in := tensor.F32(4, 8, 8, 16)
+	return &ops.Op{Type: ops.Relu, Inputs: []tensor.Spec{in}, Output: in}
+}
+
+func cpuOp() *ops.Op {
+	return &ops.Op{Type: ops.IteratorGetNext, Output: tensor.F32(4, 8, 8, 16)}
+}
+
+func buildChain(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New("chain", 4)
+	prev, err := g.Add("input", cpuOp(), InputPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		prev, err = g.Add("relu", reluOp(), ForwardPhase, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g := buildChain(t, 3)
+	if g.Len() != 4 {
+		t.Errorf("Len = %d, want 4", g.Len())
+	}
+	if g.Node(0) == nil || g.Node(0).Name != "input" {
+		t.Error("Node(0) lookup failed")
+	}
+	if g.Node(99) != nil {
+		t.Error("unknown ID should return nil")
+	}
+}
+
+func TestAddRejectsUnknownDependency(t *testing.T) {
+	g := New("g", 1)
+	if _, err := g.Add("bad", reluOp(), ForwardPhase, 5); err == nil {
+		t.Error("dependency on unknown node should fail")
+	}
+	if _, err := g.Add("nil", nil, ForwardPhase); err == nil {
+		t.Error("nil op should fail")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on error")
+		}
+	}()
+	New("g", 1).MustAdd("bad", reluOp(), ForwardPhase, 7)
+}
+
+func TestValidate(t *testing.T) {
+	g := buildChain(t, 2)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph failed validation: %v", err)
+	}
+	bad := New("bad", 0)
+	bad.MustAdd("x", reluOp(), ForwardPhase)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero batch size should fail validation")
+	}
+	// A graph with an op missing its window fails node validation.
+	g2 := New("g2", 4)
+	w := tensor.Win(3, 1, tensor.Same)
+	_ = w
+	badConv := &ops.Op{Type: ops.Conv2D,
+		Inputs: []tensor.Spec{tensor.F32(1, 4, 4, 1), tensor.F32(3, 3, 1, 1)},
+		Output: tensor.F32(1, 4, 4, 1)}
+	g2.MustAdd("conv", badConv, ForwardPhase)
+	if err := g2.Validate(); err == nil {
+		t.Error("invalid op should fail graph validation")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := buildChain(t, 5)
+	order := g.TopoOrder()
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, d := range n.Inputs {
+			if pos[d] >= pos[n.ID] {
+				t.Errorf("dependency %d not before node %d in topo order", d, n.ID)
+			}
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := buildChain(t, 3)
+	byType := g.CountByType()
+	if byType[ops.Relu] != 3 || byType[ops.IteratorGetNext] != 1 {
+		t.Errorf("CountByType = %v", byType)
+	}
+	byClass := g.CountByClass()
+	if byClass[ops.HeavyGPU] != 3 || byClass[ops.CPU] != 1 {
+		t.Errorf("CountByClass = %v", byClass)
+	}
+	uniq := g.UniqueTypes()
+	if len(uniq) != 2 {
+		t.Errorf("UniqueTypes = %v", uniq)
+	}
+	for i := 1; i < len(uniq); i++ {
+		if uniq[i] < uniq[i-1] {
+			t.Error("UniqueTypes not sorted")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := buildChain(t, 2)
+	g.Params = 1234
+	s := g.Summarize()
+	if s.Nodes != 3 || s.Heavy != 2 || s.CPU != 1 || s.Light != 0 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Params != 1234 {
+		t.Errorf("Params = %d", s.Params)
+	}
+	if s.TotalFLOPs != g.TotalFLOPs() || s.TotalFLOPs <= 0 {
+		t.Errorf("TotalFLOPs = %d", s.TotalFLOPs)
+	}
+}
+
+func TestTotalFLOPs(t *testing.T) {
+	g := buildChain(t, 2)
+	want := 2 * reluOp().FLOPs()
+	want += cpuOp().FLOPs()
+	if got := g.TotalFLOPs(); got != want {
+		t.Errorf("TotalFLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildChain(t, 1)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "n0 -> n1", "Relu", "fillcolor"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		InputPhase: "input", ForwardPhase: "forward",
+		BackwardPhase: "backward", UpdatePhase: "update", Phase(9): "phase(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+// Property: random layered DAGs built through Add always validate and
+// their topo order respects every edge.
+func TestRandomDAGProperty(t *testing.T) {
+	f := func(sizes []uint8, edgeSeed uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 6 {
+			sizes = sizes[:6]
+		}
+		g := New("rand", 2)
+		var prevLayer []NodeID
+		seed := uint32(edgeSeed)
+		next := func(n int) int {
+			seed = seed*1664525 + 1013904223
+			return int(seed>>16) % n
+		}
+		for _, szRaw := range sizes {
+			sz := int(szRaw%4) + 1
+			var layer []NodeID
+			for i := 0; i < sz; i++ {
+				var deps []NodeID
+				if len(prevLayer) > 0 {
+					deps = append(deps, prevLayer[next(len(prevLayer))])
+				}
+				id, err := g.Add("n", reluOp(), ForwardPhase, deps...)
+				if err != nil {
+					return false
+				}
+				layer = append(layer, id)
+			}
+			prevLayer = layer
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		order := g.TopoOrder()
+		pos := make(map[NodeID]int, len(order))
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, n := range g.Nodes() {
+			for _, d := range n.Inputs {
+				if pos[d] >= pos[n.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateMemory(t *testing.T) {
+	g := buildChain(t, 3)
+	g.Params = 1_000_000
+	est := g.EstimateMemory()
+	if est.WeightsBytes != 4_000_000 {
+		t.Errorf("weights bytes = %d", est.WeightsBytes)
+	}
+	if est.OptimizerBytes != 8_000_000 {
+		t.Errorf("optimizer bytes = %d", est.OptimizerBytes)
+	}
+	// Three forward relu outputs of 4*8*8*16 floats each.
+	wantAct := int64(3 * 4 * 8 * 8 * 16 * 4)
+	if est.ActivationBytes != wantAct {
+		t.Errorf("activation bytes = %d, want %d", est.ActivationBytes, wantAct)
+	}
+	if est.TotalBytes() != est.WeightsBytes+est.OptimizerBytes+est.ActivationBytes {
+		t.Error("total inconsistent")
+	}
+	if est.TotalGB() <= 0 {
+		t.Error("TotalGB non-positive")
+	}
+}

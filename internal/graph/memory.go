@@ -1,0 +1,47 @@
+package graph
+
+// MemoryEstimate approximates the GPU-resident footprint of training
+// one iteration of the graph. CNN training under a momentum optimizer
+// keeps three kinds of state on the device:
+//
+//   - the weights themselves,
+//   - the optimizer state (one momentum slot per weight) plus a
+//     gradient buffer,
+//   - every forward activation, retained for the backward pass.
+//
+// The estimate is intentionally simple (no operator workspace, no
+// allocator fragmentation) but captures the first-order effect the
+// instance tables imply: an 8 GB M60 cannot train what a 16 GB V100
+// can at the same batch size.
+type MemoryEstimate struct {
+	// WeightsBytes is the parameter storage (fp32).
+	WeightsBytes int64
+	// OptimizerBytes covers the momentum slot and the gradient buffer.
+	OptimizerBytes int64
+	// ActivationBytes sums the forward-pass output tensors retained for
+	// the backward pass.
+	ActivationBytes int64
+}
+
+// TotalBytes returns the combined estimate.
+func (m MemoryEstimate) TotalBytes() int64 {
+	return m.WeightsBytes + m.OptimizerBytes + m.ActivationBytes
+}
+
+// TotalGB returns the combined estimate in gigabytes (10^9 bytes).
+func (m MemoryEstimate) TotalGB() float64 { return float64(m.TotalBytes()) / 1e9 }
+
+// EstimateMemory computes the training-memory footprint of the graph.
+func (g *Graph) EstimateMemory() MemoryEstimate {
+	const bytesPerParam = 4
+	est := MemoryEstimate{
+		WeightsBytes:   g.Params * bytesPerParam,
+		OptimizerBytes: 2 * g.Params * bytesPerParam,
+	}
+	for _, n := range g.nodes {
+		if n.Phase == ForwardPhase {
+			est.ActivationBytes += n.Op.Output.Bytes()
+		}
+	}
+	return est
+}

@@ -1,0 +1,210 @@
+// Package nn provides a layer-level builder API that lowers CNN
+// architectures to the op-level training DAGs of package graph.
+//
+// A Builder call such as Conv or MaxPool immediately emits the forward
+// operation(s) and records a closure that, at Finish time, emits the
+// corresponding gradient operations (Conv2DBackpropFilter,
+// MaxPoolGrad, ...) in reverse layer order, followed by one optimizer
+// update op per trainable variable — reproducing the op mix of a
+// TensorFlow training iteration (forward + backward + update + input
+// pipeline), which is exactly what the paper's Figure 1 DAG depicts.
+package nn
+
+import (
+	"fmt"
+
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/tensor"
+)
+
+// Tensor is a handle to the output of a graph node, carrying the node ID
+// and the tensor metadata. All Builder layer methods consume and produce
+// Tensors.
+type Tensor struct {
+	node graph.NodeID
+	spec tensor.Spec
+}
+
+// Spec returns the tensor's shape and dtype metadata.
+func (t Tensor) Spec() tensor.Spec { return t.spec }
+
+// Node returns the ID of the producing graph node.
+func (t Tensor) Node() graph.NodeID { return t.node }
+
+// Builder constructs one CNN training-iteration graph.
+type Builder struct {
+	g     *graph.Graph
+	batch int64
+
+	// backwards holds one closure per forward layer, run in reverse
+	// order by Finish to emit the gradient ops.
+	backwards []func()
+	// gradContribs accumulates gradient contributions flowing into each
+	// forward node's output; multiple contributions (e.g. residual
+	// forks) are combined with AddN.
+	gradContribs map[graph.NodeID][]Tensor
+	// stopNodes marks nodes whose input gradients are pruned (the input
+	// pipeline), as TensorFlow prunes gradients toward non-trainables.
+	stopNodes map[graph.NodeID]bool
+
+	params   int64
+	numVars  int
+	counters map[string]int
+	finished bool
+	err      error
+}
+
+// NewBuilder creates a builder for a CNN with the given name and
+// per-GPU batch size.
+func NewBuilder(name string, batch int64) *Builder {
+	return &Builder{
+		g:            graph.New(name, batch),
+		batch:        batch,
+		gradContribs: make(map[graph.NodeID][]Tensor),
+		stopNodes:    make(map[graph.NodeID]bool),
+		counters:     make(map[string]int),
+	}
+}
+
+// Batch returns the per-GPU batch size the builder targets.
+func (b *Builder) Batch() int64 { return b.batch }
+
+// name generates a unique node name like "conv2d_3".
+func (b *Builder) name(kind string) string {
+	b.counters[kind]++
+	return fmt.Sprintf("%s_%d", kind, b.counters[kind])
+}
+
+// emit adds a node, tracking the first construction error.
+func (b *Builder) emit(kind string, op *ops.Op, phase graph.Phase, deps ...graph.NodeID) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	if err := op.Validate(); err != nil {
+		b.err = fmt.Errorf("nn: %s: %w", kind, err)
+		return Tensor{}
+	}
+	id, err := b.g.Add(b.name(kind), op, phase, deps...)
+	if err != nil {
+		b.err = fmt.Errorf("nn: %s: %w", kind, err)
+		return Tensor{}
+	}
+	return Tensor{node: id, spec: op.Output}
+}
+
+// addParams registers trainable parameters.
+func (b *Builder) addParams(n int64) {
+	b.params += n
+	b.numVars++
+}
+
+// addGrad records a gradient contribution toward the output of node.
+func (b *Builder) addGrad(node graph.NodeID, g Tensor) {
+	if b.stopNodes[node] {
+		return
+	}
+	b.gradContribs[node] = append(b.gradContribs[node], g)
+}
+
+// gradOf combines the gradient contributions flowing into node's output.
+// A single contribution passes through; multiple contributions are summed
+// with an AddN node (the heavy aggregation op visible in residual nets).
+// It returns ok=false if no gradient reaches the node (dead branch).
+func (b *Builder) gradOf(node graph.NodeID, spec tensor.Spec) (Tensor, bool) {
+	contribs := b.gradContribs[node]
+	switch len(contribs) {
+	case 0:
+		return Tensor{}, false
+	case 1:
+		return contribs[0], true
+	default:
+		inputs := make([]tensor.Spec, len(contribs))
+		deps := make([]graph.NodeID, len(contribs))
+		for i, c := range contribs {
+			inputs[i] = c.spec
+			deps[i] = c.node
+		}
+		op := &ops.Op{Type: ops.AddN, Inputs: inputs, Output: spec}
+		return b.emit("gradients/AddN", op, graph.BackwardPhase, deps...), true
+	}
+}
+
+// onBackward registers a closure to run during the backward sweep.
+func (b *Builder) onBackward(f func()) {
+	b.backwards = append(b.backwards, f)
+}
+
+// update emits the optimizer update for one variable gradient: an
+// ApplyMomentum op consuming the gradient tensor (momentum SGD, the
+// optimizer used for the paper's CNNs).
+func (b *Builder) update(grad Tensor) {
+	op := &ops.Op{
+		Type:   ops.ApplyMomentum,
+		Inputs: []tensor.Spec{grad.spec, grad.spec}, // accum + grad
+		Output: grad.spec,
+	}
+	b.emit("ApplyMomentum", op, graph.UpdatePhase, grad.node)
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Input emits the input pipeline: augmentation-parameter sampling and
+// minibatch decode on the host (CPU ops — decode, normalization, and
+// augmentation happen inside the tf.data pipeline), then the
+// host-to-device handoff as a light Identity. The returned tensor is the
+// NHWC float32 image batch; gradients do not propagate past it.
+func (b *Builder) Input(h, w, c int64) Tensor {
+	aug := b.emit("RandomUniform", &ops.Op{
+		Type:   ops.RandomUniform,
+		Output: tensor.F32(b.batch, 4),
+	}, graph.InputPhase)
+	flr := b.emit("Floor", &ops.Op{
+		Type:   ops.Floor,
+		Inputs: []tensor.Spec{aug.spec},
+		Output: aug.spec,
+	}, graph.InputPhase, aug.node)
+
+	raw := b.emit("IteratorGetNext", &ops.Op{
+		Type:   ops.IteratorGetNext,
+		Inputs: []tensor.Spec{flr.spec},
+		Output: tensor.SpecOf(tensor.NHWC(b.batch, h, w, c), tensor.Uint8),
+	}, graph.InputPhase, flr.node)
+
+	img := b.emit("Identity", &ops.Op{
+		Type:   ops.Identity,
+		Inputs: []tensor.Spec{raw.spec},
+		Output: tensor.SpecOf(tensor.NHWC(b.batch, h, w, c), tensor.Float32),
+	}, graph.InputPhase, raw.node)
+
+	b.stopNodes[img.node] = true
+	return img
+}
+
+// Finish runs the backward sweep in reverse layer order, emits metric
+// ops (accuracy on CPU), finalizes the parameter count, and returns the
+// validated graph.
+func (b *Builder) Finish() (*graph.Graph, error) {
+	if b.finished {
+		return nil, fmt.Errorf("nn: Finish called twice on %q", b.g.Name)
+	}
+	b.finished = true
+	for i := len(b.backwards) - 1; i >= 0; i-- {
+		b.backwards[i]()
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.g.Params = b.params
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// NumVars returns the number of trainable variables registered so far.
+func (b *Builder) NumVars() int { return b.numVars }
+
+// Params returns the number of trainable parameters registered so far.
+func (b *Builder) Params() int64 { return b.params }

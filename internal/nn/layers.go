@@ -1,0 +1,663 @@
+package nn
+
+import (
+	"fmt"
+
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/tensor"
+)
+
+// Conv emits a 2-D convolution with a possibly asymmetric kernel
+// (kh × kw), stride s, and the given padding, producing outC output
+// channels. No bias or activation is applied; compose with BiasAdd,
+// BatchNorm, or ReLU. Backward emits Conv2DBackpropFilter (plus its
+// optimizer update) and, unless the input is a gradient stop,
+// Conv2DBackpropInput.
+func (b *Builder) Conv(x Tensor, outC, kh, kw, s int64, pad tensor.Padding) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	w := tensor.Window{KernelH: kh, KernelW: kw, StrideH: s, StrideW: s, Padding: pad}
+	inShape := x.spec.Shape
+	if inShape.Rank() != 4 {
+		b.err = fmt.Errorf("nn: Conv requires NHWC input, got %s", inShape)
+		return Tensor{}
+	}
+	outShape, err := w.OutputShape(inShape, outC)
+	if err != nil {
+		b.err = fmt.Errorf("nn: Conv: %w", err)
+		return Tensor{}
+	}
+	filter := tensor.SpecOf(w.FilterShape(inShape.Dim(3), outC), tensor.Float32)
+	b.addParams(filter.Elements())
+
+	out := b.emit("Conv2D", &ops.Op{
+		Type:   ops.Conv2D,
+		Inputs: []tensor.Spec{x.spec, filter},
+		Output: tensor.SpecOf(outShape, tensor.Float32),
+		Window: &w,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dW := b.emit("gradients/Conv2DBackpropFilter", &ops.Op{
+			Type:   ops.Conv2DBackpropFilter,
+			Inputs: []tensor.Spec{x.spec, dy.spec},
+			Output: filter,
+			Window: &w,
+		}, graph.BackwardPhase, x.node, dy.node)
+		b.update(dW)
+		if !b.stopNodes[x.node] {
+			dX := b.emit("gradients/Conv2DBackpropInput", &ops.Op{
+				Type:   ops.Conv2DBackpropInput,
+				Inputs: []tensor.Spec{filter, dy.spec},
+				Output: x.spec,
+				Window: &w,
+			}, graph.BackwardPhase, dy.node)
+			b.addGrad(x.node, dX)
+		}
+	})
+	return out
+}
+
+// DepthwiseConv emits a depthwise 2-D convolution (one k×k filter per
+// input channel, as in MobileNet), an operation type deliberately
+// absent from the paper's 12 CNNs: predictions for graphs containing it
+// exercise Ceer's unseen-heavy-operation path until the predictor is
+// retrained (Section IV-D). Gradients are emitted as ops of the same
+// type (the kernels share a cost profile).
+func (b *Builder) DepthwiseConv(x Tensor, k, s int64, pad tensor.Padding) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	if in.Rank() != 4 {
+		b.err = fmt.Errorf("nn: DepthwiseConv requires NHWC input, got %s", in)
+		return Tensor{}
+	}
+	w := tensor.Win(k, s, pad)
+	c := in.Dim(3)
+	outShape, err := w.OutputShape(in, c)
+	if err != nil {
+		b.err = fmt.Errorf("nn: DepthwiseConv: %w", err)
+		return Tensor{}
+	}
+	filter := tensor.SpecOf(tensor.NewShape(k, k, c, 1), tensor.Float32)
+	b.addParams(filter.Elements())
+
+	out := b.emit("DepthwiseConv2dNative", &ops.Op{
+		Type:   ops.DepthwiseConv2D,
+		Inputs: []tensor.Spec{x.spec, filter},
+		Output: tensor.SpecOf(outShape, tensor.Float32),
+		Window: &w,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dW := b.emit("gradients/DepthwiseConv2dNative", &ops.Op{
+			Type:   ops.DepthwiseConv2D,
+			Inputs: []tensor.Spec{x.spec, dy.spec},
+			Output: filter,
+			Window: &w,
+		}, graph.BackwardPhase, x.node, dy.node)
+		b.update(dW)
+		if !b.stopNodes[x.node] {
+			dX := b.emit("gradients/DepthwiseConv2dNative", &ops.Op{
+				Type:   ops.DepthwiseConv2D,
+				Inputs: []tensor.Spec{filter, dy.spec},
+				Output: x.spec,
+				Window: &w,
+			}, graph.BackwardPhase, dy.node)
+			b.addGrad(x.node, dX)
+		}
+	})
+	return out
+}
+
+// ConvSq is Conv with a square kernel.
+func (b *Builder) ConvSq(x Tensor, outC, k, s int64, pad tensor.Padding) Tensor {
+	return b.Conv(x, outC, k, k, s, pad)
+}
+
+// BiasAdd adds a per-channel bias to x. Backward emits BiasAddGrad plus
+// its optimizer update; the incoming gradient flows through unchanged.
+func (b *Builder) BiasAdd(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	c := x.spec.Shape.Dim(-1)
+	bias := tensor.F32(c)
+	b.addParams(c)
+	out := b.emit("BiasAdd", &ops.Op{
+		Type:   ops.BiasAdd,
+		Inputs: []tensor.Spec{x.spec, bias},
+		Output: x.spec,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dB := b.emit("gradients/BiasAddGrad", &ops.Op{
+			Type:   ops.BiasAddGrad,
+			Inputs: []tensor.Spec{dy.spec},
+			Output: bias,
+		}, graph.BackwardPhase, dy.node)
+		b.update(dB)
+		b.addGrad(x.node, dy)
+	})
+	return out
+}
+
+// BatchNorm applies fused batch normalization with trainable scale and
+// offset (2·C parameters). Backward emits FusedBatchNormGradV3 plus two
+// optimizer updates.
+func (b *Builder) BatchNorm(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	c := x.spec.Shape.Dim(-1)
+	perC := tensor.F32(c)
+	b.addParams(c) // scale
+	b.addParams(c) // offset
+	out := b.emit("FusedBatchNormV3", &ops.Op{
+		Type:   ops.FusedBatchNormV3,
+		Inputs: []tensor.Spec{x.spec, perC, perC},
+		Output: x.spec,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/FusedBatchNormGradV3", &ops.Op{
+			Type:   ops.FusedBatchNormGradV3,
+			Inputs: []tensor.Spec{dy.spec, x.spec, perC},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node, x.node)
+		// Scale and offset gradients are additional outputs of the fused
+		// kernel (already reduced to [C]); the graph materializes them as
+		// cheap per-channel handoffs feeding the optimizer updates.
+		dScale := b.emit("gradients/BNScaleGrad", &ops.Op{
+			Type:   ops.Sum,
+			Inputs: []tensor.Spec{perC},
+			Output: perC,
+		}, graph.BackwardPhase, dX.node)
+		b.update(dScale)
+		dOffset := b.emit("gradients/BNOffsetGrad", &ops.Op{
+			Type:   ops.Sum,
+			Inputs: []tensor.Spec{perC},
+			Output: perC,
+		}, graph.BackwardPhase, dX.node)
+		b.update(dOffset)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// ReLU applies the rectified linear activation. Backward emits ReluGrad.
+func (b *Builder) ReLU(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	out := b.emit("Relu", &ops.Op{
+		Type:   ops.Relu,
+		Inputs: []tensor.Spec{x.spec},
+		Output: x.spec,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/ReluGrad", &ops.Op{
+			Type:   ops.ReluGrad,
+			Inputs: []tensor.Spec{dy.spec, out.spec},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node, out.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// pool emits a pooling op and its gradient.
+func (b *Builder) pool(x Tensor, t ops.Type, gradT ops.Type, k, s int64, pad tensor.Padding) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	w := tensor.Win(k, s, pad)
+	outShape, err := w.OutputShape(x.spec.Shape, x.spec.Shape.Dim(3))
+	if err != nil {
+		b.err = fmt.Errorf("nn: %s: %w", t, err)
+		return Tensor{}
+	}
+	out := b.emit(string(t), &ops.Op{
+		Type:   t,
+		Inputs: []tensor.Spec{x.spec},
+		Output: tensor.SpecOf(outShape, tensor.Float32),
+		Window: &w,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		var inputs []tensor.Spec
+		var deps []graph.NodeID
+		if gradT == ops.MaxPoolGrad {
+			// MaxPoolGrad re-reads the forward input and output to locate
+			// the argmax positions.
+			inputs = []tensor.Spec{x.spec, out.spec, dy.spec}
+			deps = []graph.NodeID{x.node, out.node, dy.node}
+		} else {
+			inputs = []tensor.Spec{dy.spec}
+			deps = []graph.NodeID{dy.node}
+		}
+		dX := b.emit("gradients/"+string(gradT), &ops.Op{
+			Type:   gradT,
+			Inputs: inputs,
+			Output: x.spec,
+			Window: &w,
+		}, graph.BackwardPhase, deps...)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// MaxPool applies k×k max pooling with stride s.
+func (b *Builder) MaxPool(x Tensor, k, s int64, pad tensor.Padding) Tensor {
+	return b.pool(x, ops.MaxPool, ops.MaxPoolGrad, k, s, pad)
+}
+
+// AvgPool applies k×k average pooling with stride s.
+func (b *Builder) AvgPool(x Tensor, k, s int64, pad tensor.Padding) Tensor {
+	return b.pool(x, ops.AvgPool, ops.AvgPoolGrad, k, s, pad)
+}
+
+// GlobalAvgPool reduces the spatial dimensions to 1×1 by mean reduction
+// (TensorFlow's reduce_mean, a light op), as used by ResNet-v2 heads.
+// Backward broadcasts the gradient with Tile and RealDiv (light ops).
+func (b *Builder) GlobalAvgPool(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	outSpec := tensor.SpecOf(tensor.NHWC(in.Dim(0), 1, 1, in.Dim(3)), tensor.Float32)
+	out := b.emit("Mean", &ops.Op{
+		Type:   ops.Mean,
+		Inputs: []tensor.Spec{x.spec},
+		Output: outSpec,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		scaled := b.emit("gradients/RealDiv", &ops.Op{
+			Type:   ops.RealDiv,
+			Inputs: []tensor.Spec{dy.spec, tensor.F32(1)},
+			Output: dy.spec,
+		}, graph.BackwardPhase, dy.node)
+		dX := b.emit("gradients/Tile", &ops.Op{
+			Type:   ops.Tile,
+			Inputs: []tensor.Spec{scaled.spec},
+			Output: x.spec,
+		}, graph.BackwardPhase, scaled.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// Flatten reshapes an NHWC tensor to [batch, features] (a light op with
+// a pass-through gradient).
+func (b *Builder) Flatten(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	outSpec := tensor.F32(in.Dim(0), in.Elements()/in.Dim(0))
+	out := b.emit("Reshape", &ops.Op{
+		Type:   ops.Reshape,
+		Inputs: []tensor.Spec{x.spec},
+		Output: outSpec,
+	}, graph.ForwardPhase, x.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/Reshape", &ops.Op{
+			Type:   ops.Reshape,
+			Inputs: []tensor.Spec{dy.spec},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// Squeeze drops the unit spatial dimensions of a [batch,1,1,C] tensor,
+// producing [batch, C].
+func (b *Builder) Squeeze(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	outSpec := tensor.F32(in.Dim(0), in.Dim(3))
+	out := b.emit("Squeeze", &ops.Op{
+		Type:   ops.Squeeze,
+		Inputs: []tensor.Spec{x.spec},
+		Output: outSpec,
+	}, graph.ForwardPhase, x.node)
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/Reshape", &ops.Op{
+			Type:   ops.Reshape,
+			Inputs: []tensor.Spec{dy.spec},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// Dense applies a fully connected layer: MatMul by a [in, units] weight
+// plus a bias. Backward emits two MatMuls (dW, dX) and BiasAddGrad.
+func (b *Builder) Dense(x Tensor, units int64) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	if in.Rank() != 2 {
+		b.err = fmt.Errorf("nn: Dense requires rank-2 input, got %s", in)
+		return Tensor{}
+	}
+	w := tensor.F32(in.Dim(1), units)
+	bias := tensor.F32(units)
+	b.addParams(w.Elements())
+	b.addParams(units)
+
+	mm := b.emit("MatMul", &ops.Op{
+		Type:   ops.MatMul,
+		Inputs: []tensor.Spec{x.spec, w},
+		Output: tensor.F32(in.Dim(0), units),
+	}, graph.ForwardPhase, x.node)
+	out := b.emit("BiasAdd", &ops.Op{
+		Type:   ops.BiasAdd,
+		Inputs: []tensor.Spec{mm.spec, bias},
+		Output: mm.spec,
+	}, graph.ForwardPhase, mm.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dB := b.emit("gradients/BiasAddGrad", &ops.Op{
+			Type:   ops.BiasAddGrad,
+			Inputs: []tensor.Spec{dy.spec},
+			Output: bias,
+		}, graph.BackwardPhase, dy.node)
+		b.update(dB)
+		// dW = xᵀ · dy: the activation transpose materializes as an
+		// explicit (heavy) Transpose op, as in TF training timelines.
+		xT := b.emit("gradients/Transpose", &ops.Op{
+			Type:   ops.Transpose,
+			Inputs: []tensor.Spec{x.spec},
+			Output: tensor.F32(in.Dim(1), in.Dim(0)),
+		}, graph.BackwardPhase, x.node)
+		dW := b.emit("gradients/MatMul", &ops.Op{
+			Type:   ops.MatMul,
+			Inputs: []tensor.Spec{xT.spec, dy.spec},
+			Output: w,
+		}, graph.BackwardPhase, xT.node, dy.node)
+		b.update(dW)
+		// dX = dy · wᵀ
+		if !b.stopNodes[x.node] {
+			dX := b.emit("gradients/MatMul", &ops.Op{
+				Type:   ops.MatMul,
+				Inputs: []tensor.Spec{dy.spec, tensor.F32(units, in.Dim(1))},
+				Output: x.spec,
+			}, graph.BackwardPhase, dy.node)
+			b.addGrad(x.node, dX)
+		}
+	})
+	return out
+}
+
+// Add emits the element-wise sum of two same-shape tensors (a residual
+// connection). Backward routes the gradient to both inputs.
+func (b *Builder) Add(x, y Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	if !x.spec.Shape.Equal(y.spec.Shape) {
+		b.err = fmt.Errorf("nn: Add shape mismatch: %s vs %s", x.spec.Shape, y.spec.Shape)
+		return Tensor{}
+	}
+	out := b.emit("AddV2", &ops.Op{
+		Type:   ops.AddV2,
+		Inputs: []tensor.Spec{x.spec, y.spec},
+		Output: x.spec,
+	}, graph.ForwardPhase, x.node, y.node)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		b.addGrad(x.node, dy)
+		b.addGrad(y.node, dy)
+	})
+	return out
+}
+
+// Concat concatenates tensors along the channel axis (inception
+// modules). Backward emits one Slice per input.
+func (b *Builder) Concat(xs ...Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	if len(xs) < 2 {
+		b.err = fmt.Errorf("nn: Concat needs at least 2 inputs, got %d", len(xs))
+		return Tensor{}
+	}
+	base := xs[0].spec.Shape
+	totalC := int64(0)
+	inputs := make([]tensor.Spec, len(xs))
+	deps := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		s := x.spec.Shape
+		if s.Rank() != 4 || s.Dim(0) != base.Dim(0) || s.Dim(1) != base.Dim(1) || s.Dim(2) != base.Dim(2) {
+			b.err = fmt.Errorf("nn: Concat input %d shape %s incompatible with %s", i, s, base)
+			return Tensor{}
+		}
+		totalC += s.Dim(3)
+		inputs[i] = x.spec
+		deps[i] = x.node
+	}
+	outSpec := tensor.SpecOf(tensor.NHWC(base.Dim(0), base.Dim(1), base.Dim(2), totalC), tensor.Float32)
+	out := b.emit("ConcatV2", &ops.Op{
+		Type:   ops.ConcatV2,
+		Inputs: inputs,
+		Output: outSpec,
+	}, graph.ForwardPhase, deps...)
+
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		for _, x := range xs {
+			dX := b.emit("gradients/Slice", &ops.Op{
+				Type:   ops.Slice,
+				Inputs: []tensor.Spec{dy.spec},
+				Output: x.spec,
+			}, graph.BackwardPhase, dy.node)
+			b.addGrad(x.node, dX)
+		}
+	})
+	return out
+}
+
+// Pad spatially zero-pads an NHWC tensor by padH rows on the top and
+// bottom and padW columns on the left and right (a light op), as used by
+// ResNet stems with explicit padding. Backward slices the gradient.
+func (b *Builder) Pad(x Tensor, padH, padW int64) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	in := x.spec.Shape
+	outSpec := tensor.SpecOf(tensor.NHWC(in.Dim(0), in.Dim(1)+2*padH, in.Dim(2)+2*padW, in.Dim(3)), tensor.Float32)
+	out := b.emit("Pad", &ops.Op{
+		Type:   ops.Pad,
+		Inputs: []tensor.Spec{x.spec},
+		Output: outSpec,
+	}, graph.ForwardPhase, x.node)
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/Slice", &ops.Op{
+			Type:   ops.Slice,
+			Inputs: []tensor.Spec{dy.spec},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// ScaleResidual multiplies a tensor by a scalar (Inception-ResNet's
+// residual scaling, a heavy Mul over the activation tensor).
+func (b *Builder) ScaleResidual(x Tensor) Tensor {
+	if b.err != nil {
+		return Tensor{}
+	}
+	out := b.emit("Mul", &ops.Op{
+		Type:   ops.Mul,
+		Inputs: []tensor.Spec{x.spec, tensor.F32(1)},
+		Output: x.spec,
+	}, graph.ForwardPhase, x.node)
+	b.onBackward(func() {
+		dy, ok := b.gradOf(out.node, out.spec)
+		if !ok {
+			return
+		}
+		dX := b.emit("gradients/Mul", &ops.Op{
+			Type:   ops.Mul,
+			Inputs: []tensor.Spec{dy.spec, tensor.F32(1)},
+			Output: x.spec,
+		}, graph.BackwardPhase, dy.node)
+		b.addGrad(x.node, dX)
+	})
+	return out
+}
+
+// SoftmaxLoss terminates the network: it emits the label pipeline (CPU
+// ops), the fused softmax cross-entropy (heavy), the loss-gradient
+// scaling (Mul), and the evaluation metric ops (CPU). It seeds the
+// backward sweep with the logits gradient. Call Finish afterwards.
+func (b *Builder) SoftmaxLoss(logits Tensor) {
+	if b.err != nil {
+		return
+	}
+	shape := logits.spec.Shape
+	if shape.Rank() != 2 {
+		b.err = fmt.Errorf("nn: SoftmaxLoss requires rank-2 logits, got %s", shape)
+		return
+	}
+	batch, classes := shape.Dim(0), shape.Dim(1)
+
+	labels := b.emit("labels/IteratorGetNext", &ops.Op{
+		Type:   ops.IteratorGetNext,
+		Output: tensor.SpecOf(tensor.Vector(batch), tensor.Int64),
+	}, graph.InputPhase)
+	oneHot := b.emit("labels/OneHot", &ops.Op{
+		Type:   ops.OneHot,
+		Inputs: []tensor.Spec{labels.spec},
+		Output: tensor.F32(batch, classes),
+	}, graph.InputPhase, labels.node)
+	sparse := b.emit("labels/SparseToDense", &ops.Op{
+		Type:   ops.SparseToDense,
+		Inputs: []tensor.Spec{labels.spec},
+		Output: tensor.F32(batch, classes),
+	}, graph.InputPhase, labels.node)
+
+	xent := b.emit("SoftmaxCrossEntropyWithLogits", &ops.Op{
+		Type:   ops.SoftmaxXent,
+		Inputs: []tensor.Spec{logits.spec, oneHot.spec},
+		Output: tensor.F32(batch),
+	}, graph.ForwardPhase, logits.node, oneHot.node, sparse.node)
+	loss := b.emit("Mean", &ops.Op{
+		Type:   ops.Mean,
+		Inputs: []tensor.Spec{xent.spec},
+		Output: tensor.F32(1),
+	}, graph.ForwardPhase, xent.node)
+
+	// Evaluation metrics (CPU-resident).
+	pred := b.emit("metrics/ArgMax", &ops.Op{
+		Type:   ops.ArgMax,
+		Inputs: []tensor.Spec{logits.spec},
+		Output: tensor.SpecOf(tensor.Vector(batch), tensor.Int64),
+	}, graph.ForwardPhase, logits.node)
+	eq := b.emit("metrics/Equal", &ops.Op{
+		Type:   ops.Equal,
+		Inputs: []tensor.Spec{pred.spec, labels.spec},
+		Output: tensor.SpecOf(tensor.Vector(batch), tensor.Bool),
+	}, graph.ForwardPhase, pred.node, labels.node)
+	acc := b.emit("metrics/Mean", &ops.Op{
+		Type:   ops.Prod,
+		Inputs: []tensor.Spec{eq.spec},
+		Output: tensor.F32(1),
+	}, graph.ForwardPhase, eq.node)
+
+	// Host-side bookkeeping each iteration: step counters, learning-rate
+	// schedule, and summary assembly (CPU ops in real TF graphs).
+	rg := b.emit("summaries/Range", &ops.Op{
+		Type:   ops.Range,
+		Output: tensor.SpecOf(tensor.Vector(batch), tensor.Int32),
+	}, graph.ForwardPhase, acc.node)
+	ed := b.emit("summaries/ExpandDims", &ops.Op{
+		Type:   ops.ExpandDims,
+		Inputs: []tensor.Spec{rg.spec},
+		Output: tensor.SpecOf(tensor.NewShape(batch, 1), tensor.Int32),
+	}, graph.ForwardPhase, rg.node)
+	b.emit("summaries/Pack", &ops.Op{
+		Type:   ops.Pack,
+		Inputs: []tensor.Spec{ed.spec, loss.spec},
+		Output: tensor.F32(2),
+	}, graph.ForwardPhase, ed.node, loss.node)
+
+	// Seed the gradient: d(logits) from the fused xent kernel, scaled by
+	// 1/batch (emitted as a Mul over the logits-shaped gradient).
+	b.onBackward(func() {
+		fill := b.emit("gradients/Fill", &ops.Op{
+			Type:   ops.Fill,
+			Output: tensor.F32(1),
+		}, graph.BackwardPhase, loss.node)
+		dLogits := b.emit("gradients/Mul", &ops.Op{
+			Type:   ops.Mul,
+			Inputs: []tensor.Spec{logits.spec, fill.spec},
+			Output: logits.spec,
+		}, graph.BackwardPhase, xent.node, fill.node)
+		b.addGrad(logits.node, dLogits)
+	})
+}

@@ -1,0 +1,417 @@
+package nn
+
+import (
+	"testing"
+
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+	"ceer/internal/tensor"
+)
+
+// buildTinyCNN constructs a minimal conv net: input -> conv -> bias ->
+// relu -> maxpool -> flatten -> dense -> loss.
+func buildTinyCNN(t *testing.T, batch int64) *graph.Graph {
+	t.Helper()
+	b := NewBuilder("tiny", batch)
+	x := b.Input(8, 8, 3)
+	x = b.ConvSq(x, 16, 3, 1, tensor.Same)
+	x = b.BiasAdd(x)
+	x = b.ReLU(x)
+	x = b.MaxPool(x, 2, 2, tensor.Valid)
+	x = b.Flatten(x)
+	x = b.Dense(x, 10)
+	b.SoftmaxLoss(x)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTinyCNNStructure(t *testing.T) {
+	g := buildTinyCNN(t, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	byType := g.CountByType()
+
+	wantPresent := []ops.Type{
+		ops.Conv2D, ops.Conv2DBackpropFilter,
+		ops.BiasAdd, ops.BiasAddGrad,
+		ops.Relu, ops.ReluGrad,
+		ops.MaxPool, ops.MaxPoolGrad,
+		ops.MatMul, ops.SoftmaxXent,
+		ops.ApplyMomentum, ops.IteratorGetNext, ops.OneHot,
+	}
+	for _, tp := range wantPresent {
+		if byType[tp] == 0 {
+			t.Errorf("tiny CNN missing op type %s (have %v)", tp, byType)
+		}
+	}
+	// First conv takes the (gradient-stopped) input, so no
+	// Conv2DBackpropInput should be emitted.
+	if byType[ops.Conv2DBackpropInput] != 0 {
+		t.Errorf("unexpected Conv2DBackpropInput toward the input pipeline")
+	}
+	// Forward MatMul + dW MatMul, but no dX MatMul past a stop? The dense
+	// input is the flatten output (not stopped), so dX exists: 3 total.
+	if byType[ops.MatMul] != 3 {
+		t.Errorf("MatMul count = %d, want 3 (fwd, dW, dX)", byType[ops.MatMul])
+	}
+	// Variables: conv filter, conv bias, dense W, dense b -> 4 updates.
+	if byType[ops.ApplyMomentum] != 4 {
+		t.Errorf("ApplyMomentum count = %d, want 4", byType[ops.ApplyMomentum])
+	}
+}
+
+func TestTinyCNNParams(t *testing.T) {
+	g := buildTinyCNN(t, 4)
+	// conv 3*3*3*16 + bias 16 + dense (4*4*16)*10 + 10.
+	want := int64(3*3*3*16 + 16 + 4*4*16*10 + 10)
+	if g.Params != want {
+		t.Errorf("Params = %d, want %d", g.Params, want)
+	}
+}
+
+func TestBatchSizePropagates(t *testing.T) {
+	g := buildTinyCNN(t, 8)
+	if g.BatchSize != 8 {
+		t.Errorf("BatchSize = %d", g.BatchSize)
+	}
+	for _, n := range g.Nodes() {
+		if n.Op.Type == ops.Conv2D {
+			if got := n.Op.Inputs[0].Shape.Dim(0); got != 8 {
+				t.Errorf("conv input batch = %d, want 8", got)
+			}
+		}
+	}
+}
+
+func TestResidualForkEmitsAddN(t *testing.T) {
+	b := NewBuilder("res", 2)
+	x := b.Input(8, 8, 16)
+	// Two consumers of the same tensor -> gradient join needs AddN.
+	// conv(x) + x, both branches flow gradient back to relu output.
+	trunk := b.ReLU(x)
+	branch := b.ConvSq(trunk, 16, 3, 1, tensor.Same)
+	sum := b.Add(branch, trunk)
+	y := b.GlobalAvgPool(sum)
+	y = b.Squeeze(y)
+	y = b.Dense(y, 10)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := g.CountByType()
+	if byType[ops.AddN] == 0 {
+		t.Error("residual fork should emit a gradient AddN")
+	}
+	if byType[ops.AddV2] == 0 {
+		t.Error("residual sum should emit AddV2")
+	}
+}
+
+func TestConcatEmitsSlices(t *testing.T) {
+	b := NewBuilder("inc", 2)
+	x := b.Input(16, 16, 8)
+	x = b.ConvSq(x, 8, 3, 1, tensor.Same)
+	a := b.ConvSq(x, 4, 1, 1, tensor.Same)
+	c := b.ConvSq(x, 4, 3, 1, tensor.Same)
+	j := b.Concat(a, c)
+	y := b.GlobalAvgPool(j)
+	y = b.Squeeze(y)
+	y = b.Dense(y, 5)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := g.CountByType()
+	if byType[ops.ConcatV2] != 1 {
+		t.Errorf("ConcatV2 count = %d", byType[ops.ConcatV2])
+	}
+	if byType[ops.Slice] < 2 {
+		t.Errorf("Slice count = %d, want >= 2 (one per concat input)", byType[ops.Slice])
+	}
+	// Concat output channels.
+	for _, n := range g.Nodes() {
+		if n.Op.Type == ops.ConcatV2 {
+			if got := n.Op.Output.Shape.Dim(3); got != 8 {
+				t.Errorf("concat output channels = %d, want 8", got)
+			}
+		}
+	}
+}
+
+func TestBatchNormStructure(t *testing.T) {
+	b := NewBuilder("bn", 2)
+	x := b.Input(8, 8, 3)
+	x = b.ConvSq(x, 16, 3, 1, tensor.Same)
+	x = b.BatchNorm(x)
+	x = b.ReLU(x)
+	x = b.GlobalAvgPool(x)
+	x = b.Squeeze(x)
+	x = b.Dense(x, 10)
+	b.SoftmaxLoss(x)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := g.CountByType()
+	if byType[ops.FusedBatchNormV3] != 1 || byType[ops.FusedBatchNormGradV3] != 1 {
+		t.Errorf("BN fwd/bwd = %d/%d", byType[ops.FusedBatchNormV3], byType[ops.FusedBatchNormGradV3])
+	}
+	// Updates: conv filter + bn scale + bn offset + dense W + dense b = 5.
+	if byType[ops.ApplyMomentum] != 5 {
+		t.Errorf("ApplyMomentum = %d, want 5", byType[ops.ApplyMomentum])
+	}
+	// Params: conv 3*3*3*16 + bn 2*16 + dense 16*10+10.
+	want := int64(3*3*3*16 + 32 + 170)
+	if g.Params != want {
+		t.Errorf("Params = %d, want %d", g.Params, want)
+	}
+}
+
+func TestAsymmetricConv(t *testing.T) {
+	b := NewBuilder("asym", 2)
+	x := b.Input(17, 17, 32)
+	x = b.Conv(x, 64, 1, 7, 1, tensor.Same)
+	x = b.Conv(x, 64, 7, 1, 1, tensor.Same)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if got := x.Spec().Shape; !got.Equal(tensor.NHWC(2, 17, 17, 64)) {
+		t.Errorf("asymmetric conv output = %s", got)
+	}
+	// Params: 1*7*32*64 + 7*1*64*64.
+	if want := int64(1*7*32*64 + 7*1*64*64); b.Params() != want {
+		t.Errorf("Params = %d, want %d", b.Params(), want)
+	}
+}
+
+func TestPadLayer(t *testing.T) {
+	b := NewBuilder("pad", 2)
+	x := b.Input(224, 224, 3)
+	x = b.Pad(x, 3, 3)
+	if got := x.Spec().Shape; !got.Equal(tensor.NHWC(2, 230, 230, 3)) {
+		t.Errorf("Pad output = %s", got)
+	}
+	x = b.ConvSq(x, 64, 7, 2, tensor.Valid)
+	if got := x.Spec().Shape; !got.Equal(tensor.NHWC(2, 112, 112, 64)) {
+		t.Errorf("post-pad conv output = %s", got)
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	b := NewBuilder("bad", 2)
+	x := b.Input(8, 8, 3)
+	flat := b.Flatten(x)
+	// Conv on rank-2 tensor must set the error and subsequent calls
+	// must be no-ops.
+	y := b.ConvSq(flat, 8, 3, 1, tensor.Same)
+	if b.Err() == nil {
+		t.Fatal("Conv on rank-2 input should set builder error")
+	}
+	_ = b.ReLU(y)
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish should surface the builder error")
+	}
+}
+
+func TestFinishTwiceFails(t *testing.T) {
+	g := NewBuilder("x", 1)
+	in := g.Input(4, 4, 1)
+	_ = in
+	if _, err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Finish(); err == nil {
+		t.Error("second Finish should fail")
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	b := NewBuilder("mismatch", 2)
+	x := b.Input(8, 8, 3)
+	a := b.ConvSq(x, 8, 3, 1, tensor.Same)
+	c := b.ConvSq(x, 16, 3, 1, tensor.Same)
+	b.Add(a, c)
+	if b.Err() == nil {
+		t.Error("Add with mismatched channels should fail")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	b := NewBuilder("c", 2)
+	x := b.Input(8, 8, 3)
+	a := b.ConvSq(x, 8, 3, 1, tensor.Same)
+	if b.Concat(a); b.Err() == nil {
+		t.Error("single-input concat should fail")
+	}
+	b2 := NewBuilder("c2", 2)
+	x2 := b2.Input(8, 8, 3)
+	a2 := b2.ConvSq(x2, 8, 3, 1, tensor.Same)
+	d2 := b2.ConvSq(x2, 8, 3, 2, tensor.Same) // different spatial dims
+	if b2.Concat(a2, d2); b2.Err() == nil {
+		t.Error("spatially mismatched concat should fail")
+	}
+}
+
+func TestDenseRequiresRank2(t *testing.T) {
+	b := NewBuilder("d", 2)
+	x := b.Input(8, 8, 3)
+	b.Dense(x, 10)
+	if b.Err() == nil {
+		t.Error("Dense on rank-4 input should fail")
+	}
+}
+
+func TestSoftmaxLossRequiresRank2(t *testing.T) {
+	b := NewBuilder("s", 2)
+	x := b.Input(8, 8, 3)
+	b.SoftmaxLoss(x)
+	if b.Err() == nil {
+		t.Error("SoftmaxLoss on rank-4 input should fail")
+	}
+}
+
+func TestGraphHasAllThreeClasses(t *testing.T) {
+	g := buildTinyCNN(t, 4)
+	byClass := g.CountByClass()
+	if byClass[ops.HeavyGPU] == 0 || byClass[ops.LightGPU] == 0 || byClass[ops.CPU] == 0 {
+		t.Errorf("training graph should contain all classes, got %v", byClass)
+	}
+}
+
+func TestScaleResidual(t *testing.T) {
+	b := NewBuilder("scale", 2)
+	x := b.Input(8, 8, 16)
+	r := b.ReLU(x)
+	s := b.ScaleResidual(r)
+	y := b.GlobalAvgPool(s)
+	y = b.Squeeze(y)
+	y = b.Dense(y, 4)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountByType()[ops.Mul] < 2 { // forward scale + loss grad + scale grad
+		t.Errorf("Mul count = %d", g.CountByType()[ops.Mul])
+	}
+}
+
+func TestAvgPoolGradStructure(t *testing.T) {
+	b := NewBuilder("avg", 2)
+	x := b.Input(8, 8, 4)
+	x = b.ConvSq(x, 4, 3, 1, tensor.Same)
+	x = b.AvgPool(x, 2, 2, tensor.Valid)
+	y := b.Flatten(x)
+	y = b.Dense(y, 3)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := g.CountByType()
+	if byType[ops.AvgPool] != 1 || byType[ops.AvgPoolGrad] != 1 {
+		t.Errorf("AvgPool fwd/bwd = %d/%d", byType[ops.AvgPool], byType[ops.AvgPoolGrad])
+	}
+	// AvgPoolGrad reads only the upstream gradient.
+	for _, n := range g.Nodes() {
+		if n.Op.Type == ops.AvgPoolGrad && len(n.Op.Inputs) != 1 {
+			t.Errorf("AvgPoolGrad inputs = %d, want 1", len(n.Op.Inputs))
+		}
+		if n.Op.Type == ops.MaxPoolGrad && len(n.Op.Inputs) != 3 {
+			t.Errorf("MaxPoolGrad inputs = %d, want 3", len(n.Op.Inputs))
+		}
+	}
+}
+
+func TestDepthwiseConv(t *testing.T) {
+	b := NewBuilder("dw", 4)
+	x := b.Input(32, 32, 8)
+	x = b.ConvSq(x, 16, 1, 1, tensor.Same) // give the depthwise layer a grad-carrying input
+	convParams := b.Params()
+	x = b.DepthwiseConv(x, 3, 1, tensor.Same)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if got := x.Spec().Shape; !got.Equal(tensor.NHWC(4, 32, 32, 16)) {
+		t.Errorf("depthwise output = %s", got)
+	}
+	// Params: one 3x3 filter per channel.
+	if b.Params()-convParams != 3*3*16 {
+		t.Errorf("depthwise params = %d, want %d", b.Params()-convParams, 3*3*16)
+	}
+	y := b.GlobalAvgPool(x)
+	y = b.Squeeze(y)
+	y = b.Dense(y, 4)
+	b.SoftmaxLoss(y)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward + dW + dX.
+	if got := g.CountByType()[ops.DepthwiseConv2D]; got != 3 {
+		t.Errorf("DepthwiseConv2D op count = %d, want 3", got)
+	}
+}
+
+func TestDepthwiseConvStride2(t *testing.T) {
+	b := NewBuilder("dw2", 2)
+	x := b.Input(64, 64, 8)
+	x = b.DepthwiseConv(x, 3, 2, tensor.Same)
+	if got := x.Spec().Shape; !got.Equal(tensor.NHWC(2, 32, 32, 8)) {
+		t.Errorf("stride-2 depthwise output = %s", got)
+	}
+	// Rank-2 input rejected.
+	b2 := NewBuilder("bad", 2)
+	x2 := b2.Input(8, 8, 3)
+	f2 := b2.Flatten(x2)
+	b2.DepthwiseConv(f2, 3, 1, tensor.Same)
+	if b2.Err() == nil {
+		t.Error("depthwise on rank-2 input should fail")
+	}
+}
+
+// Property: for every activation layer, the backward sweep emits at
+// least one gradient op per forward op and the graph stays valid.
+func TestLayerBackwardStructureMatrix(t *testing.T) {
+	type build func(b *Builder, x Tensor) Tensor
+	cases := map[string]struct {
+		fwd      build
+		gradType ops.Type
+	}{
+		"relu":      {func(b *Builder, x Tensor) Tensor { return b.ReLU(x) }, ops.ReluGrad},
+		"bn":        {func(b *Builder, x Tensor) Tensor { return b.BatchNorm(x) }, ops.FusedBatchNormGradV3},
+		"maxpool":   {func(b *Builder, x Tensor) Tensor { return b.MaxPool(x, 2, 2, tensor.Valid) }, ops.MaxPoolGrad},
+		"avgpool":   {func(b *Builder, x Tensor) Tensor { return b.AvgPool(x, 2, 2, tensor.Valid) }, ops.AvgPoolGrad},
+		"conv":      {func(b *Builder, x Tensor) Tensor { return b.ConvSq(x, 8, 3, 1, tensor.Same) }, ops.Conv2DBackpropFilter},
+		"bias":      {func(b *Builder, x Tensor) Tensor { return b.BiasAdd(x) }, ops.BiasAddGrad},
+		"depthwise": {func(b *Builder, x Tensor) Tensor { return b.DepthwiseConv(x, 3, 1, tensor.Same) }, ops.DepthwiseConv2D},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := NewBuilder(name, 2)
+			x := b.Input(16, 16, 8)
+			x = b.ConvSq(x, 8, 3, 1, tensor.Same) // ensure gradient flows past the layer under test
+			x = c.fwd(b, x)
+			y := b.GlobalAvgPool(x)
+			y = b.Squeeze(y)
+			y = b.Dense(y, 4)
+			b.SoftmaxLoss(y)
+			g, err := b.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.CountByType()[c.gradType] == 0 {
+				t.Errorf("%s: no %s gradient op emitted", name, c.gradType)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+package ops
+
+import (
+	"fmt"
+
+	"ceer/internal/tensor"
+)
+
+// Op is one operation instance: a type applied to concrete input tensors
+// producing one output tensor. Window carries the kernel/stride/padding
+// attributes of convolution and pooling operations; it is nil for all
+// other types.
+type Op struct {
+	Type   Type
+	Inputs []tensor.Spec
+	Output tensor.Spec
+	Window *tensor.Window
+}
+
+// Meta returns the catalog entry for the op's type.
+func (o *Op) Meta() Meta { return MustLookup(o.Type) }
+
+// Class returns the op's execution class.
+func (o *Op) Class() Class { return o.Meta().Class }
+
+// Validate checks structural consistency: a known type, at least one
+// input (except source ops), valid shapes, and window attributes present
+// exactly when required.
+func (o *Op) Validate() error {
+	m, ok := Lookup(o.Type)
+	if !ok {
+		return fmt.Errorf("ops: unknown type %q", o.Type)
+	}
+	if !o.Output.Shape.Valid() {
+		return fmt.Errorf("ops: %s has invalid output shape %s", o.Type, o.Output.Shape)
+	}
+	for i, in := range o.Inputs {
+		if !in.Shape.Valid() {
+			return fmt.Errorf("ops: %s input %d has invalid shape %s", o.Type, i, in.Shape)
+		}
+	}
+	if windowRequired(o.Type) {
+		if o.Window == nil {
+			return fmt.Errorf("ops: %s requires window attributes", o.Type)
+		}
+		if !o.Window.Valid() {
+			return fmt.Errorf("ops: %s has invalid window %+v", o.Type, *o.Window)
+		}
+	}
+	if len(o.Inputs) == 0 && m.Class != CPU && o.Type != Fill {
+		return fmt.Errorf("ops: %s has no inputs", o.Type)
+	}
+	return nil
+}
+
+func windowRequired(t Type) bool {
+	switch t {
+	case Conv2D, Conv2DBackpropFilter, Conv2DBackpropInput,
+		DepthwiseConv2D, MaxPool, MaxPoolGrad, AvgPool, AvgPoolGrad:
+		return true
+	}
+	return false
+}
+
+// InputBytes returns the total byte size of all inputs.
+func (o *Op) InputBytes() int64 {
+	var n int64
+	for _, in := range o.Inputs {
+		n += in.Bytes()
+	}
+	return n
+}
+
+// OutputBytes returns the byte size of the output tensor.
+func (o *Op) OutputBytes() int64 { return o.Output.Bytes() }
+
+// BytesMoved returns the total memory traffic of the op: every input
+// read once plus the output written once. Gradient pooling ops also
+// re-read the forward output, which the formula approximates by counting
+// their (already enlarged) input lists.
+func (o *Op) BytesMoved() int64 { return o.InputBytes() + o.OutputBytes() }
+
+// FLOPs estimates the floating-point operation count of the op. The
+// estimates follow standard per-type formulas (2 FLOPs per MAC for
+// convolutions and matrix multiplies, a small constant per element for
+// element-wise and normalization ops). Ops whose cost is pure data
+// movement or host overhead report their element count.
+func (o *Op) FLOPs() int64 {
+	switch o.Type {
+	case Conv2D:
+		return o.convFLOPs()
+	case DepthwiseConv2D:
+		// One kh×kw filter per channel: each output element accumulates
+		// kh·kw products.
+		if o.Window != nil {
+			return 2 * o.Output.Elements() * o.Window.KernelH * o.Window.KernelW
+		}
+		return o.Output.Elements() * 2
+	case Conv2DBackpropInput:
+		// dX = dY ⊛ rot180(W): same MAC count as the forward pass.
+		return o.convFLOPs()
+	case Conv2DBackpropFilter:
+		// dW = X ⊛ dY: same MAC count as the forward pass.
+		return o.convFLOPs()
+	case MatMul:
+		if len(o.Inputs) >= 2 {
+			if f, err := tensor.MatMulFLOPs(o.Inputs[0].Shape, o.Inputs[1].Shape); err == nil {
+				return f
+			}
+		}
+		return o.Output.Elements() * 2
+	case MaxPool, AvgPool:
+		if o.Window != nil && len(o.Inputs) >= 1 {
+			if f, err := tensor.PoolFLOPs(o.Inputs[0].Shape, *o.Window); err == nil {
+				return f
+			}
+		}
+		return o.Output.Elements()
+	case MaxPoolGrad, AvgPoolGrad:
+		// Scatter one contribution per forward-window element.
+		if o.Window != nil {
+			return o.Output.Elements() * o.Window.KernelH * o.Window.KernelW
+		}
+		return o.Output.Elements() * 2
+	case FusedBatchNormV3:
+		// Two reduction passes plus scale/shift: ~8 FLOPs per element.
+		return o.Output.Elements() * 8
+	case FusedBatchNormGradV3:
+		return o.Output.Elements() * 11
+	case SoftmaxXent:
+		// exp + sum + log + subtract per logit.
+		return firstInputElements(o) * 6
+	case AddN:
+		// (n-1) adds per element.
+		n := int64(len(o.Inputs))
+		if n < 2 {
+			n = 2
+		}
+		return o.Output.Elements() * (n - 1)
+	case L2Loss:
+		return firstInputElements(o) * 2
+	case ApplyMomentum, ApplyGradDesc:
+		return firstInputElements(o) * 3
+	default:
+		// One op per output element: Relu, adds, muls, casts, pads, ...
+		return o.Output.Elements()
+	}
+}
+
+func (o *Op) convFLOPs() int64 {
+	// Convolution instances carry [input, filter] (forward), or gradient
+	// equivalents with the same shape population; locate the rank-4
+	// NHWC input and the rank-4 HWIO filter among inputs/output.
+	in, filter := o.convShapes()
+	if in == nil || filter == nil || o.Window == nil {
+		return o.Output.Elements() * 2
+	}
+	if f, err := tensor.ConvFLOPs(in, filter, *o.Window); err == nil {
+		return f
+	}
+	return o.Output.Elements() * 2
+}
+
+// convShapes identifies the image-input and filter shapes of a conv-family
+// op, regardless of the direction (forward, input-grad, filter-grad).
+func (o *Op) convShapes() (in, filter tensor.Shape) {
+	pick := func(s tensor.Shape) {
+		if s.Rank() != 4 {
+			return
+		}
+		// HWIO filters in these networks are small spatially (<= 11) and
+		// their first two dims equal the window kernel.
+		if o.Window != nil && s.Dim(0) == o.Window.KernelH && s.Dim(1) == o.Window.KernelW && filter == nil {
+			filter = s
+			return
+		}
+		if in == nil {
+			in = s
+		}
+	}
+	switch o.Type {
+	case Conv2D:
+		if len(o.Inputs) >= 2 {
+			return o.Inputs[0].Shape, o.Inputs[1].Shape
+		}
+	case Conv2DBackpropInput:
+		// Inputs: [filter, dY]; output is dX with the forward input shape.
+		if len(o.Inputs) >= 2 {
+			return o.Output.Shape, o.Inputs[0].Shape
+		}
+	case Conv2DBackpropFilter:
+		// Inputs: [X, dY]; output is dW with the filter shape.
+		if len(o.Inputs) >= 2 {
+			return o.Inputs[0].Shape, o.Output.Shape
+		}
+	}
+	for _, i := range o.Inputs {
+		pick(i.Shape)
+	}
+	pick(o.Output.Shape)
+	return in, filter
+}
+
+// Features returns the regression feature vector of the op, the "input
+// size" predictors of Section IV-B. The arity is fixed per type (see
+// Meta.FeatureArity): conv ops expose [data-input bytes, filter bytes,
+// output bytes, MAC depth], where MAC depth = kh·kw·inC is derived from
+// the filter and stride attributes (the paper's "supplemental inputs");
+// matmul ops expose [operand bytes ×2, output bytes]; windowed pooling
+// ops expose [input bytes, output bytes, window area]; all remaining
+// ops expose [total input bytes, output bytes].
+func (o *Op) Features() []float64 {
+	switch o.Type {
+	case Conv2D:
+		return append([]float64{inBytesAt(o, 0), inBytesAt(o, 1), float64(o.OutputBytes()), o.macDepth()}, o.kernelRegime()...)
+	case DepthwiseConv2D:
+		depth := float64(0)
+		if o.Window != nil {
+			depth = float64(o.Window.KernelH * o.Window.KernelW)
+		}
+		return append([]float64{inBytesAt(o, 0), inBytesAt(o, 1), float64(o.OutputBytes()), depth}, o.kernelRegime()...)
+	case Conv2DBackpropInput:
+		// Inputs [filter, dY]: report the gradient tensor first so the
+		// leading feature is always the "image-like" operand.
+		return append([]float64{inBytesAt(o, 1), inBytesAt(o, 0), float64(o.OutputBytes()), o.macDepth()}, o.kernelRegime()...)
+	case Conv2DBackpropFilter:
+		return append([]float64{inBytesAt(o, 0), inBytesAt(o, 1), float64(o.OutputBytes()), o.macDepth()}, o.kernelRegime()...)
+	case MatMul:
+		return []float64{inBytesAt(o, 0), inBytesAt(o, 1), float64(o.OutputBytes())}
+	case MaxPool, AvgPool, MaxPoolGrad, AvgPoolGrad:
+		area := float64(0)
+		if o.Window != nil {
+			area = float64(o.Window.KernelH * o.Window.KernelW)
+		}
+		return []float64{float64(o.InputBytes()), float64(o.OutputBytes()), area}
+	default:
+		return []float64{float64(o.InputBytes()), float64(o.OutputBytes())}
+	}
+}
+
+// macDepth returns kh·kw·inC, the multiply-accumulate count per output
+// element of a conv-family op — a deterministic function of the filter
+// shape and window attributes.
+func (o *Op) macDepth() float64 {
+	_, filter := o.convShapes()
+	if filter == nil || filter.Rank() != 4 || o.Window == nil {
+		return 0
+	}
+	return float64(o.Window.KernelH * o.Window.KernelW * filter.Dim(2))
+}
+
+// kernelRegime returns two bounded indicator features — [is 1×1,
+// is asymmetric] — letting per-op regressions separate the 1×1-GEMM and
+// 1×N/N×1 kernel regimes without extrapolation risk (supplemental
+// inputs, as in Section IV-B).
+func (o *Op) kernelRegime() []float64 {
+	out := []float64{0, 0}
+	if o.Window == nil {
+		return out
+	}
+	if o.Window.KernelH == 1 && o.Window.KernelW == 1 {
+		out[0] = 1
+	} else if o.Window.KernelH != o.Window.KernelW {
+		out[1] = 1
+	}
+	return out
+}
+
+func inBytesAt(o *Op, i int) float64 {
+	if i < len(o.Inputs) {
+		return float64(o.Inputs[i].Bytes())
+	}
+	return 0
+}
+
+func firstInputElements(o *Op) int64 {
+	if len(o.Inputs) > 0 {
+		return o.Inputs[0].Elements()
+	}
+	return o.Output.Elements()
+}
+
+// String renders a compact description such as
+// "Conv2D(float32[32x224x224x3], float32[3x3x3x64]) -> float32[32x224x224x64]".
+func (o *Op) String() string {
+	s := string(o.Type) + "("
+	for i, in := range o.Inputs {
+		if i > 0 {
+			s += ", "
+		}
+		s += in.String()
+	}
+	return s + ") -> " + o.Output.String()
+}

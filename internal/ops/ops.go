@@ -1,0 +1,288 @@
+// Package ops defines the vocabulary of CNN compute operations that
+// appear in the training DAGs: their names (matching TensorFlow's
+// operation types), their execution class (heavy GPU, light GPU, or
+// CPU-resident), their resource profile (compute- vs. memory-bound), and
+// the cost formulas (FLOPs, bytes moved) and regression features derived
+// from each operation instance.
+//
+// The paper's key empirical observation (Section III-A) is that CNNs are
+// composed from a small set of unique operation types, with roughly 20
+// "heavy" GPU operations contributing 47%–94% of training time. This
+// package is the shared definition of that vocabulary for the graph
+// builder, the hardware simulator, and the Ceer predictor.
+package ops
+
+import "fmt"
+
+// Type names an operation type, e.g. "Conv2D". Values match TensorFlow's
+// operation type strings so traces read like real TF timelines.
+type Type string
+
+// GPU operation types observed as heavy in the paper's Figure 2.
+const (
+	Conv2D               Type = "Conv2D"
+	Conv2DBackpropFilter Type = "Conv2DBackpropFilter"
+	Conv2DBackpropInput  Type = "Conv2DBackpropInput"
+	MatMul               Type = "MatMul"
+	MaxPool              Type = "MaxPool"
+	MaxPoolGrad          Type = "MaxPoolGrad"
+	AvgPool              Type = "AvgPool"
+	AvgPoolGrad          Type = "AvgPoolGrad"
+	FusedBatchNormV3     Type = "FusedBatchNormV3"
+	FusedBatchNormGradV3 Type = "FusedBatchNormGradV3"
+	Relu                 Type = "Relu"
+	ReluGrad             Type = "ReluGrad"
+	BiasAdd              Type = "BiasAdd"
+	BiasAddGrad          Type = "BiasAddGrad"
+	AddV2                Type = "AddV2"
+	AddN                 Type = "AddN"
+	Mul                  Type = "Mul"
+	Transpose            Type = "Transpose"
+	ConcatV2             Type = "ConcatV2"
+	Slice                Type = "Slice"
+)
+
+// Heavy GPU operation types that do NOT occur in the paper's 12 CNNs.
+// They exercise Ceer's unseen-heavy-operation path (Section IV-D): a
+// predictor trained on the standard zoo has no model for them until it
+// is retrained on graphs that contain them.
+const (
+	DepthwiseConv2D Type = "DepthwiseConv2dNative"
+)
+
+// Light GPU operation types: present in every training iteration but
+// individually cheap (< 0.5 ms on a P2 instance, per the paper's
+// threshold), and highly variable.
+const (
+	Identity      Type = "Identity"
+	Reshape       Type = "Reshape"
+	Squeeze       Type = "Squeeze"
+	Cast          Type = "Cast"
+	Pad           Type = "Pad"
+	SoftmaxXent   Type = "SoftmaxCrossEntropyWithLogits"
+	StridedSlice  Type = "StridedSlice"
+	Shape         Type = "Shape"
+	Fill          Type = "Fill"
+	Sum           Type = "Sum"
+	Mean          Type = "Mean"
+	Sub           Type = "Sub"
+	RealDiv       Type = "RealDiv"
+	Sqrt          Type = "Sqrt"
+	Rsqrt         Type = "Rsqrt"
+	Maximum       Type = "Maximum"
+	Softmax       Type = "Softmax"
+	L2Loss        Type = "L2Loss"
+	Tile          Type = "Tile"
+	ZerosLike     Type = "ZerosLike"
+	ApplyMomentum Type = "ApplyMomentum"
+	ApplyGradDesc Type = "ApplyGradientDescent"
+)
+
+// CPU-resident operation types: parts of the DAG that lack a GPU kernel
+// (e.g. SparseToDense) or belong to the input pipeline.
+const (
+	IteratorGetNext Type = "IteratorGetNext"
+	SparseToDense   Type = "SparseToDense"
+	OneHot          Type = "OneHot"
+	Range           Type = "Range"
+	Pack            Type = "Pack"
+	ExpandDims      Type = "ExpandDims"
+	ArgMax          Type = "ArgMax"
+	Equal           Type = "Equal"
+	Prod            Type = "Prod"
+	Floor           Type = "Floor"
+	RandomUniform   Type = "RandomUniform"
+	NoOp            Type = "NoOp"
+)
+
+// Class partitions operations by where and how expensively they execute,
+// mirroring the paper's heavy GPU / light GPU / CPU taxonomy.
+type Class int
+
+const (
+	// HeavyGPU operations dominate training time and have low per-(type,
+	// input size) variability; Ceer models them with per-type regressions.
+	HeavyGPU Class = iota
+	// LightGPU operations are individually negligible (< 0.5 ms on P2)
+	// but numerous and highly variable; Ceer uses a global sample median.
+	LightGPU
+	// CPU operations run on the host because they lack a GPU kernel;
+	// Ceer uses a global sample median for them as well.
+	CPU
+)
+
+// String returns a short class label.
+func (c Class) String() string {
+	switch c {
+	case HeavyGPU:
+		return "heavy-gpu"
+	case LightGPU:
+		return "light-gpu"
+	case CPU:
+		return "cpu"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ResourceKind captures which hardware resource bounds an operation in
+// the roofline execution model.
+type ResourceKind int
+
+const (
+	// ComputeBound operations are limited by arithmetic throughput
+	// (convolutions, matrix multiplies).
+	ComputeBound ResourceKind = iota
+	// MemoryBound operations are limited by memory bandwidth (pooling,
+	// normalization, element-wise ops).
+	MemoryBound
+	// OverheadBound operations cost little beyond kernel-launch or host
+	// dispatch overhead.
+	OverheadBound
+)
+
+// String returns a short kind label.
+func (k ResourceKind) String() string {
+	switch k {
+	case ComputeBound:
+		return "compute"
+	case MemoryBound:
+		return "memory"
+	case OverheadBound:
+		return "overhead"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Meta is the static description of one operation type.
+type Meta struct {
+	Type  Type
+	Class Class
+	Kind  ResourceKind
+	// FeatureArity is the length of the regression feature vector
+	// produced by Op.Features for this type.
+	FeatureArity int
+}
+
+// catalog lists every known operation type. Heavy ops carry richer
+// feature vectors (the paper's "supplemental inputs": filters, windows).
+var catalog = map[Type]Meta{
+	// Heavy GPU — compute bound.
+	Conv2D:               {Conv2D, HeavyGPU, ComputeBound, 6},
+	Conv2DBackpropFilter: {Conv2DBackpropFilter, HeavyGPU, ComputeBound, 6},
+	Conv2DBackpropInput:  {Conv2DBackpropInput, HeavyGPU, ComputeBound, 6},
+	MatMul:               {MatMul, HeavyGPU, ComputeBound, 3},
+	// Heavy GPU — memory bound.
+	MaxPool:              {MaxPool, HeavyGPU, MemoryBound, 3},
+	MaxPoolGrad:          {MaxPoolGrad, HeavyGPU, MemoryBound, 3},
+	AvgPool:              {AvgPool, HeavyGPU, MemoryBound, 3},
+	AvgPoolGrad:          {AvgPoolGrad, HeavyGPU, MemoryBound, 3},
+	FusedBatchNormV3:     {FusedBatchNormV3, HeavyGPU, MemoryBound, 2},
+	FusedBatchNormGradV3: {FusedBatchNormGradV3, HeavyGPU, MemoryBound, 2},
+	Relu:                 {Relu, HeavyGPU, MemoryBound, 2},
+	ReluGrad:             {ReluGrad, HeavyGPU, MemoryBound, 2},
+	BiasAdd:              {BiasAdd, HeavyGPU, MemoryBound, 2},
+	BiasAddGrad:          {BiasAddGrad, HeavyGPU, MemoryBound, 2},
+	AddV2:                {AddV2, HeavyGPU, MemoryBound, 2},
+	AddN:                 {AddN, HeavyGPU, MemoryBound, 2},
+	Mul:                  {Mul, HeavyGPU, MemoryBound, 2},
+	Transpose:            {Transpose, HeavyGPU, MemoryBound, 2},
+	ConcatV2:             {ConcatV2, HeavyGPU, MemoryBound, 2},
+	Slice:                {Slice, HeavyGPU, MemoryBound, 2},
+	DepthwiseConv2D:      {DepthwiseConv2D, HeavyGPU, ComputeBound, 6},
+
+	// Light GPU.
+	Identity:      {Identity, LightGPU, OverheadBound, 2},
+	Reshape:       {Reshape, LightGPU, OverheadBound, 2},
+	Squeeze:       {Squeeze, LightGPU, OverheadBound, 2},
+	Cast:          {Cast, LightGPU, MemoryBound, 2},
+	Pad:           {Pad, LightGPU, MemoryBound, 2},
+	SoftmaxXent:   {SoftmaxXent, LightGPU, MemoryBound, 2},
+	StridedSlice:  {StridedSlice, LightGPU, MemoryBound, 2},
+	Shape:         {Shape, LightGPU, OverheadBound, 2},
+	Fill:          {Fill, LightGPU, MemoryBound, 2},
+	Sum:           {Sum, LightGPU, MemoryBound, 2},
+	Mean:          {Mean, LightGPU, MemoryBound, 2},
+	Sub:           {Sub, LightGPU, MemoryBound, 2},
+	RealDiv:       {RealDiv, LightGPU, MemoryBound, 2},
+	Sqrt:          {Sqrt, LightGPU, MemoryBound, 2},
+	Rsqrt:         {Rsqrt, LightGPU, MemoryBound, 2},
+	Maximum:       {Maximum, LightGPU, MemoryBound, 2},
+	Softmax:       {Softmax, LightGPU, MemoryBound, 2},
+	L2Loss:        {L2Loss, LightGPU, MemoryBound, 2},
+	Tile:          {Tile, LightGPU, MemoryBound, 2},
+	ZerosLike:     {ZerosLike, LightGPU, MemoryBound, 2},
+	ApplyMomentum: {ApplyMomentum, LightGPU, MemoryBound, 2},
+	ApplyGradDesc: {ApplyGradDesc, LightGPU, MemoryBound, 2},
+
+	// CPU.
+	IteratorGetNext: {IteratorGetNext, CPU, OverheadBound, 2},
+	SparseToDense:   {SparseToDense, CPU, OverheadBound, 2},
+	OneHot:          {OneHot, CPU, OverheadBound, 2},
+	Range:           {Range, CPU, OverheadBound, 2},
+	Pack:            {Pack, CPU, OverheadBound, 2},
+	ExpandDims:      {ExpandDims, CPU, OverheadBound, 2},
+	ArgMax:          {ArgMax, CPU, OverheadBound, 2},
+	Equal:           {Equal, CPU, OverheadBound, 2},
+	Prod:            {Prod, CPU, OverheadBound, 2},
+	Floor:           {Floor, CPU, OverheadBound, 2},
+	RandomUniform:   {RandomUniform, CPU, OverheadBound, 2},
+	NoOp:            {NoOp, CPU, OverheadBound, 2},
+}
+
+// Lookup returns the metadata for an operation type.
+func Lookup(t Type) (Meta, bool) {
+	m, ok := catalog[t]
+	return m, ok
+}
+
+// MustLookup returns the metadata for a type known to exist, panicking
+// otherwise. The graph builder only emits catalogued types.
+func MustLookup(t Type) Meta {
+	m, ok := catalog[t]
+	if !ok {
+		panic(fmt.Sprintf("ops: unknown operation type %q", t))
+	}
+	return m
+}
+
+// Known reports whether t is in the catalog.
+func Known(t Type) bool {
+	_, ok := catalog[t]
+	return ok
+}
+
+// AllTypes returns every catalogued operation type in deterministic
+// (sorted) order.
+func AllTypes() []Type {
+	out := make([]Type, 0, len(catalog))
+	for t := range catalog {
+		out = append(out, t)
+	}
+	sortTypes(out)
+	return out
+}
+
+// TypesByClass returns the catalogued types of one class in sorted order.
+func TypesByClass(c Class) []Type {
+	var out []Type
+	for t, m := range catalog {
+		if m.Class == c {
+			out = append(out, t)
+		}
+	}
+	sortTypes(out)
+	return out
+}
+
+// HeavyTypes returns the 20 heavy GPU operation types of Figure 2.
+func HeavyTypes() []Type { return TypesByClass(HeavyGPU) }
+
+func sortTypes(ts []Type) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package ops
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/tensor"
+)
+
+func TestCatalogConsistency(t *testing.T) {
+	for _, tp := range AllTypes() {
+		m, ok := Lookup(tp)
+		if !ok {
+			t.Fatalf("AllTypes returned unknown type %q", tp)
+		}
+		if m.Type != tp {
+			t.Errorf("catalog entry for %q reports type %q", tp, m.Type)
+		}
+		if m.FeatureArity < 2 || m.FeatureArity > 6 {
+			t.Errorf("%q has unexpected feature arity %d", tp, m.FeatureArity)
+		}
+	}
+}
+
+func TestHeavyTypesCount(t *testing.T) {
+	heavy := HeavyTypes()
+	// The paper's 20 heavy ops plus DepthwiseConv2dNative, which exists
+	// in the catalog solely to exercise the unseen-heavy-op path.
+	if len(heavy) != 21 {
+		t.Errorf("heavy op count = %d, want 21 (paper Fig. 2's 20 + depthwise)", len(heavy))
+	}
+	if !sort.SliceIsSorted(heavy, func(i, j int) bool { return heavy[i] < heavy[j] }) {
+		t.Error("HeavyTypes not sorted")
+	}
+	want := map[Type]bool{
+		Conv2D: true, Conv2DBackpropFilter: true, Conv2DBackpropInput: true,
+		MaxPool: true, MaxPoolGrad: true, AvgPool: true, AvgPoolGrad: true,
+		FusedBatchNormV3: true, FusedBatchNormGradV3: true,
+		Relu: true, ReluGrad: true, BiasAdd: true, BiasAddGrad: true,
+		AddV2: true, AddN: true, MatMul: true, Mul: true,
+		Transpose: true, ConcatV2: true, Slice: true,
+		DepthwiseConv2D: true,
+	}
+	for _, h := range heavy {
+		if !want[h] {
+			t.Errorf("unexpected heavy type %q", h)
+		}
+	}
+}
+
+func TestTypesByClassPartition(t *testing.T) {
+	total := len(TypesByClass(HeavyGPU)) + len(TypesByClass(LightGPU)) + len(TypesByClass(CPU))
+	if total != len(AllTypes()) {
+		t.Errorf("classes partition %d types, catalog has %d", total, len(AllTypes()))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("Bogus"); ok {
+		t.Error("Lookup should miss unknown type")
+	}
+	if Known("Bogus") {
+		t.Error("Known should be false for unknown type")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown type")
+		}
+	}()
+	MustLookup("Bogus")
+}
+
+func TestClassAndKindStrings(t *testing.T) {
+	if HeavyGPU.String() != "heavy-gpu" || LightGPU.String() != "light-gpu" || CPU.String() != "cpu" {
+		t.Error("class labels wrong")
+	}
+	if Class(9).String() == "" || ResourceKind(9).String() == "" {
+		t.Error("unknown enum values should still render")
+	}
+	if ComputeBound.String() != "compute" || MemoryBound.String() != "memory" || OverheadBound.String() != "overhead" {
+		t.Error("kind labels wrong")
+	}
+}
+
+func convOp(batch int64) *Op {
+	w := tensor.Win(3, 1, tensor.Same)
+	in := tensor.F32(batch, 56, 56, 64)
+	filter := tensor.F32(3, 3, 64, 128)
+	out := tensor.F32(batch, 56, 56, 128)
+	return &Op{Type: Conv2D, Inputs: []tensor.Spec{in, filter}, Output: out, Window: &w}
+}
+
+func TestConvOpValidateAndCosts(t *testing.T) {
+	op := convOp(32)
+	if err := op.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantFLOPs := int64(2) * 32 * 56 * 56 * 128 * 3 * 3 * 64
+	if got := op.FLOPs(); got != wantFLOPs {
+		t.Errorf("Conv2D FLOPs = %d, want %d", got, wantFLOPs)
+	}
+	if op.InputBytes() != (32*56*56*64+3*3*64*128)*4 {
+		t.Errorf("InputBytes = %d", op.InputBytes())
+	}
+	if op.OutputBytes() != 32*56*56*128*4 {
+		t.Errorf("OutputBytes = %d", op.OutputBytes())
+	}
+	if op.BytesMoved() != op.InputBytes()+op.OutputBytes() {
+		t.Error("BytesMoved != in+out")
+	}
+	f := op.Features()
+	if len(f) != 6 {
+		t.Fatalf("Conv2D features len = %d", len(f))
+	}
+	if f[4] != 0 || f[5] != 0 {
+		t.Errorf("3x3 conv regime indicators = %v,%v, want 0,0", f[4], f[5])
+	}
+	if f[0] != float64(32*56*56*64*4) || f[1] != float64(3*3*64*128*4) {
+		t.Errorf("Conv2D features = %v", f)
+	}
+	if f[3] != float64(3*3*64) {
+		t.Errorf("Conv2D MAC depth = %v, want %v", f[3], 3*3*64)
+	}
+}
+
+func TestConvBackpropFLOPsMatchForward(t *testing.T) {
+	w := tensor.Win(3, 1, tensor.Same)
+	x := tensor.F32(8, 28, 28, 32)
+	filter := tensor.F32(3, 3, 32, 64)
+	dy := tensor.F32(8, 28, 28, 64)
+
+	fwd := &Op{Type: Conv2D, Inputs: []tensor.Spec{x, filter}, Output: dy, Window: &w}
+	dIn := &Op{Type: Conv2DBackpropInput, Inputs: []tensor.Spec{filter, dy}, Output: x, Window: &w}
+	dW := &Op{Type: Conv2DBackpropFilter, Inputs: []tensor.Spec{x, dy}, Output: filter, Window: &w}
+
+	for _, op := range []*Op{dIn, dW} {
+		if err := op.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if op.FLOPs() != fwd.FLOPs() {
+			t.Errorf("%s FLOPs = %d, want forward %d", op.Type, op.FLOPs(), fwd.FLOPs())
+		}
+	}
+}
+
+func TestPoolOps(t *testing.T) {
+	w := tensor.Win(2, 2, tensor.Valid)
+	in := tensor.F32(4, 8, 8, 16)
+	out := tensor.F32(4, 4, 4, 16)
+	pool := &Op{Type: MaxPool, Inputs: []tensor.Spec{in}, Output: out, Window: &w}
+	if err := pool.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.FLOPs(); got != 4*4*4*16*4 {
+		t.Errorf("MaxPool FLOPs = %d", got)
+	}
+	f := pool.Features()
+	if len(f) != 3 || f[2] != 4 {
+		t.Errorf("pool features = %v", f)
+	}
+
+	grad := &Op{Type: MaxPoolGrad, Inputs: []tensor.Spec{in, out, out}, Output: in, Window: &w}
+	if err := grad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if grad.FLOPs() <= 0 {
+		t.Error("MaxPoolGrad FLOPs should be positive")
+	}
+}
+
+func TestMatMulOp(t *testing.T) {
+	a := tensor.F32(32, 4096)
+	b := tensor.F32(4096, 1000)
+	out := tensor.F32(32, 1000)
+	op := &Op{Type: MatMul, Inputs: []tensor.Spec{a, b}, Output: out}
+	if err := op.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := op.FLOPs(); got != 2*32*4096*1000 {
+		t.Errorf("MatMul FLOPs = %d", got)
+	}
+	if len(op.Features()) != 3 {
+		t.Error("MatMul features should have arity 3")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	in := tensor.F32(32, 56, 56, 64)
+	relu := &Op{Type: Relu, Inputs: []tensor.Spec{in}, Output: in}
+	if err := relu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if relu.FLOPs() != in.Elements() {
+		t.Errorf("Relu FLOPs = %d, want %d", relu.FLOPs(), in.Elements())
+	}
+	if len(relu.Features()) != 2 {
+		t.Error("Relu features should have arity 2")
+	}
+
+	bn := &Op{Type: FusedBatchNormV3, Inputs: []tensor.Spec{in, tensor.F32(64), tensor.F32(64)}, Output: in}
+	if bn.FLOPs() != in.Elements()*8 {
+		t.Errorf("BN FLOPs = %d", bn.FLOPs())
+	}
+
+	addN := &Op{Type: AddN, Inputs: []tensor.Spec{in, in, in}, Output: in}
+	if addN.FLOPs() != in.Elements()*2 {
+		t.Errorf("AddN(3) FLOPs = %d, want %d", addN.FLOPs(), in.Elements()*2)
+	}
+}
+
+func TestSoftmaxXentFLOPs(t *testing.T) {
+	logits := tensor.F32(32, 1000)
+	op := &Op{Type: SoftmaxXent, Inputs: []tensor.Spec{logits, logits}, Output: tensor.F32(32)}
+	if got := op.FLOPs(); got != 32*1000*6 {
+		t.Errorf("SoftmaxXent FLOPs = %d", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	w := tensor.Win(3, 1, tensor.Same)
+	cases := []*Op{
+		{Type: "Bogus", Output: tensor.F32(1)},
+		{Type: Relu, Inputs: []tensor.Spec{tensor.F32(1)}, Output: tensor.SpecOf(tensor.NewShape(0), tensor.Float32)},
+		{Type: Relu, Inputs: []tensor.Spec{tensor.SpecOf(tensor.NewShape(-1), tensor.Float32)}, Output: tensor.F32(1)},
+		{Type: Conv2D, Inputs: []tensor.Spec{tensor.F32(1, 4, 4, 1), tensor.F32(3, 3, 1, 1)}, Output: tensor.F32(1, 4, 4, 1)}, // missing window
+		{Type: Conv2D, Inputs: []tensor.Spec{tensor.F32(1, 4, 4, 1), tensor.F32(3, 3, 1, 1)}, Output: tensor.F32(1, 4, 4, 1), Window: &tensor.Window{}},
+		{Type: Relu, Output: tensor.F32(1)}, // no inputs
+	}
+	for i, op := range cases {
+		if err := op.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %s", i, op)
+		}
+	}
+	_ = w
+}
+
+func TestOpString(t *testing.T) {
+	op := &Op{Type: Relu, Inputs: []tensor.Spec{tensor.F32(2, 2)}, Output: tensor.F32(2, 2)}
+	want := "Relu(float32[2x2]) -> float32[2x2]"
+	if got := op.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: Conv2D FLOPs scale linearly with batch size.
+func TestConvFLOPsBatchProperty(t *testing.T) {
+	f := func(bRaw uint8) bool {
+		b := int64(bRaw%16) + 1
+		return convOp(b).FLOPs() == b*convOp(1).FLOPs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: feature vectors always match the catalogued arity and are
+// non-negative.
+func TestFeatureArityProperty(t *testing.T) {
+	mk := func(tp Type, b int64) *Op {
+		in := tensor.F32(b, 14, 14, 32)
+		switch tp {
+		case Conv2D:
+			return convOp(b)
+		case MatMul:
+			return &Op{Type: MatMul, Inputs: []tensor.Spec{tensor.F32(b, 64), tensor.F32(64, 10)}, Output: tensor.F32(b, 10)}
+		case MaxPool, AvgPool:
+			w := tensor.Win(2, 2, tensor.Valid)
+			return &Op{Type: tp, Inputs: []tensor.Spec{in}, Output: tensor.F32(b, 7, 7, 32), Window: &w}
+		default:
+			return &Op{Type: tp, Inputs: []tensor.Spec{in}, Output: in}
+		}
+	}
+	types := []Type{Conv2D, MatMul, MaxPool, AvgPool, Relu, AddV2, BiasAdd, Identity, IteratorGetNext}
+	f := func(bRaw, tRaw uint8) bool {
+		b := int64(bRaw%8) + 1
+		tp := types[int(tRaw)%len(types)]
+		op := mk(tp, b)
+		feats := op.Features()
+		if len(feats) != MustLookup(tp).FeatureArity {
+			return false
+		}
+		for _, v := range feats {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeavyOpCostTable exercises FLOPs, BytesMoved, and Features for a
+// realistic instance of every heavy type in one table.
+func TestHeavyOpCostTable(t *testing.T) {
+	w3 := tensor.Win(3, 1, tensor.Same)
+	w2 := tensor.Win(2, 2, tensor.Valid)
+	act := tensor.F32(8, 28, 28, 64)
+	half := tensor.F32(8, 14, 14, 64)
+	filt := tensor.F32(3, 3, 64, 64)
+	dwFilt := tensor.F32(3, 3, 64, 1)
+	perC := tensor.F32(64)
+
+	cases := []struct {
+		op        *Op
+		wantFLOPs int64
+	}{
+		{&Op{Type: Conv2D, Inputs: []tensor.Spec{act, filt}, Output: act, Window: &w3},
+			2 * 8 * 28 * 28 * 64 * 9 * 64},
+		{&Op{Type: Conv2DBackpropInput, Inputs: []tensor.Spec{filt, act}, Output: act, Window: &w3},
+			2 * 8 * 28 * 28 * 64 * 9 * 64},
+		{&Op{Type: Conv2DBackpropFilter, Inputs: []tensor.Spec{act, act}, Output: filt, Window: &w3},
+			2 * 8 * 28 * 28 * 64 * 9 * 64},
+		{&Op{Type: DepthwiseConv2D, Inputs: []tensor.Spec{act, dwFilt}, Output: act, Window: &w3},
+			2 * 8 * 28 * 28 * 64 * 9},
+		{&Op{Type: MatMul, Inputs: []tensor.Spec{tensor.F32(8, 64), tensor.F32(64, 10)}, Output: tensor.F32(8, 10)},
+			2 * 8 * 64 * 10},
+		{&Op{Type: MaxPool, Inputs: []tensor.Spec{act}, Output: half, Window: &w2},
+			8 * 14 * 14 * 64 * 4},
+		{&Op{Type: AvgPool, Inputs: []tensor.Spec{act}, Output: half, Window: &w2},
+			8 * 14 * 14 * 64 * 4},
+		{&Op{Type: MaxPoolGrad, Inputs: []tensor.Spec{act, half, half}, Output: act, Window: &w2},
+			8 * 28 * 28 * 64 * 4},
+		{&Op{Type: AvgPoolGrad, Inputs: []tensor.Spec{half}, Output: act, Window: &w2},
+			8 * 28 * 28 * 64 * 4},
+		{&Op{Type: FusedBatchNormV3, Inputs: []tensor.Spec{act, perC, perC}, Output: act},
+			8 * 28 * 28 * 64 * 8},
+		{&Op{Type: FusedBatchNormGradV3, Inputs: []tensor.Spec{act, act, perC}, Output: act},
+			8 * 28 * 28 * 64 * 11},
+		{&Op{Type: Relu, Inputs: []tensor.Spec{act}, Output: act}, 8 * 28 * 28 * 64},
+		{&Op{Type: ReluGrad, Inputs: []tensor.Spec{act, act}, Output: act}, 8 * 28 * 28 * 64},
+		{&Op{Type: BiasAdd, Inputs: []tensor.Spec{act, perC}, Output: act}, 8 * 28 * 28 * 64},
+		{&Op{Type: BiasAddGrad, Inputs: []tensor.Spec{act}, Output: perC}, 64},
+		{&Op{Type: AddV2, Inputs: []tensor.Spec{act, act}, Output: act}, 8 * 28 * 28 * 64},
+		{&Op{Type: AddN, Inputs: []tensor.Spec{act, act, act}, Output: act}, 2 * 8 * 28 * 28 * 64},
+		{&Op{Type: Mul, Inputs: []tensor.Spec{act, tensor.F32(1)}, Output: act}, 8 * 28 * 28 * 64},
+		{&Op{Type: Transpose, Inputs: []tensor.Spec{tensor.F32(64, 128)}, Output: tensor.F32(128, 64)}, 128 * 64},
+		{&Op{Type: ConcatV2, Inputs: []tensor.Spec{act, act}, Output: tensor.F32(8, 28, 28, 128)}, 8 * 28 * 28 * 128},
+		{&Op{Type: Slice, Inputs: []tensor.Spec{tensor.F32(8, 28, 28, 128)}, Output: act}, 8 * 28 * 28 * 64},
+	}
+	covered := map[Type]bool{}
+	for _, c := range cases {
+		covered[c.op.Type] = true
+		if err := c.op.Validate(); err != nil {
+			t.Errorf("%s: %v", c.op.Type, err)
+			continue
+		}
+		if got := c.op.FLOPs(); got != c.wantFLOPs {
+			t.Errorf("%s FLOPs = %d, want %d", c.op.Type, got, c.wantFLOPs)
+		}
+		if c.op.BytesMoved() != c.op.InputBytes()+c.op.OutputBytes() {
+			t.Errorf("%s BytesMoved inconsistent", c.op.Type)
+		}
+		feats := c.op.Features()
+		if len(feats) != MustLookup(c.op.Type).FeatureArity {
+			t.Errorf("%s features arity %d, want %d", c.op.Type, len(feats), MustLookup(c.op.Type).FeatureArity)
+		}
+	}
+	for _, h := range HeavyTypes() {
+		if !covered[h] {
+			t.Errorf("heavy type %s not covered by the cost table", h)
+		}
+	}
+}

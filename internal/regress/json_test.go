@@ -1,0 +1,73 @@
+package regress
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelJSONRoundtrip(t *testing.T) {
+	xs := [][]float64{{1, 10}, {2, 20}, {3, 5}, {4, 40}, {5, 1}, {6, 8}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x[0] + 0.5*x[1]
+	}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{7, 3}
+	if a, b := m.Predict(probe), back.Predict(probe); math.Abs(a-b) > 1e-12 {
+		t.Errorf("roundtrip prediction changed: %v vs %v", a, b)
+	}
+	if back.R2 != m.R2 || back.N != m.N || back.Degree != m.Degree {
+		t.Error("metadata changed across roundtrip")
+	}
+}
+
+func TestModelJSONQuadraticRoundtrip(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i <= 12; i++ {
+		x := float64(i)
+		xs = append(xs, []float64{x})
+		ys = append(ys, 1+x+2*x*x)
+	}
+	m, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.Marshal(m)
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := m.Predict([]float64{20}), back.Predict([]float64{20}); math.Abs(a-b) > 1e-9 {
+		t.Errorf("quadratic roundtrip changed: %v vs %v", a, b)
+	}
+}
+
+func TestModelUnmarshalRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad degree":  `{"degree":3,"num_features":1,"coef":[0,1,2],"scale":[1]}`,
+		"no features": `{"degree":1,"num_features":0,"coef":[0],"scale":[]}`,
+		"scale len":   `{"degree":1,"num_features":2,"coef":[0,1,2],"scale":[1]}`,
+		"coef len":    `{"degree":1,"num_features":2,"coef":[0,1],"scale":[1,1]}`,
+		"zero scale":  `{"degree":1,"num_features":1,"coef":[0,1],"scale":[0]}`,
+		"not json":    `{`,
+	}
+	for name, payload := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(payload), &m); err == nil {
+			t.Errorf("%s: should fail to unmarshal", name)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package regress implements the regression machinery of Ceer: ordinary
+// least squares over multi-dimensional features, quadratic (degree-2
+// polynomial) feature expansion, goodness-of-fit metrics, and the
+// linear-vs-quadratic model selection the paper applies per operation
+// type (Section IV-B).
+//
+// The solver works on the normal equations XᵀX β = Xᵀy with partial-pivot
+// Gaussian elimination and a small ridge fallback for ill-conditioned
+// designs, which is ample for the handful of features (input sizes) each
+// operation model uses.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the design matrix is too ill-conditioned
+// to solve, even with the ridge fallback.
+var ErrSingular = errors.New("regress: singular design matrix")
+
+// Model is a fitted polynomial regression model. Predictions are
+// β₀ + Σ βᵢ·φᵢ(x) where φ is the feature expansion of the given degree.
+type Model struct {
+	// Degree is 1 for a linear model or 2 for a quadratic model (degree-2
+	// polynomial expansion including cross terms).
+	Degree int
+	// NumFeatures is the dimensionality of the raw feature vectors the
+	// model was trained on.
+	NumFeatures int
+	// Coef holds the intercept at Coef[0] followed by one coefficient per
+	// expanded feature.
+	Coef []float64
+	// R2 is the coefficient of determination on the training sample.
+	R2 float64
+	// N is the number of training observations.
+	N int
+	// scale holds per-raw-feature normalization divisors applied before
+	// expansion, so that features of wildly different magnitudes (bytes
+	// vs. FLOPs) condition the normal equations well.
+	scale []float64
+}
+
+// Expand maps a raw feature vector to its polynomial expansion (without
+// the intercept term). Degree 1 returns the features unchanged; degree 2
+// appends all squares and pairwise products.
+func Expand(x []float64, degree int) []float64 {
+	if degree <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, len(x)+len(x)*(len(x)+1)/2)
+	out = append(out, x...)
+	for i := 0; i < len(x); i++ {
+		for j := i; j < len(x); j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// Fit trains a polynomial model of the given degree on the observations
+// (xs[i], ys[i]). All feature vectors must share one length; at least
+// len(expanded)+1 observations are required.
+func Fit(xs [][]float64, ys []float64, degree int) (*Model, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regress: %d feature rows but %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("regress: empty training set")
+	}
+	nf := len(xs[0])
+	if nf == 0 {
+		return nil, errors.New("regress: zero-length feature vectors")
+	}
+	for i, x := range xs {
+		if len(x) != nf {
+			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(x), nf)
+		}
+	}
+	if degree != 1 && degree != 2 {
+		return nil, fmt.Errorf("regress: unsupported degree %d", degree)
+	}
+
+	// Normalize each raw feature by its maximum absolute value so the
+	// normal equations stay well-conditioned for byte-scale features.
+	scale := make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		maxAbs := 0.0
+		for _, x := range xs {
+			if a := math.Abs(x[j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		scale[j] = maxAbs
+	}
+
+	expanded := make([][]float64, len(xs))
+	scaled := make([]float64, nf)
+	for i, x := range xs {
+		for j := range x {
+			scaled[j] = x[j] / scale[j]
+		}
+		expanded[i] = Expand(scaled, degree)
+	}
+	p := len(expanded[0]) + 1 // +1 intercept
+	if len(xs) < p {
+		return nil, fmt.Errorf("regress: %d observations insufficient for %d parameters", len(xs), p)
+	}
+
+	// Build normal equations A β = b with A = XᵀX, b = Xᵀy, where X has a
+	// leading column of ones.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	row := make([]float64, p)
+	for i, ex := range expanded {
+		row[0] = 1
+		copy(row[1:], ex)
+		for r := 0; r < p; r++ {
+			for c := r; c < p; c++ {
+				a[r][c] += row[r] * row[c]
+			}
+			b[r] += row[r] * ys[i]
+		}
+	}
+	for r := 1; r < p; r++ {
+		for c := 0; c < r; c++ {
+			a[r][c] = a[c][r]
+		}
+	}
+
+	coef, err := solve(a, b)
+	if err != nil {
+		// Ridge fallback: add a small diagonal penalty scaled to the
+		// matrix magnitude.
+		lambda := 0.0
+		for i := 0; i < p; i++ {
+			lambda += a[i][i]
+		}
+		lambda = lambda / float64(p) * 1e-8
+		for i := 0; i < p; i++ {
+			a[i][i] += lambda
+		}
+		coef, err = solve(a, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Model{Degree: degree, NumFeatures: nf, Coef: coef, N: len(xs), scale: scale}
+	m.R2 = rSquared(ys, m.predictAll(xs))
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy-free
+// (destructive) system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Predict evaluates the model at the raw feature vector x. It panics if
+// x has the wrong length; models are always applied to features produced
+// by the same extractor that produced the training rows.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.NumFeatures {
+		panic(fmt.Sprintf("regress: predict with %d features on a %d-feature model", len(x), m.NumFeatures))
+	}
+	scaled := make([]float64, len(x))
+	for j := range x {
+		scaled[j] = x[j] / m.scale[j]
+	}
+	ex := Expand(scaled, m.Degree)
+	y := m.Coef[0]
+	for i, v := range ex {
+		y += m.Coef[i+1] * v
+	}
+	return y
+}
+
+func (m *Model) predictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// rSquared computes the coefficient of determination.
+func rSquared(actual, predicted []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, y := range actual {
+		mean += y
+	}
+	mean /= float64(len(actual))
+	ssTot, ssRes := 0.0, 0.0
+	for i := range actual {
+		dt := actual[i] - mean
+		dr := actual[i] - predicted[i]
+		ssTot += dt * dt
+		ssRes += dr * dr
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// RSquared evaluates the model's coefficient of determination on an
+// arbitrary (e.g. held-out) sample.
+func (m *Model) RSquared(xs [][]float64, ys []float64) float64 {
+	return rSquared(ys, m.predictAll(xs))
+}
+
+// MAPE evaluates the mean absolute percentage error (as a fraction) of
+// the model on a sample, skipping zero targets.
+func (m *Model) MAPE(xs [][]float64, ys []float64) float64 {
+	sum, n := 0.0, 0
+	for i, x := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		sum += math.Abs(m.Predict(x)-ys[i]) / math.Abs(ys[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Selection records the outcome of linear-vs-quadratic model selection
+// for one operation type.
+type Selection struct {
+	Chosen    *Model
+	Linear    *Model
+	Quadratic *Model // nil when the sample is too small to fit degree 2
+}
+
+// SelectDegree fits both a linear and (sample size permitting) a
+// quadratic model and returns the one with the better training R², with
+// a small preference margin for the simpler linear model. This mirrors
+// the paper's finding that linear regression suffices for most heavy
+// operations while a few (e.g. Conv2DBackpropFilter) need a quadratic
+// fit.
+func SelectDegree(xs [][]float64, ys []float64) (*Selection, error) {
+	lin, err := Fit(xs, ys, 1)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{Chosen: lin, Linear: lin}
+	quad, err := Fit(xs, ys, 2)
+	if err != nil {
+		// Not enough samples (or singular): keep linear.
+		return sel, nil
+	}
+	sel.Quadratic = quad
+	// Require a meaningful improvement before paying for the extra terms.
+	const margin = 0.01
+	if quad.R2 > lin.R2+margin {
+		sel.Chosen = quad
+	}
+	return sel, nil
+}

@@ -1,0 +1,295 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExpandLinear(t *testing.T) {
+	x := []float64{2, 3}
+	got := Expand(x, 1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Expand degree 1 = %v", got)
+	}
+	// Must be a copy.
+	got[0] = 99
+	if x[0] != 2 {
+		t.Error("Expand shares memory with input")
+	}
+}
+
+func TestExpandQuadratic(t *testing.T) {
+	got := Expand([]float64{2, 3}, 2)
+	want := []float64{2, 3, 4, 6, 9} // x1, x2, x1², x1x2, x2²
+	if len(got) != len(want) {
+		t.Fatalf("Expand degree 2 len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Expand[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	// y = 3 + 2x, noiseless.
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{5, 7, 9, 11}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", m.R2)
+	}
+	if got := m.Predict([]float64{10}); !approx(got, 23, 1e-6) {
+		t.Errorf("Predict(10) = %v, want 23", got)
+	}
+}
+
+func TestFitMultiFeature(t *testing.T) {
+	// y = 1 + 2a + 3b.
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {3, 5}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x[0] + 3*x[1]
+	}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{4, 2}); !approx(got, 15, 1e-6) {
+		t.Errorf("Predict = %v, want 15", got)
+	}
+}
+
+func TestFitQuadratic(t *testing.T) {
+	// y = 2 + x².
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i <= 10; i++ {
+		x := float64(i)
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2+x*x)
+	}
+	m, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.R2, 1, 1e-9) {
+		t.Errorf("quadratic R2 = %v, want 1", m.R2)
+	}
+	if got := m.Predict([]float64{12}); !approx(got, 146, 1e-4) {
+		t.Errorf("Predict(12) = %v, want 146", got)
+	}
+}
+
+func TestFitLargeScaleFeatures(t *testing.T) {
+	// Byte-scale features (1e8) must not wreck conditioning.
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i <= 20; i++ {
+		x := float64(i) * 1e8
+		xs = append(xs, []float64{x})
+		ys = append(ys, 0.5+3e-9*x)
+	}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.R2, 1, 1e-6) {
+		t.Errorf("R2 = %v with large-scale features", m.R2)
+	}
+	if got := m.Predict([]float64{25e8}); !approx(got, 0.5+3e-9*25e8, 1e-4) {
+		t.Errorf("Predict = %v", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 1); err == nil {
+		t.Error("empty training set should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}, 1); err == nil {
+		t.Error("zero-length features should error")
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, 3); err == nil {
+		t.Error("unsupported degree should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, 1); err == nil {
+		t.Error("too few observations should error")
+	}
+}
+
+func TestFitConstantFeature(t *testing.T) {
+	// A feature with zero variance makes XᵀX singular; ridge fallback (or
+	// a graceful error) must avoid a bogus result. Here both feature
+	// columns are collinear.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{3, 5, 7, 9}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		// A clean error is acceptable.
+		return
+	}
+	// If it fit, predictions on the training manifold must be right.
+	if got := m.Predict([]float64{2.5, 5}); !approx(got, 6, 1e-3) {
+		t.Errorf("collinear fit Predict = %v, want 6", got)
+	}
+}
+
+func TestPredictPanicsOnWrongArity(t *testing.T) {
+	m, err := Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict with wrong feature count should panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestRSquaredHeldOut(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := m.RSquared([][]float64{{5}, {6}}, []float64{10, 12})
+	if !approx(r2, 1, 1e-9) {
+		t.Errorf("held-out R2 = %v", r2)
+	}
+}
+
+func TestModelMAPE(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MAPE(xs, ys); got > 1e-9 {
+		t.Errorf("training MAPE = %v, want ~0", got)
+	}
+	if got := m.MAPE([][]float64{{1}}, []float64{0}); got != 0 {
+		t.Errorf("MAPE with zero target = %v, want 0 (skipped)", got)
+	}
+}
+
+func TestSelectDegreePrefersLinearOnLinearData(t *testing.T) {
+	src := rng.New(1)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := src.Float64() * 100
+		xs = append(xs, []float64{x})
+		ys = append(ys, 5+2*x+src.Normal()*0.5)
+	}
+	sel, err := SelectDegree(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Chosen.Degree != 1 {
+		t.Errorf("chose degree %d on linear data", sel.Chosen.Degree)
+	}
+	if sel.Quadratic == nil {
+		t.Error("quadratic candidate should have been fit")
+	}
+}
+
+func TestSelectDegreePicksQuadraticOnQuadraticData(t *testing.T) {
+	src := rng.New(2)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := src.Float64() * 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, 1+0.1*x+3*x*x+src.Normal()*0.5)
+	}
+	sel, err := SelectDegree(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Chosen.Degree != 2 {
+		t.Errorf("chose degree %d on quadratic data (lin R2=%v quad R2=%v)",
+			sel.Chosen.Degree, sel.Linear.R2, sel.Quadratic.R2)
+	}
+}
+
+func TestSelectDegreeSmallSampleFallsBack(t *testing.T) {
+	// 2 points: linear fits, quadratic can't.
+	sel, err := SelectDegree([][]float64{{1}, {2}}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Chosen.Degree != 1 || sel.Quadratic != nil {
+		t.Error("small sample should fall back to linear")
+	}
+}
+
+// Property: Fit recovers a planted linear model to high precision from
+// noiseless data.
+func TestFitRecoversPlantedModelProperty(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw, cRaw int8) bool {
+		a := float64(aRaw)
+		b := float64(bRaw)
+		c := float64(cRaw)
+		src := rng.New(seed)
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 30; i++ {
+			x1 := src.Float64()*50 + 1
+			x2 := src.Float64()*20 + 1
+			xs = append(xs, []float64{x1, x2})
+			ys = append(ys, a+b*x1+c*x2)
+		}
+		m, err := Fit(xs, ys, 1)
+		if err != nil {
+			return false
+		}
+		probe := []float64{13, 7}
+		want := a + b*13 + c*7
+		got := m.Predict(probe)
+		return math.Abs(got-want) <= 1e-5*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R² on the training data never exceeds 1 and, for the chosen
+// degree-2 model on degree-2 data, is at least the linear model's R².
+func TestQuadraticAtLeastLinearProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 40; i++ {
+			x := src.Float64() * 10
+			xs = append(xs, []float64{x})
+			ys = append(ys, 2+x+0.5*x*x+src.Normal())
+		}
+		lin, err1 := Fit(xs, ys, 1)
+		quad, err2 := Fit(xs, ys, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return quad.R2 >= lin.R2-1e-9 && quad.R2 <= 1+1e-9 && lin.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package rng implements a small, deterministic pseudo-random number
+// generator used by the hardware simulator.
+//
+// The simulator must be reproducible across runs, platforms, and Go
+// releases so that tests and experiment outputs are stable; math/rand's
+// global source and its version-dependent algorithms are unsuitable. The
+// generator here is SplitMix64 (Steele, Lea & Flood, OOPSLA'14), a tiny,
+// well-distributed 64-bit mixer, combined with a Box–Muller transform for
+// Gaussian variates.
+package rng
+
+import "math"
+
+// Source is a deterministic stream of pseudo-random numbers. The zero
+// value is a valid source seeded with 0.
+type Source struct {
+	state uint64
+	// spare caches the second Box–Muller variate between Normal calls.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a source seeded with the given value. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Derive returns a new source whose stream is a deterministic function of
+// this source's seed and the given label, without consuming any values
+// from the parent stream. It is used to give each (operation, GPU)
+// simulation its own independent noise stream.
+func (s *Source) Derive(label uint64) *Source {
+	return &Source{state: mix(s.state ^ mix(label))}
+}
+
+// mix is the SplitMix64 finalizer.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 {
+	// Use the top 53 bits for a full-precision mantissa.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Normal returns a standard Gaussian variate (mean 0, stddev 1) via the
+// Box–Muller transform.
+func (s *Source) Normal() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	var u, v float64
+	for {
+		u = s.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	s.spare = r * math.Sin(theta)
+	s.hasSpare = true
+	return r * math.Cos(theta)
+}
+
+// LogNormalFactor returns a multiplicative noise factor with median 1
+// whose logarithm has the given standard deviation. For small sigma the
+// factor's coefficient of variation is approximately sigma, which is how
+// the simulator dials in a target normalized standard deviation.
+func (s *Source) LogNormalFactor(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(sigma * s.Normal())
+}

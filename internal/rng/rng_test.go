@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	before := *parent
+	child1 := parent.Derive(1)
+	child2 := parent.Derive(2)
+	if parent.state != before.state {
+		t.Error("Derive consumed parent state")
+	}
+	if child1.Uint64() == child2.Uint64() {
+		t.Error("derived streams with different labels should differ")
+	}
+	// Same label derives the same stream.
+	c1, c2 := New(7).Derive(9), New(7).Derive(9)
+	if c1.Uint64() != c2.Uint64() {
+		t.Error("same-label derivation should be deterministic")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit %d/10 values over 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalFactor(t *testing.T) {
+	s := New(23)
+	if f := s.LogNormalFactor(0); f != 1 {
+		t.Errorf("sigma=0 factor = %v, want 1", f)
+	}
+	if f := s.LogNormalFactor(-1); f != 1 {
+		t.Errorf("negative sigma factor = %v, want 1", f)
+	}
+	// For sigma=0.05 the factor should hover tightly around 1.
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f := s.LogNormalFactor(0.05)
+		if f <= 0 {
+			t.Fatalf("non-positive factor %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("lognormal(0.05) mean = %v, want ~1", mean)
+	}
+}
+
+// Property: LogNormalFactor's empirical normalized stddev tracks sigma for
+// small sigma.
+func TestLogNormalCVProperty(t *testing.T) {
+	f := func(seed uint64, sigRaw uint8) bool {
+		sigma := 0.01 + float64(sigRaw%10)*0.01 // 0.01..0.10
+		s := New(seed)
+		const n = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := s.LogNormalFactor(sigma)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		sd := math.Sqrt(math.Max(0, sumSq/n-mean*mean))
+		cv := sd / mean
+		return math.Abs(cv-sigma) < 0.35*sigma+0.002
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Float64 never escapes [0,1) regardless of seed.
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim replays CNN training-iteration DAGs against the gpu and
+// cloud substrates, playing the role the paper's real AWS measurement
+// campaign plays: it produces op-level profiles (the training data for
+// Ceer's models) and end-to-end "observed" training-time measurements
+// (the ground truth the evaluation compares Ceer's predictions against).
+//
+// All randomness is derived deterministically from a caller-provided
+// seed, the CNN name, the GPU model, and the node ID, so every
+// experiment is exactly reproducible.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/rng"
+	"ceer/internal/trace"
+)
+
+// Profiler collects op-level compute-time samples over repeated
+// training iterations, like the paper's 1,000-iteration TensorFlow
+// timeline captures (Section III-A).
+type Profiler struct {
+	// Seed drives all measurement noise.
+	Seed uint64
+	// Iterations is the number of training iterations sampled.
+	Iterations int
+	// Retain caps the raw samples kept per node for median estimators.
+	Retain int
+}
+
+// NewProfiler returns a profiler with the paper's defaults: 1,000
+// iterations, retaining 64 raw samples per node.
+func NewProfiler(seed uint64) *Profiler {
+	return &Profiler{Seed: seed, Iterations: 1000, Retain: 64}
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// streamFor derives the per-node noise stream.
+func (p *Profiler) streamFor(cnn string, m gpu.Model, node graph.NodeID) *rng.Source {
+	base := rng.New(p.Seed ^ hashString(cnn))
+	return base.Derive(uint64(m)<<32 ^ uint64(node))
+}
+
+// Profile runs the graph for the configured number of iterations on one
+// GPU model and returns the aggregated op-level trace.
+func (p *Profiler) Profile(g *graph.Graph, m gpu.Model) (*trace.Profile, error) {
+	if p.Iterations <= 0 {
+		return nil, fmt.Errorf("sim: profiler iterations must be positive, got %d", p.Iterations)
+	}
+	dev, ok := gpu.Lookup(m)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown GPU model %v", m)
+	}
+	nodes := g.Nodes()
+	prof := &trace.Profile{
+		CNN:        g.Name,
+		GPU:        m,
+		Iterations: p.Iterations,
+		Params:     g.Params,
+		BatchSize:  g.BatchSize,
+		Series:     make([]*trace.Series, len(nodes)),
+		IterTotal:  trace.NewAgg(p.Retain),
+	}
+	streams := make([]*rng.Source, len(nodes))
+	for i, n := range nodes {
+		streams[i] = p.streamFor(g.Name, m, n.ID)
+		prof.Series[i] = &trace.Series{
+			CNN:         g.Name,
+			GPU:         m,
+			Node:        n.ID,
+			OpType:      n.Op.Type,
+			Class:       n.Op.Class(),
+			Phase:       n.Phase,
+			Features:    n.Op.Features(),
+			InputBytes:  n.Op.InputBytes(),
+			OutputBytes: n.Op.OutputBytes(),
+			Agg:         trace.NewAgg(p.Retain),
+		}
+	}
+	for iter := 0; iter < p.Iterations; iter++ {
+		total := 0.0
+		for i, n := range nodes {
+			t := dev.SampleTime(n.Op, streams[i])
+			prof.Series[i].Agg.Add(t)
+			total += t
+		}
+		prof.IterTotal.Add(total)
+	}
+	return prof, nil
+}
+
+// ProfileAll profiles each named CNN (built at the given batch size) on
+// each GPU model, returning the combined bundle — the full measurement
+// campaign of Section III.
+func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
+	names []string, batch int64, models []gpu.Model) (*trace.Bundle, error) {
+	bundle := &trace.Bundle{}
+	for _, name := range names {
+		g, err := build(name, batch)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building %s: %w", name, err)
+		}
+		for _, m := range models {
+			prof, err := p.Profile(g, m)
+			if err != nil {
+				return nil, err
+			}
+			bundle.Add(prof)
+		}
+	}
+	return bundle, nil
+}
+
+// Measurement is one observed end-to-end training run.
+type Measurement struct {
+	CNN string
+	Cfg cloud.Config
+	// PerIterSeconds is the mean observed wall time of one training
+	// iteration: summed op compute time plus communication overhead.
+	PerIterSeconds float64
+	// ComputeSeconds and CommSeconds decompose the per-iteration mean.
+	ComputeSeconds float64
+	CommSeconds    float64
+	// Iterations is the iteration count for one epoch of the dataset.
+	Iterations int64
+	// TotalSeconds is the full training (one-epoch) wall time.
+	TotalSeconds float64
+}
+
+// CostUSD returns the rental cost of the measured run under a pricing
+// scheme.
+func (m Measurement) CostUSD(p cloud.Pricing) (float64, error) {
+	hourly, err := m.Cfg.HourlyCost(p)
+	if err != nil {
+		return 0, err
+	}
+	return m.TotalSeconds / 3600 * hourly, nil
+}
+
+// Train measures training the graph on a configuration over one epoch
+// of the dataset, sampling measureIters iterations to estimate the
+// per-iteration mean. Per the paper's data-parallel setup, the per-GPU
+// batch size is fixed (the graph's), so k GPUs cut the iteration count
+// by k while each iteration pays the communication overhead
+// S(GPU, k, params).
+func Train(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, measureIters int, seed uint64) (Measurement, error) {
+	if !cfg.Valid() {
+		return Measurement{}, fmt.Errorf("sim: invalid config %s", cfg)
+	}
+	if measureIters <= 0 {
+		return Measurement{}, fmt.Errorf("sim: measureIters must be positive, got %d", measureIters)
+	}
+	dev, ok := gpu.Lookup(cfg.GPU)
+	if !ok {
+		return Measurement{}, fmt.Errorf("sim: unknown GPU model %v", cfg.GPU)
+	}
+	nodes := g.Nodes()
+	base := rng.New(seed ^ hashString(g.Name))
+	streams := make([]*rng.Source, len(nodes))
+	for i, n := range nodes {
+		streams[i] = base.Derive(uint64(cfg.GPU)<<32 ^ uint64(n.ID))
+	}
+	commStream := base.Derive(0xC0111 ^ uint64(cfg.GPU)<<16 ^ uint64(cfg.K))
+
+	var compute, comm float64
+	for iter := 0; iter < measureIters; iter++ {
+		iterCompute := 0.0
+		for i, n := range nodes {
+			iterCompute += dev.SampleTime(n.Op, streams[i])
+		}
+		s, err := cloud.SampleCommOverhead(cfg.GPU, cfg.K, g.Params, commStream)
+		if err != nil {
+			return Measurement{}, err
+		}
+		compute += iterCompute
+		comm += s
+	}
+	compute /= float64(measureIters)
+	comm /= float64(measureIters)
+
+	iters := ds.Iterations(cfg.K, g.BatchSize)
+	perIter := compute + comm
+	return Measurement{
+		CNN:            g.Name,
+		Cfg:            cfg,
+		PerIterSeconds: perIter,
+		ComputeSeconds: compute,
+		CommSeconds:    comm,
+		Iterations:     iters,
+		TotalSeconds:   perIter * float64(iters),
+	}, nil
+}

@@ -1,0 +1,134 @@
+package tensor
+
+import "fmt"
+
+// Padding selects the boundary policy of a convolution or pooling window,
+// mirroring TensorFlow's SAME/VALID semantics.
+type Padding int
+
+const (
+	// Same pads the input so that, with stride 1, the output spatial size
+	// equals the input spatial size.
+	Same Padding = iota
+	// Valid applies no padding; the window must fit entirely inside the
+	// input.
+	Valid
+)
+
+// String returns "SAME" or "VALID".
+func (p Padding) String() string {
+	if p == Same {
+		return "SAME"
+	}
+	return "VALID"
+}
+
+// Window describes a 2-D sliding-window computation (convolution or
+// pooling): the kernel extent, stride, and padding policy.
+type Window struct {
+	KernelH, KernelW int64
+	StrideH, StrideW int64
+	Padding          Padding
+}
+
+// Win is a convenience constructor for a square kernel and stride.
+func Win(kernel, stride int64, pad Padding) Window {
+	return Window{KernelH: kernel, KernelW: kernel, StrideH: stride, StrideW: stride, Padding: pad}
+}
+
+// Valid reports whether the window parameters are usable.
+func (w Window) Valid() bool {
+	return w.KernelH > 0 && w.KernelW > 0 && w.StrideH > 0 && w.StrideW > 0
+}
+
+// outDim computes one spatial output dimension.
+func outDim(in, kernel, stride int64, pad Padding) (int64, error) {
+	if in <= 0 {
+		return 0, fmt.Errorf("tensor: non-positive input dimension %d", in)
+	}
+	switch pad {
+	case Same:
+		return (in + stride - 1) / stride, nil
+	case Valid:
+		if kernel > in {
+			return 0, fmt.Errorf("tensor: VALID window kernel %d exceeds input %d", kernel, in)
+		}
+		return (in-kernel)/stride + 1, nil
+	default:
+		return 0, fmt.Errorf("tensor: unknown padding %d", int(pad))
+	}
+}
+
+// OutputShape computes the NHWC output shape of applying the window to the
+// NHWC input with the given output channel count. For pooling, pass
+// outChannels equal to the input channel count.
+func (w Window) OutputShape(in Shape, outChannels int64) (Shape, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("tensor: window requires rank-4 NHWC input, got %s", in)
+	}
+	if !w.Valid() {
+		return nil, fmt.Errorf("tensor: invalid window %+v", w)
+	}
+	oh, err := outDim(in.Dim(1), w.KernelH, w.StrideH, w.Padding)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := outDim(in.Dim(2), w.KernelW, w.StrideW, w.Padding)
+	if err != nil {
+		return nil, err
+	}
+	if outChannels <= 0 {
+		return nil, fmt.Errorf("tensor: non-positive output channels %d", outChannels)
+	}
+	return NHWC(in.Dim(0), oh, ow, outChannels), nil
+}
+
+// FilterShape returns the HWIO filter shape [kh, kw, inC, outC] of a
+// convolution applying this window to an input with inC channels.
+func (w Window) FilterShape(inChannels, outChannels int64) Shape {
+	return Shape{w.KernelH, w.KernelW, inChannels, outChannels}
+}
+
+// ConvFLOPs returns the multiply-accumulate count (counted as 2 FLOPs
+// each) of a 2-D convolution with the given input and filter shapes.
+// Input is NHWC, filter is HWIO.
+func ConvFLOPs(in, filter Shape, w Window) (int64, error) {
+	if in.Rank() != 4 || filter.Rank() != 4 {
+		return 0, fmt.Errorf("tensor: ConvFLOPs requires rank-4 input and filter, got %s and %s", in, filter)
+	}
+	if in.Dim(3) != filter.Dim(2) {
+		return 0, fmt.Errorf("tensor: input channels %d != filter input channels %d", in.Dim(3), filter.Dim(2))
+	}
+	out, err := w.OutputShape(in, filter.Dim(3))
+	if err != nil {
+		return 0, err
+	}
+	// Each output element accumulates kh*kw*inC products.
+	macs := out.Elements() * filter.Dim(0) * filter.Dim(1) * filter.Dim(2)
+	return 2 * macs, nil
+}
+
+// PoolFLOPs returns the arithmetic operation count of a pooling window:
+// one comparison or addition per window element per output element.
+func PoolFLOPs(in Shape, w Window) (int64, error) {
+	if in.Rank() != 4 {
+		return 0, fmt.Errorf("tensor: PoolFLOPs requires rank-4 input, got %s", in)
+	}
+	out, err := w.OutputShape(in, in.Dim(3))
+	if err != nil {
+		return 0, err
+	}
+	return out.Elements() * w.KernelH * w.KernelW, nil
+}
+
+// MatMulFLOPs returns the FLOP count of the matrix product of an [m, k]
+// by a [k, n] operand.
+func MatMulFLOPs(a, b Shape) (int64, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return 0, fmt.Errorf("tensor: MatMulFLOPs requires rank-2 operands, got %s and %s", a, b)
+	}
+	if a.Dim(1) != b.Dim(0) {
+		return 0, fmt.Errorf("tensor: inner dimensions disagree: %s x %s", a, b)
+	}
+	return 2 * a.Dim(0) * a.Dim(1) * b.Dim(1), nil
+}

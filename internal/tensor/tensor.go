@@ -1,0 +1,194 @@
+// Package tensor provides shape and data-type arithmetic for describing
+// the tensors that flow through a CNN computation graph.
+//
+// The package deliberately stores no tensor data: Ceer only needs the
+// metadata of each tensor (rank, dimensions, element type) to derive the
+// input-size features that drive its compute-time models. Shapes follow
+// TensorFlow's NHWC convention for image tensors: [batch, height, width,
+// channels].
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType identifies the element type of a tensor.
+type DType int
+
+// Supported element types. Float32 dominates CNN training workloads; the
+// integer types appear in input pipelines (labels, indices) and the bool
+// type in masking ops.
+const (
+	Float32 DType = iota
+	Float16
+	Float64
+	Int32
+	Int64
+	Bool
+	Uint8
+)
+
+// Size returns the width of one element in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float16:
+		return 2
+	case Float64, Int64:
+		return 8
+	case Bool, Uint8:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// String returns the conventional lowercase name of the type.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float16:
+		return "float16"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Bool:
+		return "bool"
+	case Uint8:
+		return "uint8"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Shape is the dimension vector of a tensor. A nil Shape represents a
+// scalar (rank 0, one element).
+type Shape []int64
+
+// NewShape builds a Shape from the given dimensions.
+func NewShape(dims ...int64) Shape {
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s
+}
+
+// Scalar returns the rank-0 shape.
+func Scalar() Shape { return Shape{} }
+
+// Vector returns a rank-1 shape of length n.
+func Vector(n int64) Shape { return Shape{n} }
+
+// NHWC returns the canonical 4-D image shape [batch, height, width, channels].
+func NHWC(n, h, w, c int64) Shape { return Shape{n, h, w, c} }
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Dim returns dimension i, supporting negative indices counted from the
+// end (Dim(-1) is the innermost dimension). It panics if i is out of range.
+func (s Shape) Dim(i int) int64 {
+	if i < 0 {
+		i += len(s)
+	}
+	if i < 0 || i >= len(s) {
+		panic(fmt.Sprintf("tensor: dimension index %d out of range for rank-%d shape", i, len(s)))
+	}
+	return s[i]
+}
+
+// Elements returns the total number of elements, i.e. the product of all
+// dimensions. The empty (scalar) shape has one element.
+func (s Shape) Elements() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the storage footprint of a tensor of this shape and dtype.
+func (s Shape) Bytes(d DType) int64 { return s.Elements() * d.Size() }
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	if s == nil {
+		return nil
+	}
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and dimensions.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WithBatch returns a copy of the shape with the leading (batch)
+// dimension replaced by n. It panics on a scalar shape.
+func (s Shape) WithBatch(n int64) Shape {
+	if len(s) == 0 {
+		panic("tensor: WithBatch on scalar shape")
+	}
+	c := s.Clone()
+	c[0] = n
+	return c
+}
+
+// String renders the shape as, e.g., "[32x224x224x3]".
+func (s Shape) String() string {
+	if len(s) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "[" + strings.Join(parts, "x") + "]"
+}
+
+// Spec pairs a shape with an element type: the full metadata of one
+// tensor flowing along a graph edge.
+type Spec struct {
+	Shape Shape
+	DType DType
+}
+
+// SpecOf is a convenience constructor.
+func SpecOf(s Shape, d DType) Spec { return Spec{Shape: s, DType: d} }
+
+// F32 builds a float32 Spec, the common case in CNN training.
+func F32(dims ...int64) Spec { return Spec{Shape: NewShape(dims...), DType: Float32} }
+
+// Elements returns the element count of the spec's shape.
+func (p Spec) Elements() int64 { return p.Shape.Elements() }
+
+// Bytes returns the storage footprint of the spec.
+func (p Spec) Bytes() int64 { return p.Shape.Bytes(p.DType) }
+
+// String renders, e.g., "float32[32x224x224x3]".
+func (p Spec) String() string { return p.DType.String() + p.Shape.String() }

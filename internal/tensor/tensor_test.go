@@ -1,0 +1,334 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSize(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want int64
+	}{
+		{Float32, 4}, {Float16, 2}, {Float64, 8},
+		{Int32, 4}, {Int64, 8}, {Bool, 1}, {Uint8, 1},
+	}
+	for _, c := range cases {
+		if got := c.d.Size(); got != c.want {
+			t.Errorf("%s.Size() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if Float32.String() != "float32" {
+		t.Errorf("Float32.String() = %q", Float32.String())
+	}
+	if DType(99).String() == "" {
+		t.Error("unknown dtype should still render")
+	}
+}
+
+func TestShapeElements(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int64
+	}{
+		{Scalar(), 1},
+		{Vector(7), 7},
+		{NHWC(32, 224, 224, 3), 32 * 224 * 224 * 3},
+		{NewShape(2, 3, 4), 24},
+	}
+	for _, c := range cases {
+		if got := c.s.Elements(); got != c.want {
+			t.Errorf("%s.Elements() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := NHWC(1, 2, 2, 3)
+	if got := s.Bytes(Float32); got != 48 {
+		t.Errorf("Bytes(Float32) = %d, want 48", got)
+	}
+	if got := s.Bytes(Uint8); got != 12 {
+		t.Errorf("Bytes(Uint8) = %d, want 12", got)
+	}
+}
+
+func TestShapeDimNegativeIndex(t *testing.T) {
+	s := NewShape(4, 5, 6)
+	if s.Dim(-1) != 6 || s.Dim(-3) != 4 || s.Dim(1) != 5 {
+		t.Errorf("Dim indexing wrong: %d %d %d", s.Dim(-1), s.Dim(-3), s.Dim(1))
+	}
+}
+
+func TestShapeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dim out of range should panic")
+		}
+	}()
+	NewShape(2).Dim(3)
+}
+
+func TestShapeCloneIndependent(t *testing.T) {
+	s := NewShape(1, 2, 3)
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if NewShape().Clone() == nil {
+		// empty (non-nil) clone stays non-nil length 0; nil stays nil
+		t.Error("empty clone should be non-nil")
+	}
+	var nilShape Shape
+	if nilShape.Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	if !NewShape(1, 2).Equal(NewShape(1, 2)) {
+		t.Error("equal shapes reported unequal")
+	}
+	if NewShape(1, 2).Equal(NewShape(1, 2, 3)) {
+		t.Error("different ranks reported equal")
+	}
+	if NewShape(1, 2).Equal(NewShape(2, 1)) {
+		t.Error("different dims reported equal")
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !NHWC(1, 2, 3, 4).Valid() {
+		t.Error("positive shape should be valid")
+	}
+	if NewShape(1, 0, 3).Valid() {
+		t.Error("zero dim should be invalid")
+	}
+	if NewShape(-1, 3).Valid() {
+		t.Error("negative dim should be invalid")
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	s := NHWC(32, 8, 8, 64)
+	b := s.WithBatch(8)
+	if b.Dim(0) != 8 || s.Dim(0) != 32 {
+		t.Errorf("WithBatch modified original or failed: %s %s", s, b)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := NHWC(32, 224, 224, 3).String(); got != "[32x224x224x3]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Scalar().String(); got != "[]" {
+		t.Errorf("Scalar String() = %q", got)
+	}
+}
+
+func TestSpec(t *testing.T) {
+	p := F32(4, 4)
+	if p.Elements() != 16 || p.Bytes() != 64 {
+		t.Errorf("Spec arithmetic wrong: %d elems, %d bytes", p.Elements(), p.Bytes())
+	}
+	if p.String() != "float32[4x4]" {
+		t.Errorf("Spec.String() = %q", p.String())
+	}
+	q := SpecOf(Vector(3), Int64)
+	if q.Bytes() != 24 {
+		t.Errorf("SpecOf bytes = %d, want 24", q.Bytes())
+	}
+}
+
+func TestPaddingString(t *testing.T) {
+	if Same.String() != "SAME" || Valid.String() != "VALID" {
+		t.Error("padding names wrong")
+	}
+}
+
+func TestOutDimSame(t *testing.T) {
+	// SAME, stride 1 preserves size; stride 2 halves (rounding up).
+	cases := []struct {
+		in, k, s, want int64
+	}{
+		{224, 3, 1, 224},
+		{224, 3, 2, 112},
+		{7, 3, 2, 4},
+		{5, 7, 1, 5}, // SAME allows kernel > input
+	}
+	for _, c := range cases {
+		got, err := outDim(c.in, c.k, c.s, Same)
+		if err != nil || got != c.want {
+			t.Errorf("outDim(%d,k=%d,s=%d,SAME) = %d,%v want %d", c.in, c.k, c.s, got, err, c.want)
+		}
+	}
+}
+
+func TestOutDimValid(t *testing.T) {
+	cases := []struct {
+		in, k, s, want int64
+	}{
+		{224, 3, 1, 222},
+		{227, 11, 4, 55}, // AlexNet conv1
+		{7, 7, 1, 1},     // global pooling
+	}
+	for _, c := range cases {
+		got, err := outDim(c.in, c.k, c.s, Valid)
+		if err != nil || got != c.want {
+			t.Errorf("outDim(%d,k=%d,s=%d,VALID) = %d,%v want %d", c.in, c.k, c.s, got, err, c.want)
+		}
+	}
+	if _, err := outDim(5, 7, 1, Valid); err == nil {
+		t.Error("VALID with kernel > input should error")
+	}
+	if _, err := outDim(0, 3, 1, Valid); err == nil {
+		t.Error("non-positive input should error")
+	}
+}
+
+func TestWindowOutputShape(t *testing.T) {
+	in := NHWC(32, 224, 224, 3)
+	out, err := Win(3, 2, Same).OutputShape(in, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(NHWC(32, 112, 112, 64)) {
+		t.Errorf("OutputShape = %s", out)
+	}
+	if _, err := Win(3, 1, Same).OutputShape(Vector(3), 4); err == nil {
+		t.Error("non-4D input should error")
+	}
+	if _, err := (Window{}).OutputShape(in, 4); err == nil {
+		t.Error("invalid window should error")
+	}
+	if _, err := Win(3, 1, Same).OutputShape(in, 0); err == nil {
+		t.Error("zero out channels should error")
+	}
+}
+
+func TestFilterShape(t *testing.T) {
+	f := Win(3, 1, Same).FilterShape(64, 128)
+	if !f.Equal(NewShape(3, 3, 64, 128)) {
+		t.Errorf("FilterShape = %s", f)
+	}
+}
+
+func TestConvFLOPs(t *testing.T) {
+	// 1x1 conv on 1x1 spatial: out 1 elem, inC=2 -> 2 MACs = 4 FLOPs.
+	in := NHWC(1, 1, 1, 2)
+	filter := NewShape(1, 1, 2, 1)
+	got, err := ConvFLOPs(in, filter, Win(1, 1, Same))
+	if err != nil || got != 4 {
+		t.Errorf("ConvFLOPs = %d, %v; want 4", got, err)
+	}
+	// Channel mismatch.
+	if _, err := ConvFLOPs(in, NewShape(1, 1, 3, 1), Win(1, 1, Same)); err == nil {
+		t.Error("channel mismatch should error")
+	}
+	if _, err := ConvFLOPs(Vector(2), filter, Win(1, 1, Same)); err == nil {
+		t.Error("bad rank should error")
+	}
+}
+
+func TestConvFLOPsKnownLayer(t *testing.T) {
+	// VGG conv3-64 on 224x224x3, batch 1:
+	// out 224*224*64 elements, each 3*3*3 MACs.
+	in := NHWC(1, 224, 224, 3)
+	f := Win(3, 1, Same).FilterShape(3, 64)
+	got, err := ConvFLOPs(in, f, Win(3, 1, Same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2) * 224 * 224 * 64 * 3 * 3 * 3
+	if got != want {
+		t.Errorf("ConvFLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestPoolFLOPs(t *testing.T) {
+	in := NHWC(1, 4, 4, 8)
+	got, err := PoolFLOPs(in, Win(2, 2, Valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*2*8) * 2 * 2 // 2x2 output x 8 channels, 4 window elems each
+	if got != want {
+		t.Errorf("PoolFLOPs = %d, want %d", got, want)
+	}
+	if _, err := PoolFLOPs(Vector(3), Win(2, 2, Valid)); err == nil {
+		t.Error("bad rank should error")
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	got, err := MatMulFLOPs(NewShape(2, 3), NewShape(3, 5))
+	if err != nil || got != 2*2*3*5 {
+		t.Errorf("MatMulFLOPs = %d, %v", got, err)
+	}
+	if _, err := MatMulFLOPs(NewShape(2, 3), NewShape(4, 5)); err == nil {
+		t.Error("inner mismatch should error")
+	}
+	if _, err := MatMulFLOPs(Vector(3), NewShape(3, 5)); err == nil {
+		t.Error("bad rank should error")
+	}
+}
+
+// Property: Elements is multiplicative — appending a dimension d multiplies
+// the count by d.
+func TestElementsMultiplicativeProperty(t *testing.T) {
+	f := func(dims []uint8, extra uint8) bool {
+		s := make(Shape, 0, len(dims))
+		for _, d := range dims {
+			s = append(s, int64(d%16)+1)
+		}
+		d := int64(extra%16) + 1
+		return append(s.Clone(), d).Elements() == s.Elements()*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SAME output dim = ceil(in/stride), and is monotone in input.
+func TestSameOutDimProperty(t *testing.T) {
+	f := func(in, k, s uint8) bool {
+		inD := int64(in%200) + 1
+		kD := int64(k%7) + 1
+		sD := int64(s%4) + 1
+		got, err := outDim(inD, kD, sD, Same)
+		if err != nil {
+			return false
+		}
+		ceil := (inD + sD - 1) / sD
+		if got != ceil {
+			return false
+		}
+		bigger, err := outDim(inD+1, kD, sD, Same)
+		return err == nil && bigger >= got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConvFLOPs scales linearly with batch size.
+func TestConvFLOPsBatchLinearProperty(t *testing.T) {
+	f := func(b uint8, c uint8) bool {
+		batch := int64(b%8) + 1
+		ch := int64(c%8) + 1
+		in1 := NHWC(1, 16, 16, ch)
+		inB := NHWC(batch, 16, 16, ch)
+		w := Win(3, 1, Same)
+		filter := w.FilterShape(ch, 8)
+		f1, err1 := ConvFLOPs(in1, filter, w)
+		fb, err2 := ConvFLOPs(inB, filter, w)
+		return err1 == nil && err2 == nil && fb == batch*f1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

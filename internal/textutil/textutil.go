@@ -1,0 +1,109 @@
+// Package textutil renders the experiment results as aligned plain-text
+// tables, the report format of cmd/ceer-experiments and the benches.
+package textutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with a header row and optional footnotes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, 0, len(cells))
+		for i, c := range cells {
+			width := len(c)
+			if i < len(widths) {
+				width = widths[i]
+			}
+			if i == 0 {
+				parts = append(parts, fmt.Sprintf("%-*s", width, c))
+			} else {
+				parts = append(parts, fmt.Sprintf("%*s", width, c))
+			}
+		}
+		return strings.Join(parts, "  ")
+	}
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+			return err
+		}
+		total := len(t.Header) - 1
+		for _, wd := range widths {
+			total += wd + 1
+		}
+		if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "* %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Ms formats seconds as milliseconds with 3 significant decimals.
+func Ms(seconds float64) string { return fmt.Sprintf("%.3f", seconds*1e3) }
+
+// Us formats seconds as microseconds.
+func Us(seconds float64) string { return fmt.Sprintf("%.1f", seconds*1e6) }
+
+// Secs formats seconds.
+func Secs(seconds float64) string { return fmt.Sprintf("%.1f", seconds) }
+
+// Hours formats seconds as hours.
+func Hours(seconds float64) string { return fmt.Sprintf("%.2f", seconds/3600) }
+
+// USD formats a dollar amount.
+func USD(v float64) string { return fmt.Sprintf("$%.2f", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

@@ -1,0 +1,103 @@
+package textutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "22")
+	tbl.AddNote("a note with %d format", 7)
+	out := tbl.String()
+
+	for _, want := range []string{"Demo", "====", "name", "alpha", "beta-longer", "* a note with 7 format"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// First column left-aligned, later columns right-aligned.
+	lines := strings.Split(out, "\n")
+	var alphaLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+	}
+	if alphaLine == "" || !strings.HasSuffix(alphaLine, "1") {
+		t.Errorf("numeric column should be right-aligned: %q", alphaLine)
+	}
+}
+
+func TestTableNoTitleNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("only", "row")
+	out := tbl.String()
+	if strings.Contains(out, "===") || strings.Contains(out, "---") {
+		t.Errorf("untitled headerless table should have no rules:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("row missing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b", "c"}}
+	tbl.AddRow("1")                // shorter than header
+	tbl.AddRow("1", "2", "3", "4") // longer than header
+	out := tbl.String()
+	if !strings.Contains(out, "4") {
+		t.Error("extra cell should still render")
+	}
+}
+
+// failWriter errors after n bytes to exercise Render's error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestTableRenderWriteErrors(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"h"}}
+	tbl.AddRow("r")
+	tbl.AddNote("n")
+	full := len(tbl.String())
+	// Sweep failure points below the full output size; every one must
+	// surface an error.
+	for n := 0; n < full; n += 2 {
+		if err := tbl.Render(&failWriter{n: n}); err == nil {
+			t.Errorf("Render should fail with writer capacity %d (full %d)", n, full)
+		}
+	}
+	if err := tbl.Render(&failWriter{n: full}); err != nil {
+		t.Errorf("Render should succeed with exact capacity: %v", err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Ms(0.0123), "12.300"},
+		{Us(0.0000035), "3.5"},
+		{Secs(12.34), "12.3"},
+		{Hours(7200), "2.00"},
+		{USD(3.456), "$3.46"},
+		{Pct(0.1234), "12.3%"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("formatter = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+)
+
+// seriesJSON is the exported form of one per-node measurement series.
+type seriesJSON struct {
+	Node        int       `json:"node"`
+	Op          string    `json:"op"`
+	Class       string    `json:"class"`
+	Phase       string    `json:"phase"`
+	Features    []float64 `json:"features"`
+	InputBytes  int64     `json:"input_bytes"`
+	OutputBytes int64     `json:"output_bytes"`
+	N           int       `json:"n"`
+	MeanSeconds float64   `json:"mean_s"`
+	StdSeconds  float64   `json:"std_s"`
+	MinSeconds  float64   `json:"min_s"`
+	MaxSeconds  float64   `json:"max_s"`
+	// Samples carries the retained raw measurements so an imported
+	// profile supports the median estimators.
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// profileJSON is the exported form of a Profile.
+type profileJSON struct {
+	CNN          string       `json:"cnn"`
+	GPU          string       `json:"gpu"`
+	Family       string       `json:"family"`
+	Iterations   int          `json:"iterations"`
+	Params       int64        `json:"params"`
+	BatchSize    int64        `json:"batch_size"`
+	MeanIterSecs float64      `json:"mean_iteration_s"`
+	Series       []seriesJSON `json:"series"`
+}
+
+// ExportJSON writes the profile in a stable machine-readable form, for
+// downstream analysis outside this repository (the equivalent of
+// exporting a TensorFlow timeline).
+func (p *Profile) ExportJSON(w io.Writer) error {
+	out := profileJSON{
+		CNN:          p.CNN,
+		GPU:          p.GPU.String(),
+		Family:       p.GPU.Family(),
+		Iterations:   p.Iterations,
+		Params:       p.Params,
+		BatchSize:    p.BatchSize,
+		MeanIterSecs: p.MeanIterSeconds(),
+	}
+	for _, s := range p.Series {
+		out.Series = append(out.Series, seriesJSON{
+			Node:        int(s.Node),
+			Op:          string(s.OpType),
+			Class:       s.Class.String(),
+			Phase:       s.Phase.String(),
+			Features:    s.Features,
+			InputBytes:  s.InputBytes,
+			OutputBytes: s.OutputBytes,
+			N:           s.Agg.N(),
+			MeanSeconds: s.Agg.Mean(),
+			StdSeconds:  s.Agg.Std(),
+			MinSeconds:  s.Agg.Min(),
+			MaxSeconds:  s.Agg.Max(),
+			Samples:     s.Agg.Retained(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ImportJSON restores a Profile previously written by ExportJSON,
+// enabling offline workflows: profile once, analyze or retrain later
+// without re-running the measurement campaign.
+func ImportJSON(r io.Reader) (*Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decoding profile: %w", err)
+	}
+	m, ok := gpu.ModelByFamily(in.Family)
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown GPU family %q", in.Family)
+	}
+	if in.Iterations <= 0 {
+		return nil, fmt.Errorf("trace: profile has %d iterations", in.Iterations)
+	}
+	p := &Profile{
+		CNN:        in.CNN,
+		GPU:        m,
+		Iterations: in.Iterations,
+		Params:     in.Params,
+		BatchSize:  in.BatchSize,
+		IterTotal:  RestoreAgg(in.Iterations, in.MeanIterSecs, 0, in.MeanIterSecs, in.MeanIterSecs, nil),
+	}
+	for _, sj := range in.Series {
+		tp := ops.Type(sj.Op)
+		if !ops.Known(tp) {
+			return nil, fmt.Errorf("trace: unknown op type %q", sj.Op)
+		}
+		if sj.N != in.Iterations {
+			return nil, fmt.Errorf("trace: series %q has %d samples, profile has %d iterations", sj.Op, sj.N, in.Iterations)
+		}
+		p.Series = append(p.Series, &Series{
+			CNN:         in.CNN,
+			GPU:         m,
+			Node:        graph.NodeID(sj.Node),
+			OpType:      tp,
+			Class:       ops.MustLookup(tp).Class,
+			Phase:       parsePhase(sj.Phase),
+			Features:    sj.Features,
+			InputBytes:  sj.InputBytes,
+			OutputBytes: sj.OutputBytes,
+			Agg:         RestoreAgg(sj.N, sj.MeanSeconds, sj.StdSeconds, sj.MinSeconds, sj.MaxSeconds, sj.Samples),
+		})
+	}
+	return p, nil
+}
+
+func parsePhase(s string) graph.Phase {
+	switch s {
+	case "input":
+		return graph.InputPhase
+	case "backward":
+		return graph.BackwardPhase
+	case "update":
+		return graph.UpdatePhase
+	default:
+		return graph.ForwardPhase
+	}
+}

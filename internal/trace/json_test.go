@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ceer/internal/gpu"
+)
+
+func TestProfileExportJSON(t *testing.T) {
+	p := mkProfile("mynet", gpu.T4)
+	var buf bytes.Buffer
+	if err := p.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		CNN        string `json:"cnn"`
+		Family     string `json:"family"`
+		Iterations int    `json:"iterations"`
+		Series     []struct {
+			Op    string  `json:"op"`
+			Class string  `json:"class"`
+			N     int     `json:"n"`
+			Mean  float64 `json:"mean_s"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CNN != "mynet" || back.Family != "G4" || back.Iterations != 4 {
+		t.Errorf("header fields wrong: %+v", back)
+	}
+	if len(back.Series) != len(p.Series) {
+		t.Fatalf("series count %d, want %d", len(back.Series), len(p.Series))
+	}
+	if back.Series[0].Op != "Conv2D" || back.Series[0].Class != "heavy-gpu" {
+		t.Errorf("first series = %+v", back.Series[0])
+	}
+	if back.Series[0].N != 4 || back.Series[0].Mean != 0.010 {
+		t.Errorf("series stats wrong: %+v", back.Series[0])
+	}
+}
+
+func TestProfileJSONRoundtrip(t *testing.T) {
+	orig := mkProfile("roundtrip-net", gpu.K80)
+	var buf bytes.Buffer
+	if err := orig.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.CNN != orig.CNN || back.GPU != orig.GPU || back.Iterations != orig.Iterations {
+		t.Errorf("metadata changed: %+v", back)
+	}
+	if len(back.Series) != len(orig.Series) {
+		t.Fatalf("series count changed")
+	}
+	for i, s := range back.Series {
+		o := orig.Series[i]
+		if s.OpType != o.OpType || s.Class != o.Class {
+			t.Errorf("series %d type/class changed", i)
+		}
+		if s.Agg.Mean() != o.Agg.Mean() || s.Agg.N() != o.Agg.N() {
+			t.Errorf("series %d stats changed: %v vs %v", i, s.Agg.Mean(), o.Agg.Mean())
+		}
+		if len(s.Agg.Retained()) != len(o.Agg.Retained()) {
+			t.Errorf("series %d retained samples lost", i)
+		}
+	}
+	// Aggregations still work on the imported profile.
+	if back.ClassShare()[orig.Series[0].Class] <= 0 {
+		t.Error("imported profile aggregation broken")
+	}
+}
+
+func TestImportJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":   "{nope",
+		"bad family": `{"cnn":"x","family":"ZZ","iterations":3}`,
+		"bad iters":  `{"cnn":"x","family":"P3","iterations":0}`,
+		"bad op": `{"cnn":"x","family":"P3","iterations":2,
+			"series":[{"node":0,"op":"Bogus","n":2}]}`,
+		"n mismatch": `{"cnn":"x","family":"P3","iterations":2,
+			"series":[{"node":0,"op":"Relu","n":5}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ImportJSON(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: ImportJSON should fail", name)
+		}
+	}
+}
+
+func TestRestoreAggMatchesOriginal(t *testing.T) {
+	a := NewAgg(4)
+	for _, v := range []float64{1, 2, 3, 4, 5, 6} {
+		a.Add(v)
+	}
+	b := RestoreAgg(a.N(), a.Mean(), a.Std(), a.Min(), a.Max(), a.Retained())
+	if b.N() != a.N() || b.Mean() != a.Mean() || b.Min() != a.Min() || b.Max() != a.Max() {
+		t.Error("restored stats differ")
+	}
+	if diff := b.Std() - a.Std(); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("restored std differs: %v vs %v", b.Std(), a.Std())
+	}
+	if len(b.Retained()) != 4 {
+		t.Errorf("retained count = %d", len(b.Retained()))
+	}
+}

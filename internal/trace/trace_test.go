@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+	"ceer/internal/stats"
+)
+
+func TestAggBasics(t *testing.T) {
+	a := NewAgg(2)
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	if math.Abs(a.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v", a.Std())
+	}
+	if math.Abs(a.NormalizedStd()-0.4) > 1e-12 {
+		t.Errorf("NormalizedStd = %v", a.NormalizedStd())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if len(a.Retained()) != 2 {
+		t.Errorf("Retained = %d samples, cap 2", len(a.Retained()))
+	}
+}
+
+func TestAggEmpty(t *testing.T) {
+	a := NewAgg(4)
+	if a.Mean() != 0 || a.Std() != 0 || a.NormalizedStd() != 0 || a.N() != 0 {
+		t.Error("empty agg should be all zeros")
+	}
+}
+
+func TestAggSinglePoint(t *testing.T) {
+	a := NewAgg(4)
+	a.Add(3)
+	if a.Std() != 0 {
+		t.Error("single point std should be 0")
+	}
+}
+
+// Property: Agg matches the batch statistics package on random samples.
+func TestAggMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := NewAgg(0)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		scale := math.Max(1, math.Abs(stats.Mean(xs)))
+		if math.Abs(a.Mean()-stats.Mean(xs)) > 1e-9*scale {
+			return false
+		}
+		sd := stats.StdDev(xs)
+		return math.Abs(a.Std()-sd) <= 1e-6*math.Max(1, sd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkSeries(cnn string, m gpu.Model, tp ops.Type, class ops.Class, mean float64, n int) *Series {
+	a := NewAgg(8)
+	for i := 0; i < n; i++ {
+		a.Add(mean)
+	}
+	return &Series{CNN: cnn, GPU: m, OpType: tp, Class: class, Agg: a}
+}
+
+func mkProfile(cnn string, m gpu.Model) *Profile {
+	p := &Profile{CNN: cnn, GPU: m, Iterations: 4, IterTotal: NewAgg(8)}
+	p.Series = []*Series{
+		mkSeries(cnn, m, ops.Conv2D, ops.HeavyGPU, 0.010, 4),
+		mkSeries(cnn, m, ops.Relu, ops.HeavyGPU, 0.002, 4),
+		mkSeries(cnn, m, ops.Cast, ops.LightGPU, 0.0001, 4),
+		mkSeries(cnn, m, ops.OneHot, ops.CPU, 0.0002, 4),
+	}
+	for i := 0; i < 4; i++ {
+		p.IterTotal.Add(0.0123)
+	}
+	return p
+}
+
+func TestProfileByTypeAndClassShare(t *testing.T) {
+	p := mkProfile("net", gpu.V100)
+	byType := p.ByType()
+	if len(byType[ops.Conv2D]) != 1 || len(byType[ops.Relu]) != 1 {
+		t.Error("ByType grouping wrong")
+	}
+	share := p.ClassShare()
+	total := share[ops.HeavyGPU] + share[ops.LightGPU] + share[ops.CPU]
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("class shares sum to %v", total)
+	}
+	if share[ops.HeavyGPU] < 0.9 {
+		t.Errorf("heavy share = %v, want > 0.9 in this synthetic profile", share[ops.HeavyGPU])
+	}
+	if p.MeanIterSeconds() != 0.0123 {
+		t.Errorf("MeanIterSeconds = %v", p.MeanIterSeconds())
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := mkProfile("net", gpu.V100)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Series[0].Agg.Add(1) // now sample count mismatches
+	if err := p.Validate(); err == nil {
+		t.Error("mismatched sample count should fail validation")
+	}
+	bad := &Profile{CNN: "x", Iterations: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero iterations should fail validation")
+	}
+}
+
+func TestBundleFilters(t *testing.T) {
+	b := &Bundle{}
+	b.Add(mkProfile("a", gpu.V100))
+	b.Add(mkProfile("a", gpu.K80))
+	b.Add(mkProfile("b", gpu.V100))
+
+	if got := len(b.ForGPU(gpu.V100)); got != 2 {
+		t.Errorf("ForGPU = %d profiles", got)
+	}
+	if got := len(b.ForCNN("a")); got != 2 {
+		t.Errorf("ForCNN = %d profiles", got)
+	}
+	if _, ok := b.Find("a", gpu.K80); !ok {
+		t.Error("Find missed existing profile")
+	}
+	if _, ok := b.Find("c", gpu.K80); ok {
+		t.Error("Find hit nonexistent profile")
+	}
+	cnns := b.CNNs()
+	if len(cnns) != 2 || cnns[0] != "a" || cnns[1] != "b" {
+		t.Errorf("CNNs = %v", cnns)
+	}
+}
+
+func TestMeanTimeByType(t *testing.T) {
+	b := &Bundle{}
+	b.Add(mkProfile("a", gpu.V100))
+	b.Add(mkProfile("b", gpu.V100))
+	means := b.MeanTimeByType(gpu.V100)
+	if math.Abs(means[ops.Conv2D]-0.010) > 1e-12 {
+		t.Errorf("Conv2D mean = %v", means[ops.Conv2D])
+	}
+	if math.Abs(means[ops.Cast]-0.0001) > 1e-12 {
+		t.Errorf("Cast mean = %v", means[ops.Cast])
+	}
+	if len(b.MeanTimeByType(gpu.T4)) != 0 {
+		t.Error("no T4 profiles, map should be empty")
+	}
+}

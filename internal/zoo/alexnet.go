@@ -1,0 +1,34 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// AlexNet builds the classic 5-convolution, 3-fully-connected AlexNet
+// (Krizhevsky et al., 2012) on 227×227 inputs, ~62M parameters. AlexNet
+// is one of the paper's four held-out test CNNs; its enormous fully
+// connected layers make communication overhead especially visible
+// (the paper reports ~30% prediction error when that overhead is
+// ignored).
+func AlexNet(batch int64) (*graph.Graph, error) {
+	b := nn.NewBuilder("alexnet", batch)
+	x := b.Input(227, 227, 3)
+
+	x = convReLU(b, x, 96, 11, 4, tensor.Valid) // 55×55×96
+	x = b.MaxPool(x, 3, 2, tensor.Valid)        // 27×27×96
+	x = convReLU(b, x, 256, 5, 1, tensor.Same)  // 27×27×256
+	x = b.MaxPool(x, 3, 2, tensor.Valid)        // 13×13×256
+	x = convReLU(b, x, 384, 3, 1, tensor.Same)
+	x = convReLU(b, x, 384, 3, 1, tensor.Same)
+	x = convReLU(b, x, 256, 3, 1, tensor.Same)
+	x = b.MaxPool(x, 3, 2, tensor.Valid) // 6×6×256
+
+	x = b.Flatten(x) // 9216
+	x = denseReLU(b, x, 4096)
+	x = denseReLU(b, x, 4096)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}

@@ -1,0 +1,120 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// InceptionResNetV2 builds Inception-ResNet-v2 (Szegedy et al., 2016),
+// ~55M parameters; training set. The architecture combines inception
+// branches with scaled residual connections, contributing both ConcatV2
+// and the Mul/AddV2 residual ops to the training-set op mix.
+func InceptionResNetV2(batch int64) (*graph.Graph, error) {
+	b := nn.NewBuilder("inception-resnet-v2", batch)
+	x := b.Input(299, 299, 3)
+	x = inceptionV4Stem(b, x) // 35×35×384
+
+	// 10 × Inception-ResNet-A (block35).
+	for i := 0; i < 10; i++ {
+		x = block35(b, x)
+	}
+	// Reduction-A with (k, l, m, n) = (256, 256, 384, 384).
+	x = irReductionA(b, x) // 17×17×1152
+
+	// 20 × Inception-ResNet-B (block17).
+	for i := 0; i < 20; i++ {
+		x = block17(b, x)
+	}
+	x = irReductionB(b, x) // 8×8×2144
+
+	// 10 × Inception-ResNet-C (block8).
+	for i := 0; i < 10; i++ {
+		x = block8(b, x)
+	}
+
+	x = convBNSq(b, x, 1536, 1, 1, tensor.Same)
+	x = b.AvgPool(x, 8, 1, tensor.Valid) // 1×1×1536
+	x = b.Squeeze(x)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}
+
+// residualJoin applies the Inception-ResNet residual pattern: project
+// the mixed branches up to the trunk width with a linear 1×1 conv,
+// scale, add to the shortcut, and apply ReLU.
+func residualJoin(b *nn.Builder, shortcut, mixed nn.Tensor) nn.Tensor {
+	up := b.ConvSq(mixed, shortcut.Spec().Shape.Dim(3), 1, 1, tensor.Same)
+	up = b.ScaleResidual(up)
+	return b.ReLU(b.Add(shortcut, up))
+}
+
+// block35 is Inception-ResNet-A at 35×35.
+func block35(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 32, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 32, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 32, 3, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 32, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 48, 3, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 64, 3, 1, tensor.Same)
+
+	mixed := b.Concat(b1, b2, b3) // 128
+	return residualJoin(b, x, mixed)
+}
+
+// irReductionA reduces 35×35×384 to 17×17×1152.
+func irReductionA(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 384, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 256, 3, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 384, 3, 2, tensor.Valid)
+
+	b3 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3) // 384+384+384 = 1152
+}
+
+// block17 is Inception-ResNet-B at 17×17.
+func block17(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 128, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, 160, 1, 7, 1, tensor.Same)
+	b2 = convBN(b, b2, 192, 7, 1, 1, tensor.Same)
+
+	mixed := b.Concat(b1, b2) // 384
+	return residualJoin(b, x, mixed)
+}
+
+// irReductionB reduces 17×17×1152 to 8×8×2144.
+func irReductionB(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+	b1 = convBNSq(b, b1, 384, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 288, 3, 2, tensor.Valid)
+
+	b3 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 288, 3, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 320, 3, 2, tensor.Valid)
+
+	b4 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3, b4) // 384+288+320+1152 = 2144
+}
+
+// block8 is Inception-ResNet-C at 8×8.
+func block8(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, 224, 1, 3, 1, tensor.Same)
+	b2 = convBN(b, b2, 256, 3, 1, 1, tensor.Same)
+
+	mixed := b.Concat(b1, b2) // 448
+	return residualJoin(b, x, mixed)
+}

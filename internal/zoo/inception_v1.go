@@ -1,0 +1,60 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// inceptionV1Module emits one GoogLeNet inception module with the
+// classic four branches: 1×1, 1×1→3×3, 1×1→3×3 (the TF-slim rendition
+// replaces the original 5×5 with 3×3), and 3×3-maxpool→1×1.
+func inceptionV1Module(b *nn.Builder, x nn.Tensor, c1, c2r, c2, c3r, c3, c4 int64) nn.Tensor {
+	b1 := convBNSq(b, x, c1, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, c2r, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, c2, 3, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, c3r, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, c3, 3, 1, tensor.Same)
+
+	b4 := b.MaxPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, c4, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2, b3, b4)
+}
+
+// InceptionV1 builds GoogLeNet (Szegedy et al., 2014) in its
+// batch-normalized TF-slim form, ~6.6M parameters; training set. Its
+// small parameter count makes it the paper's canonical subject for the
+// data-parallel scaling study (Figure 6).
+func InceptionV1(batch int64) (*graph.Graph, error) {
+	b := nn.NewBuilder("inception-v1", batch)
+	x := b.Input(224, 224, 3)
+
+	x = convBNSq(b, x, 64, 7, 2, tensor.Same) // 112×112×64
+	x = b.MaxPool(x, 3, 2, tensor.Same)       // 56×56×64
+	x = convBNSq(b, x, 64, 1, 1, tensor.Same)
+	x = convBNSq(b, x, 192, 3, 1, tensor.Same)
+	x = b.MaxPool(x, 3, 2, tensor.Same) // 28×28×192
+
+	x = inceptionV1Module(b, x, 64, 96, 128, 16, 32, 32)   // 3a -> 256
+	x = inceptionV1Module(b, x, 128, 128, 192, 32, 96, 64) // 3b -> 480
+	x = b.MaxPool(x, 3, 2, tensor.Same)                    // 14×14×480
+
+	x = inceptionV1Module(b, x, 192, 96, 208, 16, 48, 64)    // 4a
+	x = inceptionV1Module(b, x, 160, 112, 224, 24, 64, 64)   // 4b
+	x = inceptionV1Module(b, x, 128, 128, 256, 24, 64, 64)   // 4c
+	x = inceptionV1Module(b, x, 112, 144, 288, 32, 64, 64)   // 4d
+	x = inceptionV1Module(b, x, 256, 160, 320, 32, 128, 128) // 4e -> 832
+	x = b.MaxPool(x, 3, 2, tensor.Same)                      // 7×7×832
+
+	x = inceptionV1Module(b, x, 256, 160, 320, 32, 128, 128) // 5a
+	x = inceptionV1Module(b, x, 384, 192, 384, 48, 128, 128) // 5b -> 1024
+
+	x = b.AvgPool(x, 7, 1, tensor.Valid) // 1×1×1024
+	x = b.Squeeze(x)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}

@@ -1,0 +1,138 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// InceptionV3 builds Inception-v3 (Szegedy et al., 2015; the paper's
+// Figure 1 DAG), ~23.9M parameters, on 299×299 inputs. Inception-v3 is
+// one of the paper's four held-out test CNNs; its many pooling
+// operations make it a case where the P3 (V100) instance is
+// cost-optimal (Section V).
+func InceptionV3(batch int64) (*graph.Graph, error) {
+	b := nn.NewBuilder("inception-v3", batch)
+	x := b.Input(299, 299, 3)
+
+	// Stem.
+	x = convBNSq(b, x, 32, 3, 2, tensor.Valid) // 149×149×32
+	x = convBNSq(b, x, 32, 3, 1, tensor.Valid) // 147×147×32
+	x = convBNSq(b, x, 64, 3, 1, tensor.Same)  // 147×147×64
+	x = b.MaxPool(x, 3, 2, tensor.Valid)       // 73×73×64
+	x = convBNSq(b, x, 80, 1, 1, tensor.Valid)
+	x = convBNSq(b, x, 192, 3, 1, tensor.Valid) // 71×71×192
+	x = b.MaxPool(x, 3, 2, tensor.Valid)        // 35×35×192
+
+	// 3 × Inception-A (5b, 5c, 5d).
+	for _, poolC := range []int64{32, 64, 64} {
+		x = inceptionA3(b, x, poolC)
+	}
+
+	// Reduction-A (6a): 35×35 → 17×17.
+	x = reductionA3(b, x)
+
+	// 4 × Inception-B (6b–6e) with factorized 7×7 convolutions.
+	for _, c7 := range []int64{128, 160, 160, 192} {
+		x = inceptionB3(b, x, c7)
+	}
+
+	// Reduction-B (7a): 17×17 → 8×8.
+	x = reductionB3(b, x)
+
+	// 2 × Inception-C (7b, 7c).
+	x = inceptionC3(b, x)
+	x = inceptionC3(b, x)
+
+	// Head.
+	x = b.AvgPool(x, 8, 1, tensor.Valid) // 1×1×2048
+	x = b.Squeeze(x)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}
+
+// inceptionA3 is the 35×35 module: 1×1, 1×1→5×5, 1×1→3×3→3×3, and
+// avgpool→1×1 branches.
+func inceptionA3(b *nn.Builder, x nn.Tensor, poolC int64) nn.Tensor {
+	b1 := convBNSq(b, x, 64, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 48, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 64, 5, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 96, 3, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 96, 3, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, poolC, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2, b3, b4)
+}
+
+// reductionA3 is the grid-size reduction from 35×35×288 to 17×17×768.
+func reductionA3(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 384, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 96, 3, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 96, 3, 2, tensor.Valid)
+
+	b3 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3)
+}
+
+// inceptionB3 is the 17×17 module with factorized 7×7 convolutions.
+func inceptionB3(b *nn.Builder, x nn.Tensor, c7 int64) nn.Tensor {
+	b1 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, c7, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, c7, 1, 7, 1, tensor.Same)
+	b2 = convBN(b, b2, 192, 7, 1, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, c7, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, c7, 7, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, c7, 1, 7, 1, tensor.Same)
+	b3 = convBN(b, b3, c7, 7, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 192, 1, 7, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, 192, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2, b3, b4)
+}
+
+// reductionB3 is the grid-size reduction from 17×17×768 to 8×8×1280.
+func reductionB3(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b1 = convBNSq(b, b1, 320, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, 192, 1, 7, 1, tensor.Same)
+	b2 = convBN(b, b2, 192, 7, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 192, 3, 2, tensor.Valid)
+
+	b3 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3)
+}
+
+// inceptionC3 is the 8×8 module with expanded-filter-bank branches.
+func inceptionC3(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 320, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 384, 1, 1, tensor.Same)
+	b2a := convBN(b, b2, 384, 1, 3, 1, tensor.Same)
+	b2b := convBN(b, b2, 384, 3, 1, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 448, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 384, 3, 1, tensor.Same)
+	b3a := convBN(b, b3, 384, 1, 3, 1, tensor.Same)
+	b3b := convBN(b, b3, 384, 3, 1, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, 192, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2a, b2b, b3a, b3b, b4)
+}

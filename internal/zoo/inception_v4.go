@@ -1,0 +1,144 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// inceptionV4Stem emits the shared Inception-v4 / Inception-ResNet-v2
+// stem, taking 299×299×3 to 35×35×384 through three concat joins.
+func inceptionV4Stem(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	x = convBNSq(b, x, 32, 3, 2, tensor.Valid) // 149×149×32
+	x = convBNSq(b, x, 32, 3, 1, tensor.Valid) // 147×147×32
+	x = convBNSq(b, x, 64, 3, 1, tensor.Same)  // 147×147×64
+
+	p1 := b.MaxPool(x, 3, 2, tensor.Valid)       // 73×73×64
+	c1 := convBNSq(b, x, 96, 3, 2, tensor.Valid) // 73×73×96
+	x = b.Concat(p1, c1)                         // 73×73×160
+
+	a := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	a = convBNSq(b, a, 96, 3, 1, tensor.Valid) // 71×71×96
+
+	c := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	c = convBN(b, c, 64, 7, 1, 1, tensor.Same)
+	c = convBN(b, c, 64, 1, 7, 1, tensor.Same)
+	c = convBNSq(b, c, 96, 3, 1, tensor.Valid) // 71×71×96
+	x = b.Concat(a, c)                         // 71×71×192
+
+	d := convBNSq(b, x, 192, 3, 2, tensor.Valid) // 35×35×192
+	p2 := b.MaxPool(x, 3, 2, tensor.Valid)       // 35×35×192
+	return b.Concat(d, p2)                       // 35×35×384
+}
+
+// InceptionV4 builds Inception-v4 (Szegedy et al., 2016), ~42.7M
+// parameters; training set.
+func InceptionV4(batch int64) (*graph.Graph, error) {
+	b := nn.NewBuilder("inception-v4", batch)
+	x := b.Input(299, 299, 3)
+	x = inceptionV4Stem(b, x)
+
+	// 4 × Inception-A.
+	for i := 0; i < 4; i++ {
+		x = inceptionA4(b, x)
+	}
+	// Reduction-A with (k, l, m, n) = (192, 224, 256, 384).
+	x = reductionA4(b, x) // 17×17×1024
+
+	// 7 × Inception-B.
+	for i := 0; i < 7; i++ {
+		x = inceptionB4(b, x)
+	}
+	x = reductionB4(b, x) // 8×8×1536
+
+	// 3 × Inception-C.
+	for i := 0; i < 3; i++ {
+		x = inceptionC4(b, x)
+	}
+
+	x = b.AvgPool(x, 8, 1, tensor.Valid) // 1×1×1536
+	x = b.Squeeze(x)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}
+
+func inceptionA4(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 96, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 96, 3, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 64, 1, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 96, 3, 1, tensor.Same)
+	b3 = convBNSq(b, b3, 96, 3, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, 96, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2, b3, b4) // 384
+}
+
+func reductionA4(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 384, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 224, 3, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 256, 3, 2, tensor.Valid)
+
+	b3 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3) // 384+256+384 = 1024
+}
+
+func inceptionB4(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 384, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, 224, 1, 7, 1, tensor.Same)
+	b2 = convBN(b, b2, 256, 7, 1, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 192, 7, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 224, 1, 7, 1, tensor.Same)
+	b3 = convBN(b, b3, 224, 7, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 256, 1, 7, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, 128, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2, b3, b4) // 1024
+}
+
+func reductionB4(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 192, 1, 1, tensor.Same)
+	b1 = convBNSq(b, b1, 192, 3, 2, tensor.Valid)
+
+	b2 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+	b2 = convBN(b, b2, 256, 1, 7, 1, tensor.Same)
+	b2 = convBN(b, b2, 320, 7, 1, 1, tensor.Same)
+	b2 = convBNSq(b, b2, 320, 3, 2, tensor.Valid)
+
+	b3 := b.MaxPool(x, 3, 2, tensor.Valid)
+
+	return b.Concat(b1, b2, b3) // 192+320+1024 = 1536
+}
+
+func inceptionC4(b *nn.Builder, x nn.Tensor) nn.Tensor {
+	b1 := convBNSq(b, x, 256, 1, 1, tensor.Same)
+
+	b2 := convBNSq(b, x, 384, 1, 1, tensor.Same)
+	b2a := convBN(b, b2, 256, 1, 3, 1, tensor.Same)
+	b2b := convBN(b, b2, 256, 3, 1, 1, tensor.Same)
+
+	b3 := convBNSq(b, x, 384, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 448, 3, 1, 1, tensor.Same)
+	b3 = convBN(b, b3, 512, 1, 3, 1, tensor.Same)
+	b3a := convBN(b, b3, 256, 1, 3, 1, tensor.Same)
+	b3b := convBN(b, b3, 256, 3, 1, 1, tensor.Same)
+
+	b4 := b.AvgPool(x, 3, 1, tensor.Same)
+	b4 = convBNSq(b, b4, 256, 1, 1, tensor.Same)
+
+	return b.Concat(b1, b2a, b2b, b3a, b3b, b4) // 1536
+}

@@ -1,0 +1,83 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// resnetUnits maps a variant to its per-stage bottleneck-unit counts
+// (He et al., "Identity Mappings in Deep Residual Networks", the v2
+// pre-activation form).
+var resnetUnits = map[string][4]int{
+	"resnet-50":  {3, 4, 6, 3},
+	"resnet-101": {3, 4, 23, 3},
+	"resnet-152": {3, 8, 36, 3},
+	"resnet-200": {3, 24, 36, 3},
+}
+
+// bottleneckV2 emits one pre-activation bottleneck unit: BN→ReLU
+// pre-activation, a 1×1 reduce, 3×3 (with the unit's stride), and 1×1
+// expand path, plus an identity or 1×1-projection shortcut.
+func bottleneckV2(b *nn.Builder, x nn.Tensor, base, stride int64) nn.Tensor {
+	outC := 4 * base
+	preact := b.ReLU(b.BatchNorm(x))
+
+	var shortcut nn.Tensor
+	if x.Spec().Shape.Dim(3) != outC || stride != 1 {
+		shortcut = b.ConvSq(preact, outC, 1, stride, tensor.Same)
+	} else {
+		shortcut = x
+	}
+
+	r := convBNSq(b, preact, base, 1, 1, tensor.Same)
+	// The pre-activation for the 1×1 was applied above; the inner convs
+	// carry their own BN+ReLU per the v2 formulation.
+	r = convBNSq(b, r, base, 3, stride, tensor.Same)
+	r = b.ConvSq(r, outC, 1, 1, tensor.Same)
+
+	return b.Add(shortcut, r)
+}
+
+func buildResNetV2(name string, batch int64) (*graph.Graph, error) {
+	units := resnetUnits[name]
+	b := nn.NewBuilder(name, batch)
+	x := b.Input(224, 224, 3)
+
+	// Stem: 7×7/2 conv, then 3×3/2 max pool.
+	x = b.ConvSq(x, 64, 7, 2, tensor.Same) // 112×112×64
+	x = b.MaxPool(x, 3, 2, tensor.Same)    // 56×56×64
+
+	bases := [4]int64{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for unit := 0; unit < units[stage]; unit++ {
+			stride := int64(1)
+			// Downsample entering stages 2–4.
+			if stage > 0 && unit == 0 {
+				stride = 2
+			}
+			x = bottleneckV2(b, x, bases[stage], stride)
+		}
+	}
+
+	// Head: final pre-activation, global average pool, classifier.
+	x = b.ReLU(b.BatchNorm(x))
+	x = b.GlobalAvgPool(x)
+	x = b.Squeeze(x)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}
+
+// ResNet50 builds ResNet-v2-50 (~25.6M params; training set).
+func ResNet50(batch int64) (*graph.Graph, error) { return buildResNetV2("resnet-50", batch) }
+
+// ResNet101 builds ResNet-v2-101 (~44.6M params; one of the paper's four
+// held-out test CNNs).
+func ResNet101(batch int64) (*graph.Graph, error) { return buildResNetV2("resnet-101", batch) }
+
+// ResNet152 builds ResNet-v2-152 (~60.3M params; training set).
+func ResNet152(batch int64) (*graph.Graph, error) { return buildResNetV2("resnet-152", batch) }
+
+// ResNet200 builds ResNet-v2-200 (~64.8M params; training set).
+func ResNet200(batch int64) (*graph.Graph, error) { return buildResNetV2("resnet-200", batch) }

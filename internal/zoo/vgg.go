@@ -1,0 +1,49 @@
+package zoo
+
+import (
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// vggConfigs maps a variant to its per-stage convolution counts
+// (Simonyan & Zisserman's configurations A, D, and E). Every stage uses
+// 3×3 SAME convolutions and ends with a 2×2/2 max pool; stage channel
+// widths are 64, 128, 256, 512, 512.
+var vggConfigs = map[string][5]int{
+	"vgg-11": {1, 1, 2, 2, 2},
+	"vgg-16": {2, 2, 3, 3, 3},
+	"vgg-19": {2, 2, 4, 4, 4},
+}
+
+var vggWidths = [5]int64{64, 128, 256, 512, 512}
+
+func buildVGG(name string, batch int64) (*graph.Graph, error) {
+	cfg := vggConfigs[name]
+	b := nn.NewBuilder(name, batch)
+	x := b.Input(224, 224, 3)
+	for stage, reps := range cfg {
+		for i := 0; i < reps; i++ {
+			x = convReLU(b, x, vggWidths[stage], 3, 1, tensor.Same)
+		}
+		x = b.MaxPool(x, 2, 2, tensor.Valid)
+	}
+	x = b.Flatten(x) // 7×7×512 = 25088
+	x = denseReLU(b, x, 4096)
+	x = denseReLU(b, x, 4096)
+	x = b.Dense(x, ImageNetClasses)
+	b.SoftmaxLoss(x)
+	return b.Finish()
+}
+
+// VGG11 builds configuration A (8 conv + 3 FC layers, ~133M params).
+// VGG-11 is in the paper's training set.
+func VGG11(batch int64) (*graph.Graph, error) { return buildVGG("vgg-11", batch) }
+
+// VGG16 builds configuration D (13 conv + 3 FC layers, ~138M params).
+// VGG-16 is in the paper's training set.
+func VGG16(batch int64) (*graph.Graph, error) { return buildVGG("vgg-16", batch) }
+
+// VGG19 builds configuration E (16 conv + 3 FC layers, ~144M params).
+// VGG-19 is one of the paper's four held-out test CNNs.
+func VGG19(batch int64) (*graph.Graph, error) { return buildVGG("vgg-19", batch) }

@@ -1,0 +1,116 @@
+// Package zoo builds the twelve CNN architectures the paper studies as
+// op-level training graphs: AlexNet, VGG-11/16/19, Inception-v1/v3/v4,
+// ResNet-v2-50/101/152/200, and Inception-ResNet-v2.
+//
+// The paper splits these into a training set of 8 CNNs (used to fit
+// Ceer's models) and a test set of 4 previously unseen CNNs
+// (Inception-v3, AlexNet, ResNet-101, VGG-19) used for validation and
+// evaluation (Section III). The same split is exported here.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"ceer/internal/graph"
+	"ceer/internal/nn"
+	"ceer/internal/tensor"
+)
+
+// DefaultBatch is the paper's default per-GPU batch size.
+const DefaultBatch = 32
+
+// ImageNetClasses is the output dimensionality of every zoo model.
+const ImageNetClasses = 1000
+
+// BuilderFunc constructs one architecture's training graph for a given
+// per-GPU batch size.
+type BuilderFunc func(batch int64) (*graph.Graph, error)
+
+var registry = map[string]BuilderFunc{
+	"alexnet":             AlexNet,
+	"vgg-11":              VGG11,
+	"vgg-16":              VGG16,
+	"vgg-19":              VGG19,
+	"resnet-50":           ResNet50,
+	"resnet-101":          ResNet101,
+	"resnet-152":          ResNet152,
+	"resnet-200":          ResNet200,
+	"inception-v1":        InceptionV1,
+	"inception-v3":        InceptionV3,
+	"inception-v4":        InceptionV4,
+	"inception-resnet-v2": InceptionResNetV2,
+}
+
+// Build constructs the named architecture at the given batch size.
+func Build(name string, batch int64) (*graph.Graph, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown model %q (have %v)", name, Names())
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("zoo: non-positive batch size %d", batch)
+	}
+	return f(batch)
+}
+
+// MustBuild is Build for known-good names; it panics on error.
+func MustBuild(name string, batch int64) *graph.Graph {
+	g, err := Build(name, batch)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names returns every registered model name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrainingSet returns the 8 CNNs used to fit Ceer's models.
+func TrainingSet() []string {
+	return []string{
+		"vgg-11", "vgg-16",
+		"inception-v1", "inception-v4", "inception-resnet-v2",
+		"resnet-50", "resnet-152", "resnet-200",
+	}
+}
+
+// TestSet returns the paper's 4 held-out CNNs: Inception-v3, AlexNet,
+// ResNet-101, and VGG-19.
+func TestSet() []string {
+	return []string{"inception-v3", "alexnet", "resnet-101", "vgg-19"}
+}
+
+// convBN is the ubiquitous Conv → BatchNorm → ReLU unit of the
+// batch-normalized architectures.
+func convBN(b *nn.Builder, x nn.Tensor, outC, kh, kw, s int64, pad tensor.Padding) nn.Tensor {
+	x = b.Conv(x, outC, kh, kw, s, pad)
+	x = b.BatchNorm(x)
+	return b.ReLU(x)
+}
+
+// convBNSq is convBN with a square kernel.
+func convBNSq(b *nn.Builder, x nn.Tensor, outC, k, s int64, pad tensor.Padding) nn.Tensor {
+	return convBN(b, x, outC, k, k, s, pad)
+}
+
+// convReLU is the bias-plus-activation unit of the pre-BN architectures
+// (AlexNet, VGG).
+func convReLU(b *nn.Builder, x nn.Tensor, outC, k, s int64, pad tensor.Padding) nn.Tensor {
+	x = b.ConvSq(x, outC, k, s, pad)
+	x = b.BiasAdd(x)
+	return b.ReLU(x)
+}
+
+// denseReLU is a fully connected layer followed by ReLU.
+func denseReLU(b *nn.Builder, x nn.Tensor, units int64) nn.Tensor {
+	x = b.Dense(x, units)
+	return b.ReLU(x)
+}

@@ -1,0 +1,280 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+)
+
+// publishedParams lists the well-known parameter counts (in millions)
+// of each architecture; the builders must land within tolerance. BN
+// variants count only trainable scale/offset pairs.
+var publishedParams = map[string]float64{
+	"alexnet":             62.4,
+	"vgg-11":              132.9,
+	"vgg-16":              138.4,
+	"vgg-19":              143.7,
+	"resnet-50":           25.6,
+	"resnet-101":          44.6,
+	"resnet-152":          60.3,
+	"resnet-200":          64.8,
+	"inception-v1":        6.6,
+	"inception-v3":        23.9,
+	"inception-v4":        42.7,
+	"inception-resnet-v2": 55.9,
+}
+
+func TestAllModelsBuild(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Build(name, DefaultBatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Name != name {
+				t.Errorf("graph name %q != model name %q", g.Name, name)
+			}
+			if g.Len() < 50 {
+				t.Errorf("suspiciously small graph: %d nodes", g.Len())
+			}
+		})
+	}
+}
+
+func TestParameterCounts(t *testing.T) {
+	// Tolerance: ±12% of the published value. The builders reproduce the
+	// canonical layer configurations; small deviations come from
+	// BN-vs-bias bookkeeping differences between published tables.
+	for name, wantM := range publishedParams {
+		name, wantM := name, wantM
+		t.Run(name, func(t *testing.T) {
+			g, err := Build(name, DefaultBatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotM := float64(g.Params) / 1e6
+			if math.Abs(gotM-wantM)/wantM > 0.12 {
+				t.Errorf("%s params = %.2fM, published ~%.1fM", name, gotM, wantM)
+			}
+		})
+	}
+}
+
+func TestParamOrdering(t *testing.T) {
+	// Relative ordering of model sizes must hold (drives Fig. 7's x-axis).
+	order := []string{"inception-v1", "inception-v3", "inception-v4",
+		"resnet-101", "inception-resnet-v2", "alexnet", "vgg-19"}
+	prev := int64(0)
+	for _, name := range order {
+		g := MustBuild(name, DefaultBatch)
+		if g.Params <= prev {
+			t.Errorf("%s params %d not greater than previous %d", name, g.Params, prev)
+		}
+		prev = g.Params
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test := TrainingSet(), TestSet()
+	if len(train) != 8 || len(test) != 4 {
+		t.Fatalf("split sizes %d/%d, want 8/4", len(train), len(test))
+	}
+	seen := make(map[string]bool)
+	for _, n := range append(append([]string{}, train...), test...) {
+		if seen[n] {
+			t.Errorf("model %q appears twice in the split", n)
+		}
+		seen[n] = true
+		if _, err := Build(n, 1); err != nil {
+			t.Errorf("split references unbuildable model %q: %v", n, err)
+		}
+	}
+	if len(seen) != len(Names()) {
+		t.Errorf("split covers %d models, registry has %d", len(seen), len(Names()))
+	}
+	wantTest := map[string]bool{"inception-v3": true, "alexnet": true, "resnet-101": true, "vgg-19": true}
+	for _, n := range test {
+		if !wantTest[n] {
+			t.Errorf("unexpected test-set member %q", n)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("nope", 32); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := Build("alexnet", 0); err == nil {
+		t.Error("zero batch should error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic for unknown model")
+		}
+	}()
+	MustBuild("nope", 32)
+}
+
+func TestHeavyOpCoverageAcrossTrainingSet(t *testing.T) {
+	// Union of op types across the 8 training CNNs must include every
+	// heavy type of Figure 2 except none — this is the paper's insight
+	// that new CNNs are composed of already-seen operations.
+	seen := make(map[ops.Type]bool)
+	for _, name := range TrainingSet() {
+		g := MustBuild(name, 4)
+		for tp := range g.CountByType() {
+			seen[tp] = true
+		}
+	}
+	for _, h := range ops.HeavyTypes() {
+		if h == ops.DepthwiseConv2D {
+			// Deliberately absent: the unseen-heavy-op demonstration op.
+			continue
+		}
+		if !seen[h] {
+			t.Errorf("heavy op %s never appears in the training set", h)
+		}
+	}
+}
+
+func TestTestSetOpsSeenInTraining(t *testing.T) {
+	// Every heavy op type in the test CNNs must appear somewhere in the
+	// training set, otherwise Ceer could not predict them (Section IV-D).
+	trainSeen := make(map[ops.Type]bool)
+	for _, name := range TrainingSet() {
+		for tp := range MustBuild(name, 4).CountByType() {
+			trainSeen[tp] = true
+		}
+	}
+	for _, name := range TestSet() {
+		g := MustBuild(name, 4)
+		for tp := range g.CountByType() {
+			if m := ops.MustLookup(tp); m.Class == ops.HeavyGPU && !trainSeen[tp] {
+				t.Errorf("test CNN %s contains heavy op %s unseen in training", name, tp)
+			}
+		}
+	}
+}
+
+func TestArchitectureShapes(t *testing.T) {
+	// Spot-check known structural facts.
+	cases := []struct {
+		model    string
+		opType   ops.Type
+		minCount int
+	}{
+		{"alexnet", ops.MatMul, 3 * 3},            // 3 FC layers × (fwd+dW+dX), minus input-stop savings
+		{"vgg-19", ops.Conv2D, 16},                // 16 conv layers
+		{"resnet-101", ops.AddV2, 33},             // 33 bottleneck units
+		{"inception-v3", ops.ConcatV2, 11},        // 11 mixed modules
+		{"inception-v3", ops.AvgPool, 9},          // pooling-rich architecture
+		{"inception-resnet-v2", ops.Mul, 20},      // residual scaling
+		{"inception-v1", ops.ConcatV2, 9},         // 9 inception modules
+		{"resnet-200", ops.FusedBatchNormV3, 180}, // deep BN stack
+	}
+	for _, c := range cases {
+		g := MustBuild(c.model, 4)
+		if got := g.CountByType()[c.opType]; got < c.minCount {
+			t.Errorf("%s: %s count = %d, want >= %d", c.model, c.opType, got, c.minCount)
+		}
+	}
+}
+
+func TestPoolingHeavinessContrast(t *testing.T) {
+	// The paper (Section V) attributes Inception-v3's and VGG-19's P3
+	// cost-optimality to their many pooling ops versus AlexNet's and
+	// ResNet-101's few. Verify the pooling-op count contrast.
+	poolCount := func(name string) int {
+		byType := MustBuild(name, 4).CountByType()
+		return byType[ops.MaxPool] + byType[ops.AvgPool]
+	}
+	if poolCount("inception-v3") <= poolCount("alexnet") {
+		t.Error("inception-v3 should have more pooling ops than alexnet")
+	}
+	if poolCount("inception-v3") <= poolCount("resnet-101") {
+		t.Error("inception-v3 should have more pooling ops than resnet-101")
+	}
+}
+
+func TestBatchScalesActivationsNotParams(t *testing.T) {
+	g8 := MustBuild("resnet-50", 8)
+	g16 := MustBuild("resnet-50", 16)
+	if g8.Params != g16.Params {
+		t.Error("params must not depend on batch size")
+	}
+	if g8.TotalFLOPs() >= g16.TotalFLOPs() {
+		t.Error("FLOPs must grow with batch size")
+	}
+	if g8.Len() != g16.Len() {
+		t.Error("node count must not depend on batch size")
+	}
+}
+
+// publishedFwdGFLOPs lists well-known single-image forward-pass FLOP
+// counts (multiply-accumulate counted as 2 FLOPs). The builders' conv
+// and matmul arithmetic should land near these.
+var publishedFwdGFLOPs = map[string]float64{
+	// AlexNet here is the ungrouped (single-tower) variant, ~1.16 GMACs,
+	// vs 0.72 GMACs for the original two-tower grouped convolutions.
+	"alexnet":      2.3,
+	"vgg-16":       31.0, // 15.5 GMACs
+	"vgg-19":       39.0,
+	"resnet-50":    8.2, // 4.1 GMACs
+	"resnet-101":   15.6,
+	"inception-v1": 3.0,
+	"inception-v3": 11.4, // 5.7 GMACs
+}
+
+func TestForwardFLOPsMatchPublished(t *testing.T) {
+	for name, wantG := range publishedFwdGFLOPs {
+		name, wantG := name, wantG
+		t.Run(name, func(t *testing.T) {
+			g := MustBuild(name, 1)
+			var fwd float64
+			for _, n := range g.Nodes() {
+				if n.Phase == graph.ForwardPhase {
+					switch n.Op.Type {
+					case ops.Conv2D, ops.MatMul, ops.DepthwiseConv2D:
+						fwd += float64(n.Op.FLOPs())
+					}
+				}
+			}
+			gotG := fwd / 1e9
+			// ±35%: published numbers vary by input resolution conventions
+			// and whether auxiliary heads are counted.
+			if gotG < wantG*0.65 || gotG > wantG*1.35 {
+				t.Errorf("%s forward conv+fc FLOPs = %.1fG, published ~%.1fG", name, gotG, wantG)
+			}
+		})
+	}
+}
+
+func TestBackwardRoughlyTwiceForward(t *testing.T) {
+	// CNN training folklore the graphs must respect: the backward pass
+	// costs roughly 2x the forward pass (two conv-sized gradient ops per
+	// forward conv).
+	for _, name := range []string{"vgg-16", "resnet-50", "inception-v3"} {
+		g := MustBuild(name, 8)
+		var fwd, bwd float64
+		for _, n := range g.Nodes() {
+			switch n.Phase {
+			case graph.ForwardPhase:
+				fwd += float64(n.Op.FLOPs())
+			case graph.BackwardPhase:
+				bwd += float64(n.Op.FLOPs())
+			}
+		}
+		if ratio := bwd / fwd; ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%s backward/forward FLOP ratio = %.2f, want ~2", name, ratio)
+		}
+	}
+}
