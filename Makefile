@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Race-detector pass over the packages exercising the parallel
+# measurement campaign (internal/par is covered transitively and has
+# its own -race-sensitive tests via `make check`).
+race:
+	$(GO) test -race ./internal/par ./internal/sim ./internal/ceer ./internal/experiments
+
+# The tier-1+ gate: vet + build + full tests + race pass.
+check:
+	./scripts/check.sh

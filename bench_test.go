@@ -6,12 +6,16 @@
 package ceer_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ceer/internal/ceer"
 	"ceer/internal/experiments"
 	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/zoo"
 )
 
 var (
@@ -290,6 +294,74 @@ func boolMetric(v bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// campaignPipeline is the campaign benchmarked below: three training
+// CNNs at a modest profiling depth — large enough that the per-(CNN,
+// GPU, k) fan-out dominates, small enough to iterate.
+func campaignPipeline(workers int) ceer.Pipeline {
+	pl := ceer.DefaultPipeline(42)
+	pl.ProfileIterations = 30
+	pl.CommIterations = 8
+	pl.Workers = workers
+	return pl
+}
+
+var campaignBenchNames = []string{"vgg-11", "inception-v1", "resnet-50"}
+
+func BenchmarkCampaignSerial(b *testing.B) {
+	pl := campaignPipeline(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pl.Campaign(zoo.Build, campaignBenchNames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignParallel runs the campaign at GOMAXPROCS workers and
+// reports the wall-clock speedup over a serial reference run measured
+// in the same process (the "speedup-vs-serial" metric; ~1.0 on a
+// single-core runner, approaching the core count on multi-core ones).
+func BenchmarkCampaignParallel(b *testing.B) {
+	serial := campaignPipeline(1)
+	start := time.Now()
+	if _, _, err := serial.Campaign(zoo.Build, campaignBenchNames); err != nil {
+		b.Fatal(err)
+	}
+	serialSec := time.Since(start).Seconds()
+
+	pl := campaignPipeline(runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pl.Campaign(zoo.Build, campaignBenchNames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallelSec := b.Elapsed().Seconds() / float64(b.N)
+	if parallelSec > 0 {
+		b.ReportMetric(serialSec/parallelSec, "speedup-vs-serial")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkBuildCacheHitRate measures amortized graph retrieval through
+// the campaign's BuildCache; hit-rate approaches 1 as b.N grows because
+// each architecture is only ever constructed once.
+func BenchmarkBuildCacheHitRate(b *testing.B) {
+	cache := graph.NewBuildCache(zoo.Build)
+	names := zoo.TrainingSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			if _, err := cache.Build(name, zoo.DefaultBatch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	hits, misses := cache.Stats()
+	b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
 }
 
 func BenchmarkExtBatchSensitivity(b *testing.B) {

@@ -183,6 +183,11 @@ type TrainOptions struct {
 	// CommIterations is the iteration sample per communication
 	// observation; 0 selects the default (30).
 	CommIterations int
+	// Workers bounds the measurement campaign's parallelism across
+	// independent (CNN, GPU, k) tasks: 0 selects GOMAXPROCS, 1 forces
+	// the serial path. Any worker count yields an identically trained
+	// system (the campaign is deterministic per (seed, CNN, GPU, node)).
+	Workers int
 }
 
 // System is a trained Ceer instance plus the profiling corpus it was
@@ -203,6 +208,7 @@ func Train(opts TrainOptions) (*System, error) {
 	if opts.CommIterations > 0 {
 		pl.CommIterations = opts.CommIterations
 	}
+	pl.Workers = opts.Workers
 	pred, bundle, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
 	if err != nil {
 		return nil, err

@@ -9,6 +9,11 @@
 //	ceer-experiments -list            # list experiment IDs
 //	ceer-experiments -run fig1 -dot   # also dump the Fig. 1 DOT graph
 //	ceer-experiments -markdown        # emit results as Markdown sections
+//	ceer-experiments -workers 8       # bound campaign/figure parallelism
+//
+// Independent figures execute concurrently over one trained context
+// (-workers; 0 = GOMAXPROCS, 1 = serial). Output is rendered in the
+// requested order and is identical for every worker count.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	measure := flag.Int("measure", 20, "iterations sampled per observed run")
 	dot := flag.Bool("dot", false, "with fig1: print the full DOT graph")
 	markdown := flag.Bool("markdown", false, "wrap each experiment in a Markdown section")
+	workers := flag.Int("workers", 0, "parallel workers for the campaign and across figures; 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
 	if *list {
@@ -37,14 +43,14 @@ func main() {
 		}
 		return
 	}
-	if err := runAll(*run, *seed, *iters, *measure, *dot, *markdown); err != nil {
+	if err := runAll(*run, *seed, *iters, *measure, *workers, *dot, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "ceer-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runAll(runList string, seed uint64, iters, measure int, dot, markdown bool) error {
-	names := experiments.Names()
+func runAll(runList string, seed uint64, iters, measure, workers int, dot, markdown bool) error {
+	var names []string
 	if runList != "" {
 		names = strings.Split(runList, ",")
 		for i := range names {
@@ -58,28 +64,29 @@ func runAll(runList string, seed uint64, iters, measure int, dot, markdown bool)
 		Seed:              seed,
 		ProfileIterations: iters,
 		MeasureIters:      measure,
+		Workers:           workers,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "trained in %.1fs\n\n", time.Since(start).Seconds())
 
-	for _, name := range names {
-		res, err := experiments.Run(name, ctx)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
+	results, err := experiments.RunAll(ctx, names, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
 		if markdown {
-			fmt.Printf("## %s\n\n```\n", name)
+			fmt.Printf("## %s\n\n```\n", r.Name)
 		}
-		if err := res.Table().Render(os.Stdout); err != nil {
+		if err := r.Res.Table().Render(os.Stdout); err != nil {
 			return err
 		}
 		if markdown {
 			fmt.Printf("```\n\n")
 		}
-		if name == "fig1" && dot {
-			if f1, ok := res.(*experiments.Fig01Result); ok {
+		if r.Name == "fig1" && dot {
+			if f1, ok := r.Res.(*experiments.Fig01Result); ok {
 				fmt.Println(f1.DOT)
 			}
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ceer train -out models.json [-seed N] [-iters N]
+//	ceer train -out models.json [-seed N] [-iters N] [-workers N]
 //	ceer predict -model inception-v3 [-models models.json] [-config 2xP3]
 //	    [-samples N] [-batch N] [-market]
 //	ceer recommend -model inception-v3 [-models models.json]
@@ -56,17 +56,20 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  ceer train -out models.json [-seed N] [-iters N]
+  ceer train -out models.json [-seed N] [-iters N] [-workers N]
   ceer predict -model NAME [-models FILE] [-config 2xP3] [-samples N] [-batch N]
-               [-market] [-explain]
+               [-market] [-explain] [-workers N]
   ceer recommend -model NAME [-models FILE] [-objective cost|time]
                  [-hourly-budget X] [-total-budget X] [-memory] [-market]
-                 [-samples N] [-batch N]
-  ceer zoo`)
+                 [-samples N] [-batch N] [-workers N]
+  ceer zoo
+
+-workers bounds the measurement campaign's parallelism (0 = GOMAXPROCS,
+1 = serial); any value trains an identical predictor.`)
 }
 
 // loadOrTrain returns a system from -models, or trains one in memory.
-func loadOrTrain(path string, seed uint64) (*ceer.System, error) {
+func loadOrTrain(path string, seed uint64, workers int) (*ceer.System, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -76,7 +79,7 @@ func loadOrTrain(path string, seed uint64) (*ceer.System, error) {
 		return ceer.Load(f)
 	}
 	fmt.Fprintln(os.Stderr, "ceer: no -models file given; training a fresh predictor...")
-	return ceer.Train(ceer.TrainOptions{Seed: seed})
+	return ceer.Train(ceer.TrainOptions{Seed: seed, Workers: workers})
 }
 
 func cmdTrain(args []string) error {
@@ -84,10 +87,11 @@ func cmdTrain(args []string) error {
 	out := fs.String("out", "models.json", "output path for the trained models")
 	seed := fs.Uint64("seed", 1, "measurement noise seed")
 	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
+	workers := fs.Int("workers", 0, "parallel measurement workers; 0 = GOMAXPROCS, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := ceer.Train(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters})
+	sys, err := ceer.Train(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -127,6 +131,7 @@ func cmdPredict(args []string) error {
 	batch := fs.Int64("batch", 32, "per-GPU batch size")
 	market := fs.Bool("market", false, "use market-ratio prices instead of On-Demand")
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,7 +139,7 @@ func cmdPredict(args []string) error {
 	if *model == "" {
 		return fmt.Errorf("predict: -model is required")
 	}
-	sys, err := loadOrTrain(*modelsPath, *seed)
+	sys, err := loadOrTrain(*modelsPath, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -222,6 +227,7 @@ func cmdRecommend(args []string) error {
 	batch := fs.Int64("batch", 32, "per-GPU batch size")
 	market := fs.Bool("market", false, "use market-ratio prices")
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	memory := fs.Bool("memory", false, "exclude configurations whose GPU memory cannot hold the training state")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -229,7 +235,7 @@ func cmdRecommend(args []string) error {
 	if *model == "" {
 		return fmt.Errorf("recommend: -model is required")
 	}
-	sys, err := loadOrTrain(*modelsPath, *seed)
+	sys, err := loadOrTrain(*modelsPath, *seed, *workers)
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,7 @@ func TestParseConfig(t *testing.T) {
 }
 
 func TestLoadOrTrainMissingFile(t *testing.T) {
-	if _, err := loadOrTrain("/nonexistent/models.json", 1); err == nil {
+	if _, err := loadOrTrain("/nonexistent/models.json", 1, 1); err == nil {
 		t.Error("missing models file should error")
 	}
 }

@@ -1,6 +1,7 @@
 package ceer
 
 import (
+	"context"
 	"fmt"
 
 	"ceer/internal/cloud"
@@ -8,6 +9,7 @@ import (
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/ops"
+	"ceer/internal/par"
 	"ceer/internal/sim"
 	"ceer/internal/trace"
 )
@@ -31,6 +33,13 @@ type Pipeline struct {
 	MaxK int
 	// Retain caps raw samples kept per op for the median estimators.
 	Retain int
+	// Workers bounds the campaign's parallelism across independent
+	// (CNN, GPU) profiles and (CNN, GPU, k) training measurements:
+	// <= 0 selects GOMAXPROCS, 1 preserves the serial code path. Any
+	// worker count produces byte-identical bundles and observations
+	// because all measurement noise is derived from (seed, CNN, GPU,
+	// node) and results are collected in input order.
+	Workers int
 }
 
 // DefaultPipeline returns the paper's configuration. A moderate
@@ -54,43 +63,65 @@ type Build func(name string, batch int64) (*graph.Graph, error)
 // CollectCommObs measures the per-iteration communication overhead of
 // each CNN on each (GPU, k) configuration: the measured iteration time
 // minus the summed op compute time, as derived from training logs
-// (Section IV-C).
+// (Section IV-C). The (CNN, GPU, k) measurements are independent and
+// fan out over Workers goroutines; the observation order (names-major,
+// then GPU, then k) matches the serial run exactly.
 func (pl Pipeline) CollectCommObs(build Build, names []string) ([]CommObs, error) {
-	var out []CommObs
-	ds := dataset.ImageNetSubset6400
-	for _, name := range names {
-		g, err := build(name, pl.Batch)
+	ctx := context.Background()
+	graphs, err := par.Map(ctx, pl.Workers, len(names), func(_ context.Context, i int) (*graph.Graph, error) {
+		g, err := build(names[i], pl.Batch)
 		if err != nil {
-			return nil, fmt.Errorf("ceer: building %s: %w", name, err)
+			return nil, fmt.Errorf("ceer: building %s: %w", names[i], err)
 		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type commTask struct {
+		name string
+		g    *graph.Graph
+		m    gpu.Model
+		k    int
+	}
+	var tasks []commTask
+	for i, name := range names {
 		for _, m := range gpu.AllModels() {
 			for k := 1; k <= pl.MaxK; k++ {
-				meas, err := sim.Train(g, cloud.Config{GPU: m, K: k}, ds, pl.CommIterations, pl.Seed+7)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, CommObs{
-					CNN:      name,
-					GPU:      m,
-					K:        k,
-					Params:   g.Params,
-					Overhead: meas.PerIterSeconds - meas.ComputeSeconds,
-				})
+				tasks = append(tasks, commTask{name, graphs[i], m, k})
 			}
 		}
 	}
-	return out, nil
+	ds := dataset.ImageNetSubset6400
+	return par.Map(ctx, pl.Workers, len(tasks), func(_ context.Context, i int) (CommObs, error) {
+		t := tasks[i]
+		meas, err := sim.Train(t.g, cloud.Config{GPU: t.m, K: t.k}, ds, pl.CommIterations, pl.Seed+7)
+		if err != nil {
+			return CommObs{}, err
+		}
+		return CommObs{
+			CNN:      t.name,
+			GPU:      t.m,
+			K:        t.k,
+			Params:   t.g.Params,
+			Overhead: meas.PerIterSeconds - meas.ComputeSeconds,
+		}, nil
+	})
 }
 
 // Campaign runs the measurement campaign only: op-level profiles plus
-// communication observations, without fitting models.
+// communication observations, without fitting models. Both stages
+// share one graph.BuildCache, so each architecture is constructed
+// exactly once per campaign (profiling and the communication stage
+// used to rebuild every CNN independently).
 func (pl Pipeline) Campaign(build Build, names []string) (*trace.Bundle, []CommObs, error) {
-	prof := &sim.Profiler{Seed: pl.Seed, Iterations: pl.ProfileIterations, Retain: pl.Retain}
-	bundle, err := prof.ProfileAll(build, names, pl.Batch, gpu.AllModels())
+	cache := graph.NewBuildCache(graph.BuildFunc(build))
+	prof := &sim.Profiler{Seed: pl.Seed, Iterations: pl.ProfileIterations, Retain: pl.Retain, Workers: pl.Workers}
+	bundle, err := prof.ProfileAll(cache.Build, names, pl.Batch, gpu.AllModels())
 	if err != nil {
 		return nil, nil, err
 	}
-	commObs, err := pl.CollectCommObs(build, names)
+	commObs, err := pl.CollectCommObs(cache.Build, names)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,137 @@
+package ceer
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/zoo"
+)
+
+// testPipeline is a small but complete campaign configuration: enough
+// iterations for stable fits, few enough to keep the test fast.
+func testPipeline(workers int) Pipeline {
+	pl := DefaultPipeline(11)
+	pl.ProfileIterations = 40
+	pl.CommIterations = 10
+	pl.Retain = 16
+	pl.Workers = workers
+	return pl
+}
+
+var campaignNames = []string{"vgg-11", "inception-v1", "resnet-50"}
+
+// TestCampaignParallelDeterminism is the serial-vs-parallel regression
+// gate: a campaign run with Workers=8 must be indistinguishable from
+// Workers=1 — deeply equal bundle and observations, and a byte-identical
+// serialized predictor.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	serialBundle, serialObs, err := testPipeline(1).Campaign(zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelBundle, parallelObs, err := testPipeline(8).Campaign(zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialBundle, parallelBundle) {
+		t.Error("parallel campaign bundle differs from serial")
+	}
+	if !reflect.DeepEqual(serialObs, parallelObs) {
+		t.Error("parallel comm observations differ from serial")
+	}
+
+	serialPred, err := Train(serialBundle, serialObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelPred, err := Train(parallelBundle, parallelObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialJSON, parallelJSON bytes.Buffer
+	if err := serialPred.Save(&serialJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallelPred.Save(&parallelJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON.Bytes(), parallelJSON.Bytes()) {
+		t.Error("trained predictors serialize differently for serial vs parallel campaigns")
+	}
+
+	// Spot-check a downstream prediction too: same graph, same config,
+	// same numbers.
+	g, err := zoo.Build("alexnet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cloud.Config{GPU: gpu.V100, K: 2}
+	a, err := serialPred.PredictTraining(g, cfg, dataset.ImageNetSubset6400, cloud.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallelPred.PredictTraining(g, cfg, dataset.ImageNetSubset6400, cloud.OnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("predictions diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestCampaignBuildsEachGraphOnce pins the BuildCache fix: the campaign
+// used to build every CNN twice (once for profiling, once for the
+// communication stage).
+func TestCampaignBuildsEachGraphOnce(t *testing.T) {
+	var mu sync.Mutex
+	counts := make(map[string]int)
+	counting := func(name string, batch int64) (*graph.Graph, error) {
+		mu.Lock()
+		counts[name]++
+		mu.Unlock()
+		return zoo.Build(name, batch)
+	}
+	for _, workers := range []int{1, 4} {
+		mu.Lock()
+		for k := range counts {
+			delete(counts, k)
+		}
+		mu.Unlock()
+		pl := testPipeline(workers)
+		if _, _, err := pl.Campaign(counting, campaignNames); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range campaignNames {
+			if counts[name] != 1 {
+				t.Errorf("workers=%d: %s built %d times, want exactly 1", workers, name, counts[name])
+			}
+		}
+	}
+}
+
+// TestCollectCommObsParallelMatchesSerial exercises the comm stage's
+// fan-out in isolation (the campaign test covers it end to end).
+func TestCollectCommObsParallelMatchesSerial(t *testing.T) {
+	serial, err := testPipeline(1).CollectCommObs(zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := testPipeline(6).CollectCommObs(zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel CollectCommObs differs from serial")
+	}
+	wantLen := len(campaignNames) * 4 * testPipeline(1).MaxK
+	if len(serial) != wantLen {
+		t.Errorf("got %d observations, want %d", len(serial), wantLen)
+	}
+}

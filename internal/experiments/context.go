@@ -36,8 +36,14 @@ type Context struct {
 	// CommObs holds the communication observations the predictor was
 	// trained on (reused by the model-selection ablation).
 	CommObs []ceer.CommObs
+	// Workers bounds the parallelism of the training campaign and of
+	// RunAll: <= 0 selects GOMAXPROCS, 1 forces the serial path.
+	Workers int
 
-	graphs map[string]*graph.Graph
+	// graphs memoizes zoo builds at the context batch size; the cache
+	// is concurrency-safe, so experiments may share the context across
+	// goroutines.
+	graphs *graph.BuildCache
 }
 
 // Options tunes context construction.
@@ -47,6 +53,8 @@ type Options struct {
 	ProfileIterations int
 	// MeasureIters per observed run (default 20).
 	MeasureIters int
+	// Workers bounds campaign and RunAll parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // NewContext trains Ceer on the training-set CNNs and prepares the
@@ -60,6 +68,7 @@ func NewContext(opts Options) (*Context, error) {
 	}
 	pl := ceer.DefaultPipeline(opts.Seed)
 	pl.ProfileIterations = opts.ProfileIterations
+	pl.Workers = opts.Workers
 	bundle, commObs, err := pl.Campaign(zoo.Build, zoo.TrainingSet())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: measurement campaign: %w", err)
@@ -75,22 +84,15 @@ func NewContext(opts Options) (*Context, error) {
 		MeasureIters: opts.MeasureIters,
 		Batch:        zoo.DefaultBatch,
 		CommObs:      commObs,
-		graphs:       make(map[string]*graph.Graph),
+		Workers:      opts.Workers,
+		graphs:       graph.NewBuildCache(zoo.Build),
 	}, nil
 }
 
 // Graph returns (building and caching) the named CNN at the context's
-// batch size.
+// batch size. Safe for concurrent use.
 func (c *Context) Graph(name string) (*graph.Graph, error) {
-	if g, ok := c.graphs[name]; ok {
-		return g, nil
-	}
-	g, err := zoo.Build(name, c.Batch)
-	if err != nil {
-		return nil, err
-	}
-	c.graphs[name] = g
-	return g, nil
+	return c.graphs.Build(name, c.Batch)
 }
 
 // measureSeed separates experiment observations from training noise.

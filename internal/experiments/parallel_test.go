@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// runAllSubset is a cheap-but-diverse slice of the registry: empirical
+// figures, an evaluation figure, an ablation, and an extension, so the
+// parallel path crosses every kind of shared-context access.
+var runAllSubset = []string{"fig2", "fig3", "fig5", "fig8", "sec3a", "ext-memory"}
+
+// TestRunAllMatchesSequential renders every experiment both ways and
+// compares the tables byte for byte: running figures concurrently over
+// one shared Context must not change any reported number.
+func TestRunAllMatchesSequential(t *testing.T) {
+	c := testContext(t)
+
+	want := make(map[string]string, len(runAllSubset))
+	for _, name := range runAllSubset {
+		res, err := Run(name, c)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", name, err)
+		}
+		want[name] = res.Table().String()
+	}
+
+	results, err := RunAll(c, runAllSubset, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(runAllSubset) {
+		t.Fatalf("got %d results, want %d", len(results), len(runAllSubset))
+	}
+	for i, r := range results {
+		if r.Name != runAllSubset[i] {
+			t.Errorf("result %d is %q, want %q (order must follow the request)", i, r.Name, runAllSubset[i])
+		}
+		if got := r.Res.Table().String(); got != want[r.Name] {
+			t.Errorf("%s: parallel table differs from sequential:\n--- parallel\n%s\n--- sequential\n%s", r.Name, got, want[r.Name])
+		}
+	}
+}
+
+func TestRunAllUnknownName(t *testing.T) {
+	c := testContext(t)
+	_, err := RunAll(c, []string{"fig2", "nope"}, 2)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown-experiment rejection before running", err)
+	}
+}
+
+// TestContextGraphConcurrent audits the context's lazily built graph
+// cache under concurrent access (run with -race): all goroutines must
+// observe the same shared, immutable graph per name.
+func TestContextGraphConcurrent(t *testing.T) {
+	c := testContext(t)
+	names := []string{"alexnet", "vgg-19", "alexnet", "resnet-101", "vgg-19", "alexnet"}
+
+	var wg sync.WaitGroup
+	graphs := make([]any, len(names)*8)
+	for rep := 0; rep < 8; rep++ {
+		for i, name := range names {
+			wg.Add(1)
+			go func(slot int, name string) {
+				defer wg.Done()
+				g, err := c.Graph(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				graphs[slot] = g
+			}(rep*len(names)+i, name)
+		}
+	}
+	wg.Wait()
+	// Same name → same pointer, across all goroutines.
+	byName := make(map[string]any)
+	for rep := 0; rep < 8; rep++ {
+		for i, name := range names {
+			g := graphs[rep*len(names)+i]
+			if prev, ok := byName[name]; ok && prev != g {
+				t.Fatalf("%s: concurrent Graph calls returned distinct graphs", name)
+			}
+			byName[name] = g
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"ceer/internal/par"
 	"ceer/internal/textutil"
 )
 
@@ -72,4 +74,35 @@ func Run(name string, c *Context) (Renderable, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
 	return r(c)
+}
+
+// Result pairs an experiment ID with its result, in request order.
+type Result struct {
+	Name string
+	Res  Renderable
+}
+
+// RunAll executes the named experiments (every registered one when
+// names is empty) over a shared Context, fanning independent
+// experiments out across workers goroutines (<= 0 selects GOMAXPROCS).
+// Results come back in request order, and each experiment derives its
+// measurement noise deterministically from the context seed, so a
+// parallel RunAll is indistinguishable from sequential Run calls.
+// Unknown names are rejected up front, before any experiment runs.
+func RunAll(c *Context, names []string, workers int) ([]Result, error) {
+	if len(names) == 0 {
+		names = Names()
+	}
+	for _, n := range names {
+		if _, ok := registry[n]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", n, Names())
+		}
+	}
+	return par.Map(context.Background(), workers, len(names), func(_ context.Context, i int) (Result, error) {
+		res, err := Run(names[i], c)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", names[i], err)
+		}
+		return Result{Name: names[i], Res: res}, nil
+	})
 }

@@ -1,0 +1,72 @@
+package graph
+
+import "sync"
+
+// BuildFunc constructs a named graph at a per-GPU batch size; zoo.Build
+// satisfies it.
+type BuildFunc func(name string, batch int64) (*Graph, error)
+
+type buildKey struct {
+	name  string
+	batch int64
+}
+
+type buildEntry struct {
+	once sync.Once
+	g    *Graph
+	err  error
+}
+
+// BuildCache memoizes graph construction per (name, batch) so one
+// measurement campaign builds each architecture exactly once, however
+// many (GPU, k) tasks consume it. It is safe for concurrent use:
+// concurrent Build calls for the same key block until the single
+// construction finishes, and the returned *Graph is shared — graphs
+// are immutable after construction, so readers need no locking.
+type BuildCache struct {
+	build BuildFunc
+
+	mu      sync.Mutex
+	entries map[buildKey]*buildEntry
+	hits    int
+	misses  int
+}
+
+// NewBuildCache wraps a builder in a memoizing, concurrency-safe cache.
+func NewBuildCache(build BuildFunc) *BuildCache {
+	return &BuildCache{build: build, entries: make(map[buildKey]*buildEntry)}
+}
+
+// Build returns the cached graph for (name, batch), constructing it on
+// first use. Both successful graphs and construction errors are
+// memoized, so a failing architecture fails identically on every call.
+func (c *BuildCache) Build(name string, batch int64) (*Graph, error) {
+	key := buildKey{name, batch}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &buildEntry{}
+		c.entries[key] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = c.build(name, batch) })
+	return e.g, e.err
+}
+
+// Stats returns the cumulative hit and miss counts. The miss count
+// equals the number of distinct (name, batch) keys ever requested.
+func (c *BuildCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct cached entries.
+func (c *BuildCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testBuilder(calls *atomic.Int64) BuildFunc {
+	return func(name string, batch int64) (*Graph, error) {
+		calls.Add(1)
+		if name == "bad" {
+			return nil, errors.New("no such net")
+		}
+		g := New(name, batch)
+		g.MustAdd("relu", reluOp(), ForwardPhase)
+		return g, nil
+	}
+}
+
+func TestBuildCacheMemoizes(t *testing.T) {
+	var calls atomic.Int64
+	c := NewBuildCache(testBuilder(&calls))
+
+	a1, err := c.Build("a", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Build("a", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same key returned distinct graphs")
+	}
+	// Distinct batch is a distinct key.
+	a3, err := c.Build("a", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Error("distinct batch shared a graph")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("builder ran %d times, want 2", n)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestBuildCacheMemoizesErrors(t *testing.T) {
+	var calls atomic.Int64
+	c := NewBuildCache(testBuilder(&calls))
+	for i := 0; i < 3; i++ {
+		if _, err := c.Build("bad", 32); err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("failing build ran %d times, want 1 (memoized)", n)
+	}
+}
+
+// TestBuildCacheConcurrentSingleflight hammers one key from many
+// goroutines and checks the builder ran exactly once and every caller
+// saw the same graph. Run under -race this also audits the locking.
+func TestBuildCacheConcurrentSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	c := NewBuildCache(testBuilder(&calls))
+
+	const goroutines = 32
+	results := make([]*Graph, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Build("shared", 32)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("builder ran %d times for one key, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw a different graph", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits+misses != goroutines || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, goroutines-1)
+	}
+}
+
+func TestBuildCacheConcurrentDistinctKeys(t *testing.T) {
+	var calls atomic.Int64
+	c := NewBuildCache(testBuilder(&calls))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := c.Build(fmt.Sprintf("net-%d", i), 32); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 8 {
+		t.Errorf("builder ran %d times, want 8", n)
+	}
+}

@@ -1,0 +1,141 @@
+// Package par is the repository's concurrency substrate: a bounded
+// worker pool with deterministic, input-ordered result collection and
+// first-error cancellation.
+//
+// The measurement campaign (internal/sim, internal/ceer) and the
+// experiments harness fan their independent (CNN, GPU, k) tasks out
+// through this package. Parallel runs must be indistinguishable from
+// serial ones, so two properties are load-bearing:
+//
+//   - Determinism. Each task's result lands at the index of its input,
+//     never in completion order. Because task indices are claimed in
+//     order and started tasks always run to completion, the error
+//     returned on failure is that of the lowest-indexed failing task —
+//     the same error a serial loop would have stopped at — regardless
+//     of goroutine scheduling.
+//
+//   - Bounded footprint. At most `workers` tasks run at once, and
+//     workers == 1 degenerates to a plain serial loop on the calling
+//     goroutine with no goroutines spawned, preserving the serial code
+//     path exactly.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), and the result is clamped to [1, n] so a pool
+// never spawns more goroutines than it has tasks.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most
+// Workers(workers, n) goroutines. It returns the error of the
+// lowest-indexed failing task, cancelling the derived context as soon
+// as any task fails so unstarted tasks are skipped. A cancelled parent
+// context stops the loop between tasks and is reported as ctx.Err().
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if Workers(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return forEachParallel(ctx, Workers(workers, n), n, fn)
+}
+
+func forEachParallel(parent context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		failIdx = n
+		failErr error
+		nextIdx atomic.Int64
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < failIdx {
+			failIdx, failErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Skip tasks claimed after cancellation; indices are
+				// claimed in order, so every index below a recorded
+				// failure has already started and will record its own
+				// outcome.
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
+	return parent.Err()
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in
+// input order: out[i] is fn's result for index i, independent of which
+// worker computed it or when it finished. On error the partial results
+// are discarded and the lowest-indexed task error is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersClamping(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 2, 2},
+		{1, 100, 1},
+		{8, 8, 8},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("no tasks: %v", err)
+	}
+	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+// TestLowestIndexError verifies the deterministic error guarantee: when
+// several tasks fail, the returned error is the lowest-indexed one —
+// what a serial loop would have stopped at — regardless of scheduling.
+func TestLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+				if i >= 7 && i%3 == 1 {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 7 failed" {
+				t.Fatalf("workers=%d trial=%d: err = %v, want task 7", workers, trial, err)
+			}
+		}
+	}
+}
+
+func TestErrorCancelsRemainingTasks(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d tasks ran despite early failure", n)
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(ctx, workers, 100, func(context.Context, int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Errorf("serial path ran %d tasks under a cancelled context", ran.Load())
+		}
+	}
+}
+
+// TestSerialPathNoGoroutines pins the Workers=1 contract: tasks run on
+// the calling goroutine, in order.
+func TestSerialPathNoGoroutines(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		order = append(order, i) // safe only if single-goroutine
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+// TestBoundedConcurrency checks that no more than `workers` tasks are
+// ever in flight simultaneously.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(context.Background(), workers, 200, func(context.Context, int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

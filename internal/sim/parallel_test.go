@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/zoo"
+)
+
+// TestProfileAllParallelMatchesSerial checks the load-bearing property
+// of the parallel campaign: because every node's noise stream is
+// derived from (Seed, CNN, GPU, node), fanning (CNN, GPU) profiles out
+// over many workers yields a bundle deeply equal to the serial one,
+// profile order included.
+func TestProfileAllParallelMatchesSerial(t *testing.T) {
+	names := []string{"vgg-11", "inception-v1"}
+	models := gpu.AllModels()
+
+	serial := &Profiler{Seed: 3, Iterations: 25, Retain: 8, Workers: 1}
+	a, err := serial.ProfileAll(zoo.Build, names, 16, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := &Profiler{Seed: 3, Iterations: 25, Retain: 8, Workers: 8}
+	b, err := parallel.ProfileAll(zoo.Build, names, 16, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(a.Profiles) != len(names)*len(models) || len(a.Profiles) != len(b.Profiles) {
+		t.Fatalf("profile counts: serial %d, parallel %d", len(a.Profiles), len(b.Profiles))
+	}
+	for i := range a.Profiles {
+		if a.Profiles[i].CNN != b.Profiles[i].CNN || a.Profiles[i].GPU != b.Profiles[i].GPU {
+			t.Fatalf("profile %d ordering differs: %s/%s vs %s/%s", i,
+				a.Profiles[i].CNN, a.Profiles[i].GPU, b.Profiles[i].CNN, b.Profiles[i].GPU)
+		}
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("parallel bundle is not byte-identical to serial")
+	}
+}
+
+// TestProfileAllParallelBuildError checks that a failing graph build
+// surfaces the same wrapped error in parallel as in serial runs.
+func TestProfileAllParallelBuildError(t *testing.T) {
+	boom := errors.New("boom")
+	build := func(name string, batch int64) (*graph.Graph, error) {
+		if name == "bad" {
+			return nil, boom
+		}
+		return zoo.Build(name, batch)
+	}
+	for _, workers := range []int{1, 4} {
+		p := &Profiler{Seed: 1, Iterations: 5, Retain: 4, Workers: workers}
+		_, err := p.ProfileAll(build, []string{"vgg-11", "bad", "inception-v1"}, 16, gpu.AllModels())
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}

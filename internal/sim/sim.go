@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -17,6 +18,7 @@ import (
 	"ceer/internal/dataset"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
+	"ceer/internal/par"
 	"ceer/internal/rng"
 	"ceer/internal/trace"
 )
@@ -31,6 +33,12 @@ type Profiler struct {
 	Iterations int
 	// Retain caps the raw samples kept per node for median estimators.
 	Retain int
+	// Workers bounds how many (CNN, GPU) profiles ProfileAll measures
+	// concurrently: <= 0 selects GOMAXPROCS, 1 runs serially on the
+	// calling goroutine. Parallel runs are byte-identical to serial
+	// ones because every node's noise stream is derived solely from
+	// (Seed, CNN, GPU, node) and results are collected in input order.
+	Workers int
 }
 
 // NewProfiler returns a profiler with the paper's defaults: 1,000
@@ -101,22 +109,31 @@ func (p *Profiler) Profile(g *graph.Graph, m gpu.Model) (*trace.Profile, error) 
 
 // ProfileAll profiles each named CNN (built at the given batch size) on
 // each GPU model, returning the combined bundle — the full measurement
-// campaign of Section III.
+// campaign of Section III. Independent (CNN, GPU) profiles are fanned
+// out over Workers goroutines; the bundle's profile order (names-major,
+// models-minor) and every sample in it are identical to a serial run.
 func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
 	names []string, batch int64, models []gpu.Model) (*trace.Bundle, error) {
-	bundle := &trace.Bundle{}
-	for _, name := range names {
-		g, err := build(name, batch)
+	ctx := context.Background()
+	graphs, err := par.Map(ctx, p.Workers, len(names), func(_ context.Context, i int) (*graph.Graph, error) {
+		g, err := build(names[i], batch)
 		if err != nil {
-			return nil, fmt.Errorf("sim: building %s: %w", name, err)
+			return nil, fmt.Errorf("sim: building %s: %w", names[i], err)
 		}
-		for _, m := range models {
-			prof, err := p.Profile(g, m)
-			if err != nil {
-				return nil, err
-			}
-			bundle.Add(prof)
-		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	profs, err := par.Map(ctx, p.Workers, len(names)*len(models), func(_ context.Context, i int) (*trace.Profile, error) {
+		return p.Profile(graphs[i/len(models)], models[i%len(models)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	bundle := &trace.Bundle{}
+	for _, prof := range profs {
+		bundle.Add(prof)
 	}
 	return bundle, nil
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1+ verification gate (see README "Verification"): vet, build,
+# the full test suite, and a race-detector pass over the packages that
+# exercise the parallel measurement campaign.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (parallel campaign paths)"
+go test -race ./internal/sim ./internal/ceer ./internal/experiments
+
+echo "check: OK"
