@@ -117,7 +117,7 @@ func BenchmarkFig05VariabilityCDF(b *testing.B) {
 		}
 	}
 	worst := 1.0
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		if f := r.FracBelow01[m]; f < worst {
 			worst = f
 		}

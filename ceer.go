@@ -57,8 +57,8 @@ type (
 	InstanceConfig = cloud.Config
 	// Pricing selects On-Demand or market-ratio price tables.
 	Pricing = cloud.Pricing
-	// GPUModel identifies one of the four AWS GPU device models.
-	GPUModel = gpu.Model
+	// GPUModel is the stable string ID of a registered GPU device.
+	GPUModel = gpu.ID
 	// Prediction is a training-time and cost prediction for one
 	// configuration.
 	Prediction = internal.Prediction
@@ -282,7 +282,7 @@ func InstanceName(cfg InstanceConfig) string { return cfg.InstanceName() }
 // Config builds an InstanceConfig from a family code ("P3", "P2",
 // "G4", "G3") and GPU count.
 func Config(family string, k int) (InstanceConfig, error) {
-	m, ok := gpu.ModelByFamily(family)
+	m, ok := gpu.ByFamily(family)
 	if !ok {
 		return InstanceConfig{}, fmt.Errorf("ceer: unknown GPU family %q", family)
 	}

@@ -7,6 +7,7 @@
 //
 //	ceer-profile -model inception-v3 -gpu P3 [-iters 200] [-batch 32] [-top 30]
 //	ceer-profile -model inception-v3 -dot > inception_v3.dot
+//	ceer-profile -devices
 package main
 
 import (
@@ -14,7 +15,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"ceer/internal/devices/a10g"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/ops"
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	model := flag.String("model", "inception-v3", "CNN name")
-	family := flag.String("gpu", "P3", "GPU family: P3, P2, G4, G3")
+	family := flag.String("gpu", "P3", "GPU family code (see -devices)")
 	iters := flag.Int("iters", 200, "profiling iterations")
 	batch := flag.Int64("batch", 32, "per-GPU batch size")
 	top := flag.Int("top", 30, "rows to print (by total time)")
@@ -34,12 +37,44 @@ func main() {
 	dot := flag.Bool("dot", false, "emit the DAG in Graphviz DOT format and exit")
 	jsonOut := flag.Bool("json", false, "emit the raw profile as JSON instead of a table")
 	phases := flag.Bool("phases", false, "also print the per-phase time breakdown")
+	devices := flag.Bool("devices", false, "print the registered GPU device table and exit")
+	extra := flag.Bool("extra-devices", false, "also register the extra (non-paper) devices, e.g. the A10G")
 	flag.Parse()
 
+	if *extra {
+		a10g.Register()
+	}
+	if *devices {
+		if err := renderDevices(); err != nil {
+			fmt.Fprintln(os.Stderr, "ceer-profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*model, *family, *iters, *batch, *top, *seed, *dot, *jsonOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "ceer-profile:", err)
 		os.Exit(1)
 	}
+}
+
+// renderDevices prints the gpu registry as a table: one row per
+// registered device with its spec-level effective throughputs.
+func renderDevices() error {
+	tbl := &textutil.Table{
+		Title:  "Registered GPU devices",
+		Header: []string{"id", "name", "family", "mem GB", "TFLOPS", "GB/s", "launch us"},
+	}
+	for _, id := range gpu.All() {
+		d := gpu.MustLookup(id)
+		tbl.AddRow(string(d.ID), d.Name, d.Family,
+			fmt.Sprintf("%d", d.MemoryGB),
+			fmt.Sprintf("%.1f", d.ComputeTFLOPS),
+			fmt.Sprintf("%.0f", d.MemBWGBps),
+			fmt.Sprintf("%.0f", d.LaunchUS))
+	}
+	tbl.AddNote("throughputs are effective (calibrated) rates, not datasheet peaks")
+	tbl.AddNote("register additional devices as data with gpu.Register; -extra-devices adds the built-in extras")
+	return tbl.Render(os.Stdout)
 }
 
 func run(model, family string, iters int, batch int64, top int, seed uint64, dot, jsonOut, phases bool) error {
@@ -51,9 +86,9 @@ func run(model, family string, iters int, batch int64, top int, seed uint64, dot
 		_, err := fmt.Print(g.DOT())
 		return err
 	}
-	m, ok := gpu.ModelByFamily(family)
+	m, ok := gpu.ByFamily(family)
 	if !ok {
-		return fmt.Errorf("unknown GPU family %q (want P3, P2, G4, or G3)", family)
+		return fmt.Errorf("unknown GPU family %q (want one of %s)", family, strings.Join(gpu.Families(), ", "))
 	}
 	prof, err := (&sim.Profiler{Seed: seed, Iterations: iters, Retain: 16}).Profile(g, m)
 	if err != nil {

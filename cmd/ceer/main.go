@@ -10,9 +10,12 @@
 //	    [-objective cost|time] [-hourly-budget X] [-total-budget X]
 //	    [-market] [-samples N] [-batch N]
 //	ceer zoo
+//	ceer devices
 //
 // Without -models, predict/recommend train a fresh predictor in memory
-// (a few seconds).
+// (a few seconds). Every subcommand accepts -extra-devices to also
+// register the built-in non-paper devices (currently the A10G / G5);
+// without it the tool sees exactly the paper's four-GPU catalog.
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"strings"
 
 	"ceer"
+	"ceer/internal/devices/a10g"
+	"ceer/internal/gpu"
 	"ceer/internal/textutil"
 )
 
@@ -41,6 +46,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "zoo":
 		err = cmdZoo()
+	case "devices", "-list-devices", "--list-devices":
+		err = cmdDevices(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,9 +70,12 @@ func usage() {
                  [-hourly-budget X] [-total-budget X] [-memory] [-market]
                  [-samples N] [-batch N] [-workers N]
   ceer zoo
+  ceer devices [-extra-devices]     (also: ceer -list-devices)
 
 -workers bounds the measurement campaign's parallelism (0 = GOMAXPROCS,
-1 = serial); any value trains an identical predictor.`)
+1 = serial); any value trains an identical predictor.
+-extra-devices (train/predict/recommend/devices) registers the built-in
+non-paper GPU devices and their instances before running.`)
 }
 
 // loadOrTrain returns a system from -models, or trains one in memory.
@@ -88,8 +98,12 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", 1, "measurement noise seed")
 	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
 	workers := fs.Int("workers", 0, "parallel measurement workers; 0 = GOMAXPROCS, 1 = serial")
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *extra {
+		a10g.Register()
 	}
 	sys, err := ceer.Train(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters, Workers: *workers})
 	if err != nil {
@@ -133,8 +147,12 @@ func cmdPredict(args []string) error {
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *extra {
+		a10g.Register()
 	}
 	if *model == "" {
 		return fmt.Errorf("predict: -model is required")
@@ -229,8 +247,12 @@ func cmdRecommend(args []string) error {
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	memory := fs.Bool("memory", false, "exclude configurations whose GPU memory cannot hold the training state")
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *extra {
+		a10g.Register()
 	}
 	if *model == "" {
 		return fmt.Errorf("recommend: -model is required")
@@ -287,6 +309,34 @@ func cmdRecommend(args []string) error {
 	tbl.AddNote("recommended: %s (%s) at %s, %s",
 		rec.Best.Cfg, ceer.InstanceName(rec.Best.Cfg),
 		textutil.Hours(rec.Best.TotalSeconds)+"h", textutil.USD(rec.Best.CostUSD))
+	return tbl.Render(os.Stdout)
+}
+
+// cmdDevices prints the device registry: one row per registered GPU
+// with its spec-level effective throughputs.
+func cmdDevices(args []string) error {
+	fs := flag.NewFlagSet("devices", flag.ExitOnError)
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *extra {
+		a10g.Register()
+	}
+	tbl := &textutil.Table{
+		Title:  "Registered GPU devices",
+		Header: []string{"id", "name", "family", "mem GB", "TFLOPS", "GB/s", "launch us"},
+	}
+	for _, id := range gpu.All() {
+		d := gpu.MustLookup(id)
+		tbl.AddRow(string(d.ID), d.Name, d.Family,
+			fmt.Sprintf("%d", d.MemoryGB),
+			fmt.Sprintf("%.1f", d.ComputeTFLOPS),
+			fmt.Sprintf("%.0f", d.MemBWGBps),
+			fmt.Sprintf("%.0f", d.LaunchUS))
+	}
+	tbl.AddNote("throughputs are effective (calibrated) rates, not datasheet peaks")
+	tbl.AddNote("new devices register as pure data (gpu.Register); no core package changes")
 	return tbl.Render(os.Stdout)
 }
 

@@ -113,7 +113,7 @@ func TestHeavyOpModelQuality(t *testing.T) {
 
 	// Held-out evaluation on the test CNNs.
 	prof := &sim.Profiler{Seed: 99, Iterations: 40, Retain: 8}
-	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), 32, gpu.AllModels())
+	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), 32, gpu.All())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestQuadraticSelectedForBackpropFilter(t *testing.T) {
 	// Section IV-B: Conv2DBackpropFilter needs a quadratic fit.
 	p, _ := predictor(t)
 	quadCount := 0
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		om, ok := p.OpModelFor(m, ops.Conv2DBackpropFilter)
 		if !ok {
 			t.Fatalf("no Conv2DBackpropFilter model for %s", m.Family())
@@ -161,7 +161,7 @@ func TestQuadraticSelectedForBackpropFilter(t *testing.T) {
 	}
 	// Most pure memory-bound ops should stay linear.
 	linCount := 0
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		if om, ok := p.OpModelFor(m, ops.Relu); ok && om.Model().Degree == 1 {
 			linCount++
 		}
@@ -174,7 +174,7 @@ func TestQuadraticSelectedForBackpropFilter(t *testing.T) {
 func TestCommModelQuality(t *testing.T) {
 	// Section IV-C: R² 0.88–0.98 for the comm regressions.
 	p, _ := predictor(t)
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		for k := 1; k <= 4; k++ {
 			cm, ok := p.CommModelFor(m, k)
 			if !ok {
@@ -209,7 +209,7 @@ func TestEndToEndPredictionAccuracy(t *testing.T) {
 	var errs []float64
 	for _, name := range zoo.TestSet() {
 		g := zoo.MustBuild(name, 32)
-		for _, m := range gpu.AllModels() {
+		for _, m := range gpu.All() {
 			for _, k := range []int{1, 4} {
 				cfg := cloud.Config{GPU: m, K: k}
 				obs, err := sim.Train(g, cfg, ds, 25, 555)
@@ -244,8 +244,8 @@ func TestPredictedRankingMatchesObserved(t *testing.T) {
 		type pair struct {
 			obs, pred float64
 		}
-		vals := map[gpu.Model]pair{}
-		for _, m := range gpu.AllModels() {
+		vals := map[gpu.ID]pair{}
+		for _, m := range gpu.All() {
 			cfg := cloud.Config{GPU: m, K: 4}
 			obs, err := sim.Train(g, cfg, ds, 20, 777)
 			if err != nil {
@@ -257,8 +257,8 @@ func TestPredictedRankingMatchesObserved(t *testing.T) {
 			}
 			vals[m] = pair{obs.TotalSeconds, pred.TotalSeconds}
 		}
-		for _, a := range gpu.AllModels() {
-			for _, b := range gpu.AllModels() {
+		for _, a := range gpu.All() {
+			for _, b := range gpu.All() {
 				if (vals[a].obs < vals[b].obs) != (vals[a].pred < vals[b].pred) {
 					t.Errorf("%s: ranking mismatch between %s and %s", name, a.Family(), b.Family())
 				}

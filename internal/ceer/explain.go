@@ -37,7 +37,7 @@ type Explanation struct {
 // ExplainIteration predicts one training iteration and attributes the
 // prediction to operation types — the "why is this CNN slow here"
 // companion to PredictIteration (used by `ceer predict -explain`).
-func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.Model, k int) (*Explanation, error) {
+func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.ID, k int) (*Explanation, error) {
 	iter, err := p.PredictIteration(g, m, k, Full)
 	if err != nil {
 		return nil, err

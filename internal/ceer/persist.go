@@ -4,18 +4,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"ceer/internal/gpu"
 	"ceer/internal/ops"
 	"ceer/internal/regress"
 )
 
-// persistVersion guards the on-disk format.
-const persistVersion = 1
+// persistVersion guards the on-disk format. Version 2 keys op and comm
+// models by stable device ID strings (version 1 used AWS family codes
+// resolved through the then-closed model enum).
+const persistVersion = 2
 
 // predictorJSON is the serialized form of a trained Predictor. Only the
 // chosen per-op models are persisted (the rejected selection candidates
-// are training-time artifacts).
+// are training-time artifacts). Devices appear exclusively as their
+// registry ID strings, so a saved predictor round-trips regardless of
+// the order (or number) of devices registered by the loading process.
 type predictorJSON struct {
 	Version int `json:"version"`
 
@@ -33,19 +38,23 @@ type predictorJSON struct {
 }
 
 type opModelJSON struct {
-	Family   string         `json:"gpu"`
+	// Device is the stable gpu registry ID (e.g. "v100").
+	Device   string         `json:"gpu"`
 	OpType   ops.Type       `json:"op"`
 	TrainObs int            `json:"train_obs"`
 	Model    *regress.Model `json:"model"`
 }
 
 type commModelJSON struct {
-	Family string         `json:"gpu"`
+	Device string         `json:"gpu"`
 	K      int            `json:"k"`
 	Model  *regress.Model `json:"model"`
 }
 
-// Save serializes the trained predictor as JSON.
+// Save serializes the trained predictor as JSON. Output is
+// deterministic and independent of registry registration order: op
+// models are emitted in sorted (family, op type) order and comm models
+// in sorted (device ID, k) order.
 func (p *Predictor) Save(w io.Writer) error {
 	out := predictorJSON{
 		Version:     persistVersion,
@@ -67,19 +76,27 @@ func (p *Predictor) Save(w io.Writer) error {
 	sortTypes(out.CPUTypes)
 	for _, om := range p.OpModels() {
 		out.OpModels = append(out.OpModels, opModelJSON{
-			Family:   om.GPU.Family(),
+			Device:   string(om.GPU),
 			OpType:   om.OpType,
 			TrainObs: om.TrainObs,
 			Model:    om.Model(),
 		})
 	}
-	for _, m := range gpu.AllModels() {
-		for k := 1; k < 16; k++ {
-			if cm, ok := p.commModels[m][k]; ok {
-				out.CommModels = append(out.CommModels, commModelJSON{
-					Family: m.Family(), K: k, Model: cm.Fit,
-				})
-			}
+	commIDs := make([]gpu.ID, 0, len(p.commModels))
+	for m := range p.commModels {
+		commIDs = append(commIDs, m)
+	}
+	sort.Slice(commIDs, func(i, j int) bool { return commIDs[i] < commIDs[j] })
+	for _, m := range commIDs {
+		ks := make([]int, 0, len(p.commModels[m]))
+		for k := range p.commModels[m] {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			out.CommModels = append(out.CommModels, commModelJSON{
+				Device: string(m), K: k, Model: p.commModels[m][k].Fit,
+			})
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -87,7 +104,10 @@ func (p *Predictor) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// Load restores a predictor previously written by Save.
+// Load restores a predictor previously written by Save. Every device ID
+// in the file must be registered in the gpu registry of the loading
+// process (load the extra-device data packages before calling Load if
+// the predictor was trained with extras).
 func Load(r io.Reader) (*Predictor, error) {
 	var in predictorJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -106,8 +126,8 @@ func Load(r io.Reader) (*Predictor, error) {
 			CPUOps:             make(map[ops.Type]bool, len(in.CPUTypes)),
 			MeanOnThresholdGPU: in.ClassMeans,
 		},
-		opModels:    make(map[gpu.Model]map[ops.Type]*OpModel),
-		commModels:  make(map[gpu.Model]map[int]*CommModel),
+		opModels:    make(map[gpu.ID]map[ops.Type]*OpModel),
+		commModels:  make(map[gpu.ID]map[int]*CommModel),
 		LightMedian: in.LightMedian,
 		CPUMedian:   in.CPUMedian,
 	}
@@ -121,12 +141,12 @@ func Load(r io.Reader) (*Predictor, error) {
 		p.Class.CPUOps[t] = true
 	}
 	for _, om := range in.OpModels {
-		m, ok := gpu.ModelByFamily(om.Family)
-		if !ok {
-			return nil, fmt.Errorf("ceer: unknown GPU family %q in op model", om.Family)
+		m := gpu.ID(om.Device)
+		if _, ok := gpu.Lookup(m); !ok {
+			return nil, fmt.Errorf("ceer: op model references unregistered device %q", om.Device)
 		}
 		if om.Model == nil {
-			return nil, fmt.Errorf("ceer: op model %s/%s missing regression", om.Family, om.OpType)
+			return nil, fmt.Errorf("ceer: op model %s/%s missing regression", om.Device, om.OpType)
 		}
 		if p.opModels[m] == nil {
 			p.opModels[m] = make(map[ops.Type]*OpModel)
@@ -139,12 +159,12 @@ func Load(r io.Reader) (*Predictor, error) {
 		}
 	}
 	for _, cm := range in.CommModels {
-		m, ok := gpu.ModelByFamily(cm.Family)
-		if !ok {
-			return nil, fmt.Errorf("ceer: unknown GPU family %q in comm model", cm.Family)
+		m := gpu.ID(cm.Device)
+		if _, ok := gpu.Lookup(m); !ok {
+			return nil, fmt.Errorf("ceer: comm model references unregistered device %q", cm.Device)
 		}
 		if cm.Model == nil || cm.K < 1 {
-			return nil, fmt.Errorf("ceer: malformed comm model %s k=%d", cm.Family, cm.K)
+			return nil, fmt.Errorf("ceer: malformed comm model %s k=%d", cm.Device, cm.K)
 		}
 		if p.commModels[m] == nil {
 			p.commModels[m] = make(map[int]*CommModel)

@@ -3,6 +3,7 @@ package ceer
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 
 	// Predictions identical for a test CNN across configurations.
 	g := zoo.MustBuild("inception-v3", 32)
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		for _, k := range []int{1, 2, 4} {
 			cfg := cloud.Config{GPU: m, K: k}
 			a, err := p.PredictTraining(g, cfg, dataset.ImageNet, cloud.OnDemand)
@@ -67,13 +68,16 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":      "{nope",
 		"wrong version": `{"version": 99}`,
-		"bad medians":   `{"version": 1, "light_median": 0, "cpu_median": 1}`,
-		"bad family": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
-			"op_models": [{"gpu": "ZZ", "op": "Conv2D", "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
-		"missing model": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
-			"op_models": [{"gpu": "P3", "op": "Conv2D"}]}`,
-		"bad comm": `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5,
-			"comm_models": [{"gpu": "P3", "k": 0, "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
+		"old version":   `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5}`,
+		"bad medians":   `{"version": 2, "light_median": 0, "cpu_median": 1}`,
+		"unknown device": `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"op_models": [{"gpu": "no-such-device", "op": "Conv2D", "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
+		"missing model": `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"op_models": [{"gpu": "v100", "op": "Conv2D"}]}`,
+		"bad comm": `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"comm_models": [{"gpu": "v100", "k": 0, "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
+		"comm unknown device": `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"comm_models": [{"gpu": "no-such-device", "k": 1, "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`,
 	}
 	for name, payload := range cases {
 		if _, err := Load(strings.NewReader(payload)); err == nil {
@@ -96,5 +100,58 @@ func TestSaveIsDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "Conv2DBackpropFilter") {
 		t.Error("serialized predictor should contain op models")
+	}
+}
+
+// TestSaveLoadSurvivesRegistryReorder proves persisted models are keyed
+// by stable device IDs, not registry positions: loading (and re-saving)
+// under a permuted device registration order reproduces the predictor
+// exactly.
+func TestSaveLoadSurvivesRegistryReorder(t *testing.T) {
+	p, _ := predictor(t)
+	var orig bytes.Buffer
+	if err := p.Save(&orig); err != nil {
+		t.Fatal(err)
+	}
+	// Loading drops the rejected regression candidates, so the reorder
+	// comparison is against a predictor loaded under the original order.
+	want, err := Load(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := gpu.All()
+	rev := make([]gpu.ID, len(before))
+	for i, id := range before {
+		rev[len(before)-1-i] = id
+	}
+	if err := gpu.ReorderForTest(rev...); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := gpu.ReorderForTest(before...); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	loaded, err := Load(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.opModels, want.opModels) {
+		t.Error("op models differ after reorder round-trip")
+	}
+	if !reflect.DeepEqual(loaded.commModels, want.commModels) {
+		t.Error("comm models differ after reorder round-trip")
+	}
+	if !reflect.DeepEqual(loaded.Class, want.Class) {
+		t.Error("classification differs after reorder round-trip")
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != orig.String() {
+		t.Error("re-serialized predictor is not byte-identical under reordered registry")
 	}
 }

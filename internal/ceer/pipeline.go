@@ -33,6 +33,10 @@ type Pipeline struct {
 	MaxK int
 	// Retain caps raw samples kept per op for the median estimators.
 	Retain int
+	// Devices selects which registered GPU devices the campaign
+	// profiles and measures. nil means every registered device
+	// (gpu.All()) in registration order.
+	Devices []gpu.ID
 	// Workers bounds the campaign's parallelism across independent
 	// (CNN, GPU) profiles and (CNN, GPU, k) training measurements:
 	// <= 0 selects GOMAXPROCS, 1 preserves the serial code path. Any
@@ -55,6 +59,14 @@ func DefaultPipeline(seed uint64) Pipeline {
 		MaxK:              4,
 		Retain:            64,
 	}
+}
+
+// devices resolves the campaign's device set.
+func (pl Pipeline) devices() []gpu.ID {
+	if pl.Devices != nil {
+		return pl.Devices
+	}
+	return gpu.All()
 }
 
 // Build is the graph-construction callback (normally zoo.Build).
@@ -81,12 +93,12 @@ func (pl Pipeline) CollectCommObs(build Build, names []string) ([]CommObs, error
 	type commTask struct {
 		name string
 		g    *graph.Graph
-		m    gpu.Model
+		m    gpu.ID
 		k    int
 	}
 	var tasks []commTask
 	for i, name := range names {
-		for _, m := range gpu.AllModels() {
+		for _, m := range pl.devices() {
 			for k := 1; k <= pl.MaxK; k++ {
 				tasks = append(tasks, commTask{name, graphs[i], m, k})
 			}
@@ -117,7 +129,7 @@ func (pl Pipeline) CollectCommObs(build Build, names []string) ([]CommObs, error
 func (pl Pipeline) Campaign(build Build, names []string) (*trace.Bundle, []CommObs, error) {
 	cache := graph.NewBuildCache(graph.BuildFunc(build))
 	prof := &sim.Profiler{Seed: pl.Seed, Iterations: pl.ProfileIterations, Retain: pl.Retain, Workers: pl.Workers}
-	bundle, err := prof.ProfileAll(cache.Build, names, pl.Batch, gpu.AllModels())
+	bundle, err := prof.ProfileAll(cache.Build, names, pl.Batch, pl.devices())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,7 +188,7 @@ func (p *Predictor) EvaluateOpModels(test *trace.Bundle) []OpModelEval {
 
 // OpModelEval is one heavy-op model's quality summary.
 type OpModelEval struct {
-	GPU      gpu.Model
+	GPU      gpu.ID
 	OpType   ops.Type
 	Degree   int
 	TrainR2  float64

@@ -16,7 +16,7 @@ import (
 
 // OpModel is one fitted heavy-operation compute-time model.
 type OpModel struct {
-	GPU    gpu.Model
+	GPU    gpu.ID
 	OpType ops.Type
 	// Selection holds the linear and (when fit) quadratic candidates and
 	// the chosen model.
@@ -31,7 +31,7 @@ func (m *OpModel) Model() *regress.Model { return m.Selection.Chosen }
 // CommModel is the fitted per-(GPU, k) communication-overhead model:
 // overhead seconds as a linear function of the parameter count.
 type CommModel struct {
-	GPU gpu.Model
+	GPU gpu.ID
 	K   int
 	Fit *regress.Model
 }
@@ -41,7 +41,7 @@ type CommModel struct {
 // training-set CNN on one (GPU, k) configuration (Section IV-C).
 type CommObs struct {
 	CNN      string
-	GPU      gpu.Model
+	GPU      gpu.ID
 	K        int
 	Params   int64
 	Overhead float64 // seconds per iteration
@@ -51,13 +51,13 @@ type CommObs struct {
 type Predictor struct {
 	Class *Classification
 	// opModels maps GPU → heavy op type → fitted model.
-	opModels map[gpu.Model]map[ops.Type]*OpModel
+	opModels map[gpu.ID]map[ops.Type]*OpModel
 	// LightMedian and CPUMedian are the t̃_l and t̃_c estimators of
 	// Section IV-B: GPU-, CNN-, and operation-oblivious sample medians.
 	LightMedian float64
 	CPUMedian   float64
 	// commModels maps GPU → k → fitted overhead model.
-	commModels map[gpu.Model]map[int]*CommModel
+	commModels map[gpu.ID]map[int]*CommModel
 }
 
 // Train fits all Ceer models from an op-level profile bundle (the 8
@@ -82,12 +82,12 @@ func TrainWithDegree(bundle *trace.Bundle, commObs []CommObs, degree int) (*Pred
 	}
 	p := &Predictor{
 		Class:      class,
-		opModels:   make(map[gpu.Model]map[ops.Type]*OpModel),
-		commModels: make(map[gpu.Model]map[int]*CommModel),
+		opModels:   make(map[gpu.ID]map[ops.Type]*OpModel),
+		commModels: make(map[gpu.ID]map[int]*CommModel),
 	}
 
 	// Heavy-op regressions, one per (GPU, type).
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		profiles := bundle.ForGPU(m)
 		if len(profiles) == 0 {
 			continue
@@ -137,7 +137,7 @@ func TrainWithDegree(bundle *trace.Bundle, commObs []CommObs, degree int) (*Pred
 	p.CPUMedian = stats.Median(cpuSamples)
 
 	// Communication models: per (GPU, k), linear in the parameter count.
-	grouped := make(map[gpu.Model]map[int][]CommObs)
+	grouped := make(map[gpu.ID]map[int][]CommObs)
 	for _, o := range commObs {
 		if grouped[o.GPU] == nil {
 			grouped[o.GPU] = make(map[int][]CommObs)
@@ -189,7 +189,7 @@ func fitOpModel(xs [][]float64, ys []float64, degree int) (*regress.Selection, e
 }
 
 // OpModelFor returns the heavy-op model for (GPU, type), if trained.
-func (p *Predictor) OpModelFor(m gpu.Model, t ops.Type) (*OpModel, bool) {
+func (p *Predictor) OpModelFor(m gpu.ID, t ops.Type) (*OpModel, bool) {
 	om, ok := p.opModels[m][t]
 	return om, ok
 }
@@ -213,14 +213,14 @@ func (p *Predictor) OpModels() []*OpModel {
 }
 
 // CommModelFor returns the communication model for (GPU, k), if trained.
-func (p *Predictor) CommModelFor(m gpu.Model, k int) (*CommModel, bool) {
+func (p *Predictor) CommModelFor(m gpu.ID, k int) (*CommModel, bool) {
 	cm, ok := p.commModels[m][k]
 	return cm, ok
 }
 
 // PredictComm evaluates S_GPU(CNN): the predicted per-iteration
 // communication overhead for a model with the given parameter count.
-func (p *Predictor) PredictComm(m gpu.Model, k int, params int64) (float64, error) {
+func (p *Predictor) PredictComm(m gpu.ID, k int, params int64) (float64, error) {
 	cm, ok := p.commModels[m][k]
 	if !ok {
 		return 0, fmt.Errorf("ceer: no communication model for %s k=%d", m.Family(), k)
@@ -281,7 +281,7 @@ type IterPrediction struct {
 
 // PredictIteration predicts the per-iteration training time of the CNN
 // graph on k GPUs of the given model, per Eq. (2)'s parenthesized term.
-func (p *Predictor) PredictIteration(g *graph.Graph, m gpu.Model, k int, v Variant) (IterPrediction, error) {
+func (p *Predictor) PredictIteration(g *graph.Graph, m gpu.ID, k int, v Variant) (IterPrediction, error) {
 	var out IterPrediction
 	unseen := make(map[ops.Type]bool)
 	for _, n := range g.Nodes() {

@@ -16,8 +16,8 @@ func TestCatalogPrices(t *testing.T) {
 		"p3.2xlarge": 3.06, "p2.xlarge": 0.90, "g4dn.2xlarge": 0.752, "g3s.xlarge": 0.75,
 		"p3.8xlarge": 12.24, "p2.8xlarge": 7.20, "g4dn.12xlarge": 3.912, "g3.16xlarge": 4.56,
 	}
-	if len(Catalog) != len(want) {
-		t.Fatalf("catalog has %d instances, want %d", len(Catalog), len(want))
+	if len(Catalog()) != len(want) {
+		t.Fatalf("catalog has %d instances, want %d", len(Catalog()), len(want))
 	}
 	for name, price := range want {
 		inst, ok := FindInstance(name)
@@ -132,7 +132,7 @@ func TestConfigsEnumeration(t *testing.T) {
 
 func TestCommOverheadLinearInParams(t *testing.T) {
 	// Fixing (model, k), overhead must be exactly affine in params.
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		s0, err := CommOverheadBase(m, 2, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -149,7 +149,7 @@ func TestCommOverheadLinearInParams(t *testing.T) {
 }
 
 func TestCommOverheadMonotoneInK(t *testing.T) {
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		prev := 0.0
 		for k := 1; k <= 8; k++ {
 			s, err := CommOverheadBase(m, k, 25_000_000)
@@ -174,7 +174,7 @@ func TestCommOverheadErrors(t *testing.T) {
 	if _, err := CommOverheadBase(gpu.V100, 2, -5); err == nil {
 		t.Error("negative params should error")
 	}
-	if _, err := CommOverheadBase(gpu.Model(99), 2, 5); err == nil {
+	if _, err := CommOverheadBase(gpu.ID("no-such-device"), 2, 5); err == nil {
 		t.Error("unknown model should error")
 	}
 }
@@ -212,7 +212,7 @@ func TestPricingString(t *testing.T) {
 // cheaper per GPU than the multi-GPU instance's per-GPU price.
 func TestProxyPricingProperty(t *testing.T) {
 	f := func(kRaw uint8, mRaw uint8) bool {
-		models := gpu.AllModels()
+		models := gpu.All()
 		m := models[int(mRaw)%len(models)]
 		maxK := 4
 		if m == gpu.K80 {
@@ -241,7 +241,7 @@ func TestProxyPricingProperty(t *testing.T) {
 // per-sample time C/k improvements shrink with k.
 func TestCommScaleDiminishingReturns(t *testing.T) {
 	const params = 6_600_000 // inception-v1
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		// A plausible per-iteration compute time: ~28x the k=1 overhead
 		// (the u ≈ 0.036 calibration).
 		s1, err := CommOverheadBase(m, 1, params)
@@ -275,10 +275,10 @@ func TestCommScaleDiminishingReturns(t *testing.T) {
 func TestInstanceCatalogIntegrity(t *testing.T) {
 	// Exactly one single-GPU and one multi-GPU offering per model; all
 	// prices positive; names unique.
-	singles := map[gpu.Model]int{}
-	multis := map[gpu.Model]int{}
+	singles := map[gpu.ID]int{}
+	multis := map[gpu.ID]int{}
 	names := map[string]bool{}
-	for _, inst := range Catalog {
+	for _, inst := range Catalog() {
 		if inst.HourlyUSD <= 0 || inst.NumGPUs < 1 {
 			t.Errorf("%s: bad price or GPU count", inst.Name)
 		}
@@ -292,7 +292,7 @@ func TestInstanceCatalogIntegrity(t *testing.T) {
 			multis[inst.GPU]++
 		}
 	}
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		if singles[m] != 1 || multis[m] != 1 {
 			t.Errorf("%v: %d single and %d multi offerings, want 1 and 1", m, singles[m], multis[m])
 		}
@@ -302,7 +302,7 @@ func TestInstanceCatalogIntegrity(t *testing.T) {
 // Property: market pricing is exactly linear in k for every model.
 func TestMarketPricingLinearProperty(t *testing.T) {
 	f := func(kRaw, mRaw uint8) bool {
-		models := gpu.AllModels()
+		models := gpu.All()
 		m := models[int(mRaw)%len(models)]
 		maxK := 4
 		if m == gpu.K80 {
@@ -315,5 +315,35 @@ func TestMarketPricingLinearProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRegisterInstanceErrors(t *testing.T) {
+	// Each rejected registration must leave the catalog untouched.
+	before := len(Catalog())
+	cases := map[string]Instance{
+		"empty name":          {GPU: gpu.V100, NumGPUs: 1, HourlyUSD: 1},
+		"unregistered device": {Name: "x9.large", GPU: gpu.ID("no-such-device"), NumGPUs: 1, HourlyUSD: 1},
+		"zero GPUs":           {Name: "x9.large", GPU: gpu.V100, NumGPUs: 0, HourlyUSD: 1},
+		"free instance":       {Name: "x9.large", GPU: gpu.V100, NumGPUs: 1, HourlyUSD: 0},
+		"duplicate name":      {Name: "p3.2xlarge", GPU: gpu.V100, NumGPUs: 2, HourlyUSD: 9},
+	}
+	for name, inst := range cases {
+		if err := RegisterInstance(inst); err == nil {
+			t.Errorf("%s: RegisterInstance accepted %+v", name, inst)
+		}
+	}
+	if got := len(Catalog()); got != before {
+		t.Fatalf("failed registrations changed the catalog: %d -> %d", before, got)
+	}
+}
+
+func TestConfigForUnregisteredDeviceIsInvalid(t *testing.T) {
+	cfg := Config{GPU: gpu.ID("no-such-device"), K: 1}
+	if cfg.Valid() {
+		t.Error("config on a device with no instances must be invalid")
+	}
+	if _, err := cfg.HourlyCost(OnDemand); err == nil {
+		t.Error("pricing a config on an unregistered device must error")
 	}
 }

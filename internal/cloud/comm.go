@@ -22,21 +22,11 @@ import (
 // with the number of GPUs (stragglers become more likely, paper
 // Section III-D), calibrated so the training-time reductions at
 // k=2,3,4 land near the paper's observed 35.8%, 46.6%, and 53.6%.
-
-// commParams holds the per-GPU-model communication constants. Slower
+//
+// The per-device constants base_g and slope_g live on the registered
+// device spec (gpu.Device.CommBaseSeconds / CommSecondsPerByte): slower
 // platform interconnects (the K80-era P2 hosts) have both higher fixed
 // cost and higher per-parameter cost.
-type commParams struct {
-	baseSeconds    float64 // fixed per-iteration sync cost, k=1
-	secondsPerByte float64 // per-gradient-byte transfer cost, k=1
-}
-
-var commTable = map[gpu.Model]commParams{
-	gpu.V100: {baseSeconds: 1.2e-3, secondsPerByte: 0.0050e-9},
-	gpu.T4:   {baseSeconds: 2.3e-3, secondsPerByte: 0.0150e-9},
-	gpu.M60:  {baseSeconds: 5.0e-3, secondsPerByte: 0.0370e-9},
-	gpu.K80:  {baseSeconds: 13.0e-3, secondsPerByte: 0.1000e-9},
-}
 
 // commScale is m(k) for k = 1..8: the multiplier on the per-GPU
 // communication unit (base + slope·params). m(1) = 2.5 reflects that
@@ -57,11 +47,14 @@ const bytesPerParam = 4
 
 // CommOverheadBase returns the noiseless per-iteration communication
 // overhead, in seconds, of training a model with the given parameter
-// count on k GPUs of the given model.
-func CommOverheadBase(m gpu.Model, k int, params int64) (float64, error) {
-	p, ok := commTable[m]
+// count on k GPUs of the given device.
+func CommOverheadBase(id gpu.ID, k int, params int64) (float64, error) {
+	dev, ok := gpu.Lookup(id)
 	if !ok {
-		return 0, fmt.Errorf("cloud: no communication parameters for %v", m)
+		return 0, fmt.Errorf("cloud: unknown device %q", string(id))
+	}
+	if dev.CommBaseSeconds <= 0 || dev.CommSecondsPerByte <= 0 {
+		return 0, fmt.Errorf("cloud: no communication parameters for %v", id)
 	}
 	if k < 1 || k >= len(commScale) {
 		return 0, fmt.Errorf("cloud: unsupported GPU count %d", k)
@@ -69,14 +62,14 @@ func CommOverheadBase(m gpu.Model, k int, params int64) (float64, error) {
 	if params < 0 {
 		return 0, fmt.Errorf("cloud: negative parameter count %d", params)
 	}
-	unit := p.baseSeconds + p.secondsPerByte*float64(params)*bytesPerParam
+	unit := dev.CommBaseSeconds + dev.CommSecondsPerByte*float64(params)*bytesPerParam
 	return unit * commScale[k], nil
 }
 
 // SampleCommOverhead draws one noisy per-iteration communication
 // overhead measurement.
-func SampleCommOverhead(m gpu.Model, k int, params int64, src *rng.Source) (float64, error) {
-	base, err := CommOverheadBase(m, k, params)
+func SampleCommOverhead(id gpu.ID, k int, params int64, src *rng.Source) (float64, error) {
+	base, err := CommOverheadBase(id, k, params)
 	if err != nil {
 		return 0, err
 	}

@@ -4,11 +4,17 @@
 // counts AWS does not sell directly, the market-price-ratio scenario of
 // Figure 12, and the ground-truth communication overhead of data-parallel
 // training (CPU↔GPU transfers plus inter-GPU synchronization).
+//
+// Like the gpu package's device registry, the instance catalog is open:
+// new offerings for any registered device can be added with
+// RegisterInstance — no code changes here — and every pricing and
+// enumeration helper generalizes over whatever is registered.
 package cloud
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ceer/internal/gpu"
 )
@@ -17,31 +23,79 @@ import (
 type Instance struct {
 	// Name is the AWS API name, e.g. "p3.2xlarge".
 	Name string
-	// GPU is the device model the instance carries.
-	GPU gpu.Model
+	// GPU is the registered device the instance carries.
+	GPU gpu.ID
 	// NumGPUs is the GPU count of the offering.
 	NumGPUs int
 	// HourlyUSD is the On-Demand hourly price.
 	HourlyUSD float64
 }
 
-// Catalog lists the eight instances of Section V, in the paper's order:
+var (
+	catMu   sync.RWMutex
+	catalog []Instance
+)
+
+// RegisterInstance adds an offering to the catalog. The instance must
+// name a device already present in the gpu registry, carry at least one
+// GPU, have a positive price, and not reuse a registered instance name.
+func RegisterInstance(inst Instance) error {
+	if inst.Name == "" {
+		return fmt.Errorf("cloud: instance needs a non-empty name")
+	}
+	if _, ok := gpu.Lookup(inst.GPU); !ok {
+		return fmt.Errorf("cloud: instance %q references unregistered device %q", inst.Name, string(inst.GPU))
+	}
+	if inst.NumGPUs < 1 {
+		return fmt.Errorf("cloud: instance %q needs at least one GPU", inst.Name)
+	}
+	if inst.HourlyUSD <= 0 {
+		return fmt.Errorf("cloud: instance %q needs a positive hourly price", inst.Name)
+	}
+	catMu.Lock()
+	defer catMu.Unlock()
+	for _, prev := range catalog {
+		if prev.Name == inst.Name {
+			return fmt.Errorf("cloud: instance %q already registered", inst.Name)
+		}
+	}
+	catalog = append(catalog, inst)
+	return nil
+}
+
+// MustRegisterInstance is RegisterInstance, panicking on error.
+func MustRegisterInstance(inst Instance) {
+	if err := RegisterInstance(inst); err != nil {
+		panic(err)
+	}
+}
+
+// The eight instances of Section V, registered in the paper's order:
 // the four basic single-GPU instances followed by the four multi-GPU
 // instances.
-var Catalog = []Instance{
-	{Name: "p3.2xlarge", GPU: gpu.V100, NumGPUs: 1, HourlyUSD: 3.06},
-	{Name: "p2.xlarge", GPU: gpu.K80, NumGPUs: 1, HourlyUSD: 0.90},
-	{Name: "g4dn.2xlarge", GPU: gpu.T4, NumGPUs: 1, HourlyUSD: 0.752},
-	{Name: "g3s.xlarge", GPU: gpu.M60, NumGPUs: 1, HourlyUSD: 0.75},
-	{Name: "p3.8xlarge", GPU: gpu.V100, NumGPUs: 4, HourlyUSD: 12.24},
-	{Name: "p2.8xlarge", GPU: gpu.K80, NumGPUs: 8, HourlyUSD: 7.20},
-	{Name: "g4dn.12xlarge", GPU: gpu.T4, NumGPUs: 4, HourlyUSD: 3.912},
-	{Name: "g3.16xlarge", GPU: gpu.M60, NumGPUs: 4, HourlyUSD: 4.56},
+func init() {
+	MustRegisterInstance(Instance{Name: "p3.2xlarge", GPU: gpu.V100, NumGPUs: 1, HourlyUSD: 3.06})
+	MustRegisterInstance(Instance{Name: "p2.xlarge", GPU: gpu.K80, NumGPUs: 1, HourlyUSD: 0.90})
+	MustRegisterInstance(Instance{Name: "g4dn.2xlarge", GPU: gpu.T4, NumGPUs: 1, HourlyUSD: 0.752})
+	MustRegisterInstance(Instance{Name: "g3s.xlarge", GPU: gpu.M60, NumGPUs: 1, HourlyUSD: 0.75})
+	MustRegisterInstance(Instance{Name: "p3.8xlarge", GPU: gpu.V100, NumGPUs: 4, HourlyUSD: 12.24})
+	MustRegisterInstance(Instance{Name: "p2.8xlarge", GPU: gpu.K80, NumGPUs: 8, HourlyUSD: 7.20})
+	MustRegisterInstance(Instance{Name: "g4dn.12xlarge", GPU: gpu.T4, NumGPUs: 4, HourlyUSD: 3.912})
+	MustRegisterInstance(Instance{Name: "g3.16xlarge", GPU: gpu.M60, NumGPUs: 4, HourlyUSD: 4.56})
+}
+
+// Catalog returns the registered instances in registration order.
+func Catalog() []Instance {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	return append([]Instance(nil), catalog...)
 }
 
 // FindInstance returns the catalog entry with the given name.
 func FindInstance(name string) (Instance, bool) {
-	for _, inst := range Catalog {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	for _, inst := range catalog {
 		if inst.Name == name {
 			return inst, true
 		}
@@ -49,24 +103,35 @@ func FindInstance(name string) (Instance, bool) {
 	return Instance{}, false
 }
 
-// singleGPUInstance returns the basic 1-GPU instance of a GPU model.
-func singleGPUInstance(m gpu.Model) Instance {
-	for _, inst := range Catalog {
-		if inst.GPU == m && inst.NumGPUs == 1 {
-			return inst
+// multiGPUInstance returns the largest offering of a device with more
+// than one GPU.
+func multiGPUInstance(id gpu.ID) (Instance, bool) {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	best, found := Instance{}, false
+	for _, inst := range catalog {
+		if inst.GPU != id || inst.NumGPUs <= 1 {
+			continue
+		}
+		if !found || inst.NumGPUs > best.NumGPUs {
+			best, found = inst, true
 		}
 	}
-	panic(fmt.Sprintf("cloud: no single-GPU instance for %v", m))
+	return best, found
 }
 
-// multiGPUInstance returns the multi-GPU instance of a GPU model.
-func multiGPUInstance(m gpu.Model) Instance {
-	for _, inst := range Catalog {
-		if inst.GPU == m && inst.NumGPUs > 1 {
-			return inst
+// maxOffered returns the largest GPU count offered for a device (0 if
+// the device has no registered instances).
+func maxOffered(id gpu.ID) int {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	most := 0
+	for _, inst := range catalog {
+		if inst.GPU == id && inst.NumGPUs > most {
+			most = inst.NumGPUs
 		}
 	}
-	panic(fmt.Sprintf("cloud: no multi-GPU instance for %v", m))
+	return most
 }
 
 // Pricing selects the price table of a scenario.
@@ -80,6 +145,8 @@ const (
 	// MarketRatio re-prices the instances to reflect commodity GPU
 	// market price ratios (paper Figure 12): P3 $3.06, G4 $0.95,
 	// G3 $0.55, P2 $0.15 per GPU-hour, scaling linearly with GPU count.
+	// The per-GPU-hour prices come from each device's registered
+	// MarketUSDPerGPUHour spec field.
 	MarketRatio
 )
 
@@ -91,31 +158,25 @@ func (p Pricing) String() string {
 	return "on-demand"
 }
 
-// marketSingleGPU holds the Figure 12 per-GPU hourly prices.
-var marketSingleGPU = map[gpu.Model]float64{
-	gpu.V100: 3.06,
-	gpu.T4:   0.95,
-	gpu.M60:  0.55,
-	gpu.K80:  0.15,
-}
-
-// Config identifies one deployable training configuration: a GPU model
+// Config identifies one deployable training configuration: a GPU device
 // and a GPU count on a single host.
 type Config struct {
-	GPU gpu.Model
+	GPU gpu.ID
 	K   int // number of GPUs (>= 1)
 }
 
 // String renders, e.g., "3xP3".
 func (c Config) String() string { return fmt.Sprintf("%dx%s", c.K, c.GPU.Family()) }
 
-// Valid reports whether the configuration is deployable (1–8 GPUs for
-// P2, 1–4 for the others, matching the largest single-host offerings).
+// Valid reports whether the configuration is deployable: between 1 GPU
+// and the device's largest registered single-host offering (1–8 for P2,
+// 1–4 for the other paper families). Devices with no registered
+// instances have no valid configurations.
 func (c Config) Valid() bool {
 	if c.K < 1 {
 		return false
 	}
-	return c.K <= multiGPUInstance(c.GPU).NumGPUs
+	return c.K <= maxOffered(c.GPU)
 }
 
 // HourlyCost returns the hourly rental price of the configuration under
@@ -127,43 +188,68 @@ func (c Config) HourlyCost(p Pricing) (float64, error) {
 		return 0, fmt.Errorf("cloud: invalid config %s", c)
 	}
 	if p == MarketRatio {
-		return float64(c.K) * marketSingleGPU[c.GPU], nil
+		dev, ok := gpu.Lookup(c.GPU)
+		if !ok || dev.MarketUSDPerGPUHour <= 0 {
+			return 0, fmt.Errorf("cloud: no market price for device %q", string(c.GPU))
+		}
+		return float64(c.K) * dev.MarketUSDPerGPUHour, nil
 	}
-	if c.K == 1 {
-		return singleGPUInstance(c.GPU).HourlyUSD, nil
+	if inst, ok := exactInstance(c.GPU, c.K); ok {
+		return inst.HourlyUSD, nil
 	}
-	multi := multiGPUInstance(c.GPU)
-	if c.K == multi.NumGPUs {
-		return multi.HourlyUSD, nil
+	multi, ok := multiGPUInstance(c.GPU)
+	if !ok {
+		return 0, fmt.Errorf("cloud: no multi-GPU instance for device %q", string(c.GPU))
 	}
 	return float64(c.K) / float64(multi.NumGPUs) * multi.HourlyUSD, nil
+}
+
+// exactInstance returns the cheapest offering with exactly k GPUs of a
+// device.
+func exactInstance(id gpu.ID, k int) (Instance, bool) {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	best, found := Instance{}, false
+	for _, inst := range catalog {
+		if inst.GPU != id || inst.NumGPUs != k {
+			continue
+		}
+		if !found || inst.HourlyUSD < best.HourlyUSD {
+			best, found = inst, true
+		}
+	}
+	return best, found
 }
 
 // InstanceName returns the closest AWS instance name for the
 // configuration, with a "(k of n GPUs)" annotation for proxy sizes.
 func (c Config) InstanceName() string {
-	if c.K == 1 {
-		return singleGPUInstance(c.GPU).Name
+	if inst, ok := exactInstance(c.GPU, c.K); ok {
+		return inst.Name
 	}
-	multi := multiGPUInstance(c.GPU)
-	if c.K == multi.NumGPUs {
-		return multi.Name
+	multi, ok := multiGPUInstance(c.GPU)
+	if !ok {
+		return fmt.Sprintf("unoffered(%s x%d)", string(c.GPU), c.K)
 	}
 	return fmt.Sprintf("%s (%d of %d GPUs)", multi.Name, c.K, multi.NumGPUs)
 }
 
-// Configs enumerates every configuration with 1..maxK GPUs per model
-// (clamped to each model's largest offering), sorted by family then K —
-// the candidate set Ceer's recommender searches.
+// Configs enumerates every configuration with 1..maxK GPUs per
+// registered device that has catalog instances (clamped to each
+// device's largest offering), sorted by family then K — the candidate
+// set Ceer's recommender searches.
 func Configs(maxK int) []Config {
 	var out []Config
-	for _, m := range gpu.AllModels() {
-		limit := multiGPUInstance(m).NumGPUs
+	for _, id := range gpu.All() {
+		limit := maxOffered(id)
+		if limit == 0 {
+			continue
+		}
 		if maxK < limit {
 			limit = maxK
 		}
 		for k := 1; k <= limit; k++ {
-			out = append(out, Config{GPU: m, K: k})
+			out = append(out, Config{GPU: id, K: k})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,58 @@
+// Package a10g registers the NVIDIA A10G (AWS G5 instances) as a pure
+// data extension of the device registry: it touches no core package —
+// everything the simulator, predictor, and recommender need is carried
+// by the gpu.Device spec and the cloud instance catalog entries below.
+//
+// The A10G postdates the paper's measurement campaign, so its spec is
+// not calibrated against published figures; the values are plausible
+// effective rates for an Ampere-generation inference/graphics part
+// (between the T4 and the V100 on most axes, with a large 24 GB
+// memory). The package exists primarily to prove the registry's
+// extensibility claim: registration is explicit (call Register), never
+// an import side effect, so binaries that do not opt in keep the exact
+// four-device catalog — and the exact output bytes — they had before
+// this package existed.
+package a10g
+
+import (
+	"sync"
+
+	"ceer/internal/cloud"
+	"ceer/internal/gpu"
+	"ceer/internal/ops"
+)
+
+// A10G is the registry ID of the NVIDIA A10G.
+const A10G = gpu.ID("a10g")
+
+var once sync.Once
+
+// Register adds the A10G device and its two G5 instance offerings to
+// the registries. It is idempotent and safe to call from multiple
+// goroutines.
+func Register() {
+	once.Do(func() {
+		gpu.MustRegister(gpu.Device{
+			ID: A10G, Name: "NVIDIA A10G", Family: "G5",
+			// SeedID 4 is frozen: changing it would change every simulated
+			// A10G measurement.
+			SeedID:   4,
+			MemoryGB: 24, CUDACores: 9216,
+			ComputeTFLOPS: 6.5, MemBWGBps: 480, LaunchUS: 4,
+			RooflineR0: 30, BPFContention: 0.38, CPUFactor: 1.0,
+			OpEfficiency: map[ops.Type]float64{
+				// Ampere pooling kernels are close to streaming speed.
+				ops.MaxPool: 0.90, ops.AvgPool: 0.90, ops.MaxPoolGrad: 0.90, ops.AvgPoolGrad: 0.90,
+				ops.FusedBatchNormGradV3: 0.95,
+				ops.FusedBatchNormV3:     0.70,
+				ops.AddV2:                1.05, ops.AddN: 1.05, ops.Mul: 1.05,
+				ops.Transpose: 0.050,
+			},
+			Conv1x1Factor: 1.8, ConvAsymFactor: 0.85,
+			CommBaseSeconds: 1.8e-3, CommSecondsPerByte: 0.008e-9,
+			MarketUSDPerGPUHour: 1.30,
+		})
+		cloud.MustRegisterInstance(cloud.Instance{Name: "g5.xlarge", GPU: A10G, NumGPUs: 1, HourlyUSD: 1.006})
+		cloud.MustRegisterInstance(cloud.Instance{Name: "g5.12xlarge", GPU: A10G, NumGPUs: 4, HourlyUSD: 5.672})
+	})
+}

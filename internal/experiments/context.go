@@ -103,5 +103,6 @@ func (c *Context) Observe(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset) 
 	return sim.Train(g, cfg, ds, c.MeasureIters, c.measureSeed())
 }
 
-// gpuOrder is the paper's presentation order: P3, P2, G4, G3.
-func gpuOrder() []gpu.Model { return gpu.AllModels() }
+// gpuOrder is the device registration order — for the built-in data
+// files, the paper's presentation order: P3, P2, G4, G3.
+func gpuOrder() []gpu.ID { return gpu.All() }

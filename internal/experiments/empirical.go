@@ -45,7 +45,7 @@ func (r *Fig01Result) Table() *textutil.Table {
 // Fig02Row is one heavy operation's mean compute time per GPU model.
 type Fig02Row struct {
 	OpType  ops.Type
-	Seconds map[gpu.Model]float64
+	Seconds map[gpu.ID]float64
 }
 
 // Fig02Result reproduces Figure 2: compute times of the heavy GPU
@@ -55,19 +55,19 @@ type Fig02Result struct {
 	Rows []Fig02Row
 	// AvgRatioVsP3 is the mean heavy-op slowdown of each model relative
 	// to P3 (paper: P2 ≈ 10×, G4 ≈ 4×; P2 ≈ 1.5× vs G3).
-	AvgRatioVsP3 map[gpu.Model]float64
+	AvgRatioVsP3 map[gpu.ID]float64
 }
 
 // Fig02 computes the heavy-op compute-time matrix.
 func Fig02(c *Context) (*Fig02Result, error) {
-	means := make(map[gpu.Model]map[ops.Type]float64, 4)
+	means := make(map[gpu.ID]map[ops.Type]float64, 4)
 	for _, m := range gpuOrder() {
 		means[m] = c.TrainBundle.MeanTimeByType(m)
 	}
 	heavy := c.Pred.Class.HeavyTypes()
-	res := &Fig02Result{AvgRatioVsP3: make(map[gpu.Model]float64)}
+	res := &Fig02Result{AvgRatioVsP3: make(map[gpu.ID]float64)}
 	for _, t := range heavy {
-		row := Fig02Row{OpType: t, Seconds: make(map[gpu.Model]float64, 4)}
+		row := Fig02Row{OpType: t, Seconds: make(map[gpu.ID]float64, 4)}
 		for _, m := range gpuOrder() {
 			row.Seconds[m] = means[m][t]
 		}
@@ -115,9 +115,9 @@ type Fig03Row struct {
 	OpType ops.Type
 	// CostUSD is the rental cost over the op's compute time on the
 	// basic single-GPU instance of each model.
-	CostUSD map[gpu.Model]float64
+	CostUSD map[gpu.ID]float64
 	// Cheapest is the model with the lowest cost.
-	Cheapest gpu.Model
+	Cheapest gpu.ID
 }
 
 // Fig03Result reproduces Figure 3: operation-level compute costs.
@@ -125,7 +125,7 @@ type Fig03Result struct {
 	Rows []Fig03Row
 	// WinCounts counts how many operations each GPU model wins (paper:
 	// G4 wins 16 of 20, P3 wins the 4 pooling ops).
-	WinCounts map[gpu.Model]int
+	WinCounts map[gpu.ID]int
 	// PoolingP3Wins reports whether P3 is cheapest for all four pooling
 	// operations.
 	PoolingP3Wins bool
@@ -138,7 +138,7 @@ func Fig03(c *Context) (*Fig03Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	hourly := make(map[gpu.Model]float64, 4)
+	hourly := make(map[gpu.ID]float64, 4)
 	for _, m := range gpuOrder() {
 		cost, err := cloud.Config{GPU: m, K: 1}.HourlyCost(cloud.OnDemand)
 		if err != nil {
@@ -146,10 +146,10 @@ func Fig03(c *Context) (*Fig03Result, error) {
 		}
 		hourly[m] = cost
 	}
-	res := &Fig03Result{WinCounts: make(map[gpu.Model]int), PoolingP3Wins: true}
+	res := &Fig03Result{WinCounts: make(map[gpu.ID]int), PoolingP3Wins: true}
 	pooling := map[ops.Type]bool{ops.MaxPool: true, ops.MaxPoolGrad: true, ops.AvgPool: true, ops.AvgPoolGrad: true}
 	for _, row := range f2.Rows {
-		cr := Fig03Row{OpType: row.OpType, CostUSD: make(map[gpu.Model]float64, 4)}
+		cr := Fig03Row{OpType: row.OpType, CostUSD: make(map[gpu.ID]float64, 4)}
 		best, bestCost := gpu.V100, 0.0
 		for i, m := range gpuOrder() {
 			cost := row.Seconds[m] / 3600 * hourly[m]
@@ -190,7 +190,7 @@ func (r *Fig03Result) Table() *textutil.Table {
 // Fig04Series is the ReLU time-vs-input-size scatter and linear fit for
 // one GPU model.
 type Fig04Series struct {
-	GPU gpu.Model
+	GPU gpu.ID
 	// InputBytes and Seconds are the observed (size, mean time) points.
 	InputBytes []float64
 	Seconds    []float64
@@ -262,20 +262,20 @@ func (r *Fig04Result) Table() *textutil.Table {
 // (operation, input size), for each GPU model.
 type Fig05Result struct {
 	// PerGPU maps each model to its sample of normalized deviations.
-	PerGPU map[gpu.Model][]float64
+	PerGPU map[gpu.ID][]float64
 	// FracBelow01 is the fraction of values below 0.1 per GPU (paper:
 	// ~95% overall).
-	FracBelow01 map[gpu.Model]float64
+	FracBelow01 map[gpu.ID]float64
 	// P95 is the 95th percentile of normalized deviation per GPU.
-	P95 map[gpu.Model]float64
+	P95 map[gpu.ID]float64
 }
 
 // Fig05 computes the variability CDF from the training bundle.
 func Fig05(c *Context) (*Fig05Result, error) {
 	res := &Fig05Result{
-		PerGPU:      make(map[gpu.Model][]float64),
-		FracBelow01: make(map[gpu.Model]float64),
-		P95:         make(map[gpu.Model]float64),
+		PerGPU:      make(map[gpu.ID][]float64),
+		FracBelow01: make(map[gpu.ID]float64),
+		P95:         make(map[gpu.ID]float64),
 	}
 	for _, m := range gpuOrder() {
 		var nsds []float64

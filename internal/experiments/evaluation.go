@@ -17,7 +17,7 @@ import (
 // 4-GPU instances.
 type Fig08Cell struct {
 	CNN string
-	GPU gpu.Model
+	GPU gpu.ID
 	// ObservedSeconds / PredictedSeconds: one ImageNet epoch, k = 4.
 	ObservedSeconds  float64
 	PredictedSeconds float64
@@ -40,7 +40,7 @@ type Fig08Result struct {
 	// P3TimeReduction maps a slower model to the average observed
 	// training-time reduction P3 achieves over it (paper: 72.4% vs P2,
 	// 62.9% vs G3, 48.0% vs G4).
-	P3TimeReduction map[gpu.Model]float64
+	P3TimeReduction map[gpu.ID]float64
 	// G4Cheapest reports whether G4 delivers the lowest observed
 	// training cost for the majority of the test CNNs.
 	G4Cheapest bool
@@ -49,19 +49,19 @@ type Fig08Result struct {
 // Fig08 runs the validation test.
 func Fig08(c *Context) (*Fig08Result, error) {
 	ds := dataset.ImageNet
-	res := &Fig08Result{P3TimeReduction: make(map[gpu.Model]float64)}
+	res := &Fig08Result{P3TimeReduction: make(map[gpu.ID]float64)}
 	var absErrs []float64
-	obsByCNN := make(map[string]map[gpu.Model]float64)
-	predByCNN := make(map[string]map[gpu.Model]float64)
-	costWins := make(map[gpu.Model]int)
+	obsByCNN := make(map[string]map[gpu.ID]float64)
+	predByCNN := make(map[string]map[gpu.ID]float64)
+	costWins := make(map[gpu.ID]int)
 
 	for _, name := range zoo.TestSet() {
 		g, err := c.Graph(name)
 		if err != nil {
 			return nil, err
 		}
-		obsByCNN[name] = make(map[gpu.Model]float64)
-		predByCNN[name] = make(map[gpu.Model]float64)
+		obsByCNN[name] = make(map[gpu.ID]float64)
+		predByCNN[name] = make(map[gpu.ID]float64)
 		bestCostGPU, bestCost := gpu.V100, math.Inf(1)
 		for _, m := range gpuOrder() {
 			cfg := cloud.Config{GPU: m, K: 4}
@@ -107,7 +107,7 @@ func Fig08(c *Context) (*Fig08Result, error) {
 			}
 		}
 	}
-	for _, m := range []gpu.Model{gpu.K80, gpu.M60, gpu.T4} {
+	for _, m := range []gpu.ID{gpu.K80, gpu.M60, gpu.T4} {
 		sum := 0.0
 		for name := range obsByCNN {
 			sum += 1 - obsByCNN[name][gpu.V100]/obsByCNN[name][m]

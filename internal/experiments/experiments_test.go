@@ -108,7 +108,7 @@ func TestFig04Claims(t *testing.T) {
 		}
 	}
 	// Slopes order with memory bandwidth: P2 steepest, P3 shallowest.
-	slope := map[gpu.Model]float64{}
+	slope := map[gpu.ID]float64{}
 	for _, s := range r.Series {
 		slope[s.GPU] = s.Slope
 	}
@@ -122,7 +122,7 @@ func TestFig05Claims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		if r.FracBelow01[m] < 0.95 {
 			t.Errorf("%s: only %.1f%% of heavy-op deviations below 0.1 (paper: 95%%)",
 				m.Family(), r.FracBelow01[m]*100)
@@ -174,7 +174,7 @@ func TestFig06Claims(t *testing.T) {
 		t.Errorf("reductions not diminishing: %.2f %.2f %.2f", step2, step3, step4)
 	}
 	// Predictions track observations.
-	for _, m := range gpu.AllModels() {
+	for _, m := range gpu.All() {
 		for _, cell := range r.PerGPU[m] {
 			rel := cell.PredictedSeconds/cell.ObservedSeconds - 1
 			if rel < -0.2 || rel > 0.2 {

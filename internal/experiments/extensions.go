@@ -124,7 +124,7 @@ func ExtSelection(c *Context) (*ExtSelectionResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, m := range gpu.AllModels() {
+			for _, m := range gpu.All() {
 				cfg := cloud.Config{GPU: m, K: 1}
 				obs, err := sim.Train(g, cfg, ds, c.MeasureIters, c.measureSeed())
 				if err != nil {
@@ -160,7 +160,7 @@ type ExtMemoryRow struct {
 	CNN     string
 	Batch   int64
 	NeedGB  float64
-	FitsGPU map[gpu.Model]bool
+	FitsGPU map[gpu.ID]bool
 }
 
 // ExtMemoryResult is the GPU-memory feasibility matrix: which (CNN,
@@ -184,9 +184,9 @@ func ExtMemory(c *Context) (*ExtMemoryResult, error) {
 			row := ExtMemoryRow{
 				CNN: name, Batch: batch,
 				NeedGB:  need.TotalGB(),
-				FitsGPU: make(map[gpu.Model]bool, 4),
+				FitsGPU: make(map[gpu.ID]bool, 4),
 			}
-			for _, m := range gpu.AllModels() {
+			for _, m := range gpu.All() {
 				dev, ok := gpu.Lookup(m)
 				if !ok {
 					return nil, fmt.Errorf("experiments: unknown GPU %v", m)

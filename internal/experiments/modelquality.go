@@ -30,7 +30,7 @@ type Sec4BResult struct {
 // Sec4B profiles the test CNNs and evaluates every heavy-op model.
 func Sec4B(c *Context) (*Sec4BResult, error) {
 	prof := &sim.Profiler{Seed: c.measureSeed() + 1, Iterations: 50, Retain: 8, Workers: c.Workers}
-	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), c.Batch, gpu.AllModels())
+	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), c.Batch, gpu.All())
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func (r *Sec4BResult) Table() *textutil.Table {
 // AblationCell is one (CNN, GPU) ablation comparison.
 type AblationCell struct {
 	CNN string
-	GPU gpu.Model
+	GPU gpu.ID
 	// Errors maps each predictor variant to its absolute relative error
 	// on single-GPU training time.
 	Errors map[ceer.Variant]float64

@@ -27,7 +27,7 @@ type Fig06Cell struct {
 // the number of GPUs under data parallelism.
 type Fig06Result struct {
 	CNN    string
-	PerGPU map[gpu.Model][]Fig06Cell
+	PerGPU map[gpu.ID][]Fig06Cell
 	// AvgReduction is the mean observed reduction across GPU models at
 	// k = 2, 3, 4 (paper: 35.8%, 46.6%, 53.6%).
 	AvgReduction map[int]float64
@@ -43,7 +43,7 @@ func Fig06(c *Context) (*Fig06Result, error) {
 	ds := dataset.ImageNetSubset6400
 	res := &Fig06Result{
 		CNN:          "inception-v1",
-		PerGPU:       make(map[gpu.Model][]Fig06Cell),
+		PerGPU:       make(map[gpu.ID][]Fig06Cell),
 		AvgReduction: make(map[int]float64),
 	}
 	for _, m := range gpuOrder() {
@@ -107,7 +107,7 @@ type Fig07Point struct {
 
 // Fig07Series is the per-GPU overhead-vs-params relationship at one k.
 type Fig07Series struct {
-	GPU    gpu.Model
+	GPU    gpu.ID
 	Points []Fig07Point
 	// Slope is seconds per parameter; R2 the linear fit quality (paper:
 	// 0.88–0.98).

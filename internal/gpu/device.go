@@ -1,6 +1,9 @@
-// Package gpu simulates the op-level execution behaviour of the four
-// AWS GPU models the paper studies: NVIDIA Tesla V100 (P3 instances),
-// K80 (P2), T4 Tensor Core (G4), and Tesla M60 (G3).
+// Package gpu simulates the op-level execution behaviour of cloud GPU
+// devices. The four AWS GPU models the paper studies — NVIDIA Tesla
+// V100 (P3 instances), K80 (P2), T4 Tensor Core (G4), and Tesla M60
+// (G3) — ship as data files registered at init; additional devices can
+// be registered by callers as pure data, with no changes to this
+// package or its consumers (see Register).
 //
 // Because real GPU hardware is unavailable in this reproduction, the
 // package substitutes an analytic roofline execution model per device:
@@ -14,146 +17,108 @@
 // of Conv2DBackpropFilter. Measurement noise is multiplicative
 // lognormal, tight for heavy GPU ops (normalized stddev mostly < 0.1,
 // Figure 5) and loose for light GPU and CPU ops.
+//
+// Every behaviour that used to be a switch on a closed device enum is
+// now a declarative field of the Device spec, so the whole stack —
+// cloud catalog, simulator, predictor, experiments — is generic over
+// registered devices.
 package gpu
 
-import (
-	"fmt"
-	"sort"
-)
+import "ceer/internal/ops"
 
-// Model identifies one of the four AWS GPU device models.
-type Model int
+// ID is the stable string identifier of a registered GPU device (e.g.
+// "v100"). IDs are the only device handle the rest of the system
+// threads around; specs are resolved through Lookup. IDs — never
+// registry positions — key every serialized artifact, so persisted
+// models survive devices being registered in a different order.
+type ID string
 
-const (
-	// V100 is the NVIDIA Tesla V100 (P3 instances).
-	V100 Model = iota
-	// K80 is the NVIDIA K80 (P2 instances).
-	K80
-	// T4 is the NVIDIA T4 Tensor Core (G4 instances).
-	T4
-	// M60 is the NVIDIA Tesla M60 (G3 instances).
-	M60
-)
-
-// String returns the device model name.
-func (m Model) String() string {
-	switch m {
-	case V100:
-		return "Tesla V100"
-	case K80:
-		return "K80"
-	case T4:
-		return "T4"
-	case M60:
-		return "Tesla M60"
-	default:
-		return fmt.Sprintf("gpu(%d)", int(m))
+// String returns the device's marketing name when registered (e.g.
+// "Tesla V100"), or a placeholder rendering for unknown IDs.
+func (id ID) String() string {
+	if d, ok := Lookup(id); ok {
+		return d.Name
 	}
+	return "gpu(" + string(id) + ")"
 }
 
-// Family returns the AWS instance family letter code for the model
-// ("P3", "P2", "G4", "G3").
-func (m Model) Family() string {
-	switch m {
-	case V100:
-		return "P3"
-	case K80:
-		return "P2"
-	case T4:
-		return "G4"
-	case M60:
-		return "G3"
-	default:
-		return "??"
+// Family returns the AWS instance family letter code of the device
+// ("P3", "P2", "G4", "G3", ...), or "??" for unknown IDs.
+func (id ID) Family() string {
+	if d, ok := Lookup(id); ok {
+		return d.Family
 	}
+	return "??"
 }
 
-// Device holds the simulation parameters of one GPU model. Throughputs
-// are *effective* values: the sustained rates a well-tuned cuDNN kernel
-// achieves, not datasheet peaks.
+// Device is the declarative simulation spec of one GPU model.
+// Throughputs are *effective* values: the sustained rates a well-tuned
+// cuDNN kernel achieves, not datasheet peaks. A Device is pure data —
+// registering a new one requires no code changes anywhere else (see
+// the calibration provenance notes in DESIGN.md §"Device registry").
 type Device struct {
-	Model    Model
+	// ID is the stable registry key (e.g. "v100"). It must never change
+	// once artifacts referencing it exist.
+	ID ID
+	// Name is the marketing name ("Tesla V100").
+	Name string
+	// Family is the AWS instance family letter code ("P3"); unique per
+	// device so profiles and CLI flags can resolve it.
+	Family string
+	// SeedID tags the device's deterministic noise streams. It must be
+	// unique among registered devices and must never be reused or
+	// renumbered: simulated measurements are derived from it, so
+	// changing it silently changes every "observed" value.
+	SeedID uint64
+
 	MemoryGB int
 	// CUDACores is informational (Section II's hardware description).
 	CUDACores int
 
-	// computeTFLOPS is the effective dense fp32 arithmetic throughput.
-	computeTFLOPS float64
-	// memBWGBps is the effective memory bandwidth.
-	memBWGBps float64
-	// launchUS is the per-kernel launch overhead in microseconds.
-	launchUS float64
-	// rooflineR0 shifts the utilization knee: compute time is modeled as
+	// ComputeTFLOPS is the effective dense fp32 arithmetic throughput.
+	ComputeTFLOPS float64
+	// MemBWGBps is the effective memory bandwidth.
+	MemBWGBps float64
+	// LaunchUS is the per-kernel launch overhead in microseconds.
+	LaunchUS float64
+	// RooflineR0 shifts the utilization knee: compute time is modeled as
 	// flops/C + r0·bytes/C, so kernels with low arithmetic intensity pay
 	// proportionally more (tensor-core devices have a higher knee).
-	rooflineR0 float64
-	// bpfContention scales the superlinear (quadratic) term of
+	RooflineR0 float64
+	// BPFContention scales the superlinear (quadratic) term of
 	// Conv2DBackpropFilter: gradient accumulation contention grows with
 	// input size.
-	bpfContention float64
-	// cpuFactor scales host-side op times (instance families ship
+	BPFContention float64
+	// CPUFactor scales host-side op times (instance families ship
 	// different host CPUs).
-	cpuFactor float64
-}
+	CPUFactor float64
 
-var devices = map[Model]*Device{
-	V100: {
-		Model: V100, MemoryGB: 16, CUDACores: 5120,
-		computeTFLOPS: 10.0, memBWGBps: 750, launchUS: 4,
-		rooflineR0: 40, bpfContention: 0.35, cpuFactor: 0.95,
-	},
-	K80: {
-		Model: K80, MemoryGB: 12, CUDACores: 2496,
-		computeTFLOPS: 1.0, memBWGBps: 80, launchUS: 10,
-		rooflineR0: 12.5, bpfContention: 0.55, cpuFactor: 1.15,
-	},
-	T4: {
-		Model: T4, MemoryGB: 16, CUDACores: 2560,
-		computeTFLOPS: 2.5, memBWGBps: 220, launchUS: 5,
-		rooflineR0: 9, bpfContention: 0.40, cpuFactor: 1.0,
-	},
-	M60: {
-		Model: M60, MemoryGB: 8, CUDACores: 2048,
-		computeTFLOPS: 1.6, memBWGBps: 135, launchUS: 8,
-		rooflineR0: 13, bpfContention: 0.50, cpuFactor: 1.1,
-	},
-}
+	// OpEfficiency overrides the per-op-type memory-path efficiency
+	// multiplier for this device; types absent here fall back to the
+	// architecture-neutral defaults, then to 1.0. Values below 1 model
+	// poorly coalesced access patterns (windowed pooling on pre-Volta
+	// parts, strided transposes); values above 1 model unusually
+	// well-tuned kernels.
+	OpEfficiency map[ops.Type]float64
+	// Conv1x1Factor multiplies compute throughput for 1×1 convolutions
+	// (which lower to plain GEMMs); 0 means neutral (1.0).
+	Conv1x1Factor float64
+	// ConvAsymFactor multiplies compute throughput for asymmetric
+	// 1×N / N×1 convolution kernels; 0 means neutral (1.0).
+	ConvAsymFactor float64
+	// NoiseScale scales the lognormal measurement-noise sigma of every
+	// op class on this device; 0 means the default profile (1.0).
+	NoiseScale float64
 
-// Lookup returns the device for a model.
-func Lookup(m Model) (*Device, bool) {
-	d, ok := devices[m]
-	return d, ok
-}
-
-// MustLookup returns the device for a known model, panicking otherwise.
-func MustLookup(m Model) *Device {
-	d, ok := devices[m]
-	if !ok {
-		panic(fmt.Sprintf("gpu: unknown model %v", m))
-	}
-	return d
-}
-
-// AllModels returns the four models in a stable order (P3, P2, G4, G3 —
-// the paper's presentation order).
-func AllModels() []Model { return []Model{V100, K80, T4, M60} }
-
-// ModelByFamily resolves an AWS family code ("P3") to its GPU model.
-func ModelByFamily(family string) (Model, bool) {
-	for _, m := range AllModels() {
-		if m.Family() == family {
-			return m, true
-		}
-	}
-	return 0, false
-}
-
-// Families returns the four family codes sorted alphabetically.
-func Families() []string {
-	out := make([]string, 0, 4)
-	for _, m := range AllModels() {
-		out = append(out, m.Family())
-	}
-	sort.Strings(out)
-	return out
+	// CommBaseSeconds and CommSecondsPerByte are the k=1 data-parallel
+	// communication constants of the device's host platform (paper
+	// Section III-D): fixed per-iteration sync cost and per-gradient-byte
+	// transfer cost. Devices with either unset cannot be trained on in
+	// multi-GPU simulations (cloud.CommOverheadBase errors).
+	CommBaseSeconds    float64
+	CommSecondsPerByte float64
+	// MarketUSDPerGPUHour is the commodity market price per GPU-hour
+	// used by the Figure 12 market-ratio pricing scenario; 0 means the
+	// device has no market-scenario price.
+	MarketUSDPerGPUHour float64
 }

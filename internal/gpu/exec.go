@@ -26,69 +26,32 @@ const (
 	decodeBWGBps = 1.5
 )
 
-// opEfficiency returns the per-(device, op type) memory-path efficiency
-// multiplier. Values below 1 model poorly coalesced access patterns
-// (windowed pooling on pre-Volta parts, strided transposes); values
-// above 1 model unusually well-tuned kernels. The table encodes the
-// paper's observed crossovers: pooling disproportionately favors V100,
-// FusedBatchNormGradV3 favors T4, and transposes and max-pool gradients
-// are the cases where the M60 (G3) falls behind even the K80 (P2).
-func opEfficiency(m Model, t ops.Type) float64 {
-	switch t {
-	case ops.MaxPool, ops.AvgPool, ops.MaxPoolGrad, ops.AvgPoolGrad:
-		switch m {
-		case V100:
-			return 1.0
-		case T4:
-			return 0.40
-		case M60:
-			if t == ops.MaxPoolGrad {
-				return 0.30 // G3 behind even P2 here
-			}
-			return 0.55
-		case K80:
-			return 0.60
-		}
-	case ops.FusedBatchNormGradV3:
-		// Multi-output fused kernel; T4's rendition is unusually good.
-		if m == T4 {
-			return 1.05
-		}
-		return 0.80
-	case ops.FusedBatchNormV3:
-		// Two reduction passes before the scale/shift pass.
-		if m == T4 {
-			return 0.75
-		}
-		return 0.65
-	case ops.AddV2, ops.AddN, ops.Mul:
-		// Plain element-wise kernels run close to peak on Turing.
-		if m == T4 {
-			return 1.10
-		}
-		return 1.0
-	case ops.Transpose:
-		// Strided access: slow everywhere, disastrous on M60.
-		switch m {
-		case V100:
-			return 0.048
-		case T4:
-			return 0.044
-		case M60:
-			return 0.022
-		case K80:
-			return 0.040
-		}
-	case ops.SoftmaxXent:
-		// Multi-pass fused kernel over small tensors: low effective BW.
-		return 0.05
-	case ops.Relu:
-		return 0.85
-	case ops.Slice:
-		// Offset reads from the (larger) source tensor.
-		return 0.75
-	case ops.ConcatV2:
-		return 0.8
+// defaultOpEfficiency holds the architecture-neutral per-op-type
+// memory-path efficiency multipliers — the values that held for every
+// paper device not carrying a spec override. A device's
+// Device.OpEfficiency entries take precedence; types in neither table
+// run at 1.0.
+var defaultOpEfficiency = map[ops.Type]float64{
+	// Multi-output fused kernel.
+	ops.FusedBatchNormGradV3: 0.80,
+	// Two reduction passes before the scale/shift pass.
+	ops.FusedBatchNormV3: 0.65,
+	// Multi-pass fused kernel over small tensors: low effective BW.
+	ops.SoftmaxXent: 0.05,
+	ops.Relu:        0.85,
+	// Offset reads from the (larger) source tensor.
+	ops.Slice:    0.75,
+	ops.ConcatV2: 0.8,
+}
+
+// opEfficiency resolves the per-(device, op type) memory-path
+// efficiency multiplier: spec override, then neutral default, then 1.0.
+func (d *Device) opEfficiency(t ops.Type) float64 {
+	if eff, ok := d.OpEfficiency[t]; ok {
+		return eff
+	}
+	if eff, ok := defaultOpEfficiency[t]; ok {
+		return eff
 	}
 	return 1.0
 }
@@ -104,16 +67,22 @@ func typeHash(t ops.Type) float64 {
 // Sigma returns the lognormal noise level of an op on this device:
 // tight for heavy GPU ops (the paper's Figure 5 shows 95% of
 // normalized deviations below 0.1), loose for light GPU and CPU ops.
+// A device spec may scale the whole profile via NoiseScale.
 func (d *Device) Sigma(op *ops.Op) float64 {
 	h := typeHash(op.Type)
+	var sigma float64
 	switch op.Class() {
 	case ops.HeavyGPU:
-		return 0.015 + 0.055*h
+		sigma = 0.015 + 0.055*h
 	case ops.LightGPU:
-		return 0.18 + 0.27*h
+		sigma = 0.18 + 0.27*h
 	default: // CPU
-		return 0.25 + 0.45*h
+		sigma = 0.25 + 0.45*h
 	}
+	if d.NoiseScale > 0 {
+		sigma *= d.NoiseScale
+	}
+	return sigma
 }
 
 // cpuBase returns the host dispatch/compute base time of a CPU op type.
@@ -156,31 +125,31 @@ func (d *Device) BaseTime(op *ops.Op) float64 {
 			// overlap with GPU compute.
 			bw = decodeBWGBps * gb
 		}
-		return d.cpuFactor * (cpuBase(op.Type) + bytes/bw)
+		return d.CPUFactor * (cpuBase(op.Type) + bytes/bw)
 	}
 
 	bytes := float64(op.BytesMoved())
 	flops := float64(op.FLOPs())
-	launch := d.launchUS * us
+	launch := d.LaunchUS * us
 
-	eff := opEfficiency(d.Model, op.Type)
-	tMem := bytes / (d.memBWGBps * gb * eff)
+	eff := d.opEfficiency(op.Type)
+	tMem := bytes / (d.MemBWGBps * gb * eff)
 
 	var tComp float64
 	switch meta.Kind {
 	case ops.ComputeBound:
-		tComp = (flops + d.rooflineR0*bytes) / (d.computeTFLOPS * tflop * d.convShapeFactor(op))
+		tComp = (flops + d.RooflineR0*bytes) / (d.ComputeTFLOPS * tflop * d.convShapeFactor(op))
 	case ops.MemoryBound:
-		tComp = flops / (d.computeTFLOPS * tflop)
+		tComp = flops / (d.ComputeTFLOPS * tflop)
 	case ops.OverheadBound:
 		// Metadata-only ops (Reshape, Identity, Shape): no real kernel
 		// body; a sliver of traffic models descriptor updates.
-		return launch + bytes/(d.memBWGBps*gb*50)
+		return launch + bytes/(d.MemBWGBps*gb*50)
 	}
 
 	t := launch + max(tComp, tMem)
 	if op.Type == ops.Conv2DBackpropFilter {
-		t *= 1 + d.bpfContention*float64(op.InputBytes())/bpfRefBytes
+		t *= 1 + d.BPFContention*float64(op.InputBytes())/bpfRefBytes
 	}
 	return t * d.shapeJitter(op)
 }
@@ -195,13 +164,14 @@ const shapeJitterAmp = 0.05
 // the Figure 5 variability result), but an unseen shape lands on a
 // slightly different point of the efficiency surface — which is what
 // keeps the paper's regression R² below 1.0 and its per-op prediction
-// errors in the 2-10% band.
+// errors in the 2-10% band. The hash folds in the device's SeedID (not
+// its registry position), so jitter survives registration reordering.
 func (d *Device) shapeJitter(op *ops.Op) float64 {
 	if op.Meta().Class == ops.CPU {
 		return 1
 	}
 	h := fnv.New64a()
-	_, _ = h.Write([]byte{byte(d.Model)})
+	_, _ = h.Write([]byte{byte(d.SeedID)})
 	_, _ = h.Write([]byte(op.Type))
 	var buf [8]byte
 	for _, in := range op.Inputs {
@@ -221,16 +191,14 @@ func putUint64(buf *[8]byte, v uint64) {
 }
 
 // convShapeFactor returns a kernel-shape-dependent compute-efficiency
-// multiplier for conv-family ops (1.0 for everything else). Two effects
-// are modeled, both responsible for the paper's finding that the
-// cost/performance winner depends on the CNN's operation mix:
-//
-//   - 1×1 convolutions lower to plain GEMMs, which Turing (T4) executes
-//     near peak — eroding the V100's advantage on the 1×1-heavy ResNet
-//     bottlenecks;
-//   - asymmetric 1×N / N×1 kernels (Inception's factorized 7×7s) hit a
-//     slow path in the T4-generation kernels, widening the V100's lead
-//     on the Inception family.
+// multiplier for conv-family ops (1.0 for everything else), from the
+// spec's Conv1x1Factor / ConvAsymFactor fields. Both effects are
+// responsible for the paper's finding that the cost/performance winner
+// depends on the CNN's operation mix: 1×1 convolutions lower to plain
+// GEMMs (near-peak on tensor-core parts, eroding the V100's advantage
+// on the 1×1-heavy ResNet bottlenecks), while asymmetric 1×N / N×1
+// kernels (Inception's factorized 7×7s) hit slow paths on some
+// generations, widening the V100's lead on the Inception family.
 func (d *Device) convShapeFactor(op *ops.Op) float64 {
 	switch op.Type {
 	case ops.Conv2D, ops.Conv2DBackpropFilter, ops.Conv2DBackpropInput:
@@ -242,18 +210,13 @@ func (d *Device) convShapeFactor(op *ops.Op) float64 {
 		return 1.0
 	}
 	if w.KernelH == 1 && w.KernelW == 1 {
-		if d.Model == T4 {
-			return 2.0
+		if d.Conv1x1Factor > 0 {
+			return d.Conv1x1Factor
 		}
 		return 1.0
 	}
-	if w.KernelH != w.KernelW {
-		switch d.Model {
-		case T4:
-			return 0.70
-		case M60, K80:
-			return 0.90
-		}
+	if w.KernelH != w.KernelW && d.ConvAsymFactor > 0 {
+		return d.ConvAsymFactor
 	}
 	return 1.0
 }

@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ceer/internal/ops"
+)
+
+// The device registry. All access goes through Register/Lookup/All so
+// the rest of the stack never enumerates a compiled-in device set.
+var (
+	regMu    sync.RWMutex
+	regByID  = make(map[ID]*Device)
+	regOrder []ID
+)
+
+// Register adds a device spec to the registry. It returns an error for
+// structurally invalid specs and for collisions on ID, Family, or
+// SeedID (each must be unique: IDs key persisted artifacts, families
+// key CLI flags and profile exports, seed IDs key noise streams).
+// Registered specs are copied; later mutation of the argument has no
+// effect.
+func Register(spec Device) error {
+	if err := validate(&spec); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByID[spec.ID]; dup {
+		return fmt.Errorf("gpu: device %q already registered", string(spec.ID))
+	}
+	for _, id := range regOrder {
+		prev := regByID[id]
+		if prev.Family == spec.Family {
+			return fmt.Errorf("gpu: device %q reuses family %q of device %q", string(spec.ID), spec.Family, string(prev.ID))
+		}
+		if prev.SeedID == spec.SeedID {
+			return fmt.Errorf("gpu: device %q reuses seed id %d of device %q", string(spec.ID), spec.SeedID, string(prev.ID))
+		}
+	}
+	cp := spec
+	if spec.OpEfficiency != nil {
+		cp.OpEfficiency = make(map[ops.Type]float64, len(spec.OpEfficiency))
+		for t, eff := range spec.OpEfficiency {
+			cp.OpEfficiency[t] = eff
+		}
+	}
+	regByID[cp.ID] = &cp
+	regOrder = append(regOrder, cp.ID)
+	return nil
+}
+
+// MustRegister is Register, panicking on error (for init-time data
+// files, where a bad spec is a programming error).
+func MustRegister(spec Device) {
+	if err := Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+func validate(spec *Device) error {
+	switch {
+	case spec.ID == "":
+		return fmt.Errorf("gpu: device spec needs a non-empty ID")
+	case spec.Name == "" || spec.Family == "":
+		return fmt.Errorf("gpu: device %q needs Name and Family", string(spec.ID))
+	case spec.MemoryGB <= 0:
+		return fmt.Errorf("gpu: device %q needs positive MemoryGB", string(spec.ID))
+	case spec.ComputeTFLOPS <= 0 || spec.MemBWGBps <= 0 || spec.LaunchUS <= 0:
+		return fmt.Errorf("gpu: device %q needs positive effective throughputs", string(spec.ID))
+	case spec.CPUFactor <= 0:
+		return fmt.Errorf("gpu: device %q needs positive CPUFactor", string(spec.ID))
+	case spec.RooflineR0 < 0 || spec.BPFContention < 0 || spec.NoiseScale < 0:
+		return fmt.Errorf("gpu: device %q has negative model parameters", string(spec.ID))
+	case spec.Conv1x1Factor < 0 || spec.ConvAsymFactor < 0:
+		return fmt.Errorf("gpu: device %q has negative conv shape factors", string(spec.ID))
+	case spec.CommBaseSeconds < 0 || spec.CommSecondsPerByte < 0 || spec.MarketUSDPerGPUHour < 0:
+		return fmt.Errorf("gpu: device %q has negative pricing/communication constants", string(spec.ID))
+	}
+	for t, eff := range spec.OpEfficiency {
+		if eff <= 0 {
+			return fmt.Errorf("gpu: device %q has non-positive efficiency for op %s", string(spec.ID), t)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the registered device spec for an ID.
+func Lookup(id ID) (*Device, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := regByID[id]
+	return d, ok
+}
+
+// MustLookup returns the device for a registered ID, panicking
+// otherwise.
+func MustLookup(id ID) *Device {
+	d, ok := Lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("gpu: unknown device %q", string(id)))
+	}
+	return d
+}
+
+// All returns every registered device ID in registration order — for
+// the built-in data files that is the paper's presentation order
+// (P3, P2, G4, G3), followed by any extra devices in the order they
+// were registered.
+func All() []ID {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]ID(nil), regOrder...)
+}
+
+// ByFamily resolves an AWS family code ("P3") to its device ID.
+func ByFamily(family string) (ID, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, id := range regOrder {
+		if regByID[id].Family == family {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Families returns the registered family codes sorted alphabetically.
+func Families() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(regOrder))
+	for _, id := range regOrder {
+		out = append(out, regByID[id].Family)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReorderForTest permutes the registry iteration order. ids must be a
+// permutation of All(). It exists solely so tests can prove that
+// persisted artifacts keyed by device ID survive devices being
+// registered in a different order; production code must never call it.
+func ReorderForTest(ids ...ID) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if len(ids) != len(regOrder) {
+		return fmt.Errorf("gpu: reorder wants %d ids, got %d", len(regOrder), len(ids))
+	}
+	seen := make(map[ID]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := regByID[id]; !ok {
+			return fmt.Errorf("gpu: reorder of unregistered device %q", string(id))
+		}
+		if seen[id] {
+			return fmt.Errorf("gpu: duplicate device %q in reorder", string(id))
+		}
+		seen[id] = true
+	}
+	copy(regOrder, ids)
+	return nil
+}

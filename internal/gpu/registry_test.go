@@ -1,0 +1,149 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"ceer/internal/ops"
+)
+
+// snapshotRegistry saves the private registry state and returns a
+// restore function, so error-path tests can mutate the global registry
+// without leaking devices into other tests in this binary.
+func snapshotRegistry(t *testing.T) {
+	t.Helper()
+	regMu.Lock()
+	savedByID := make(map[ID]*Device, len(regByID))
+	for id, d := range regByID {
+		savedByID[id] = d
+	}
+	savedOrder := append([]ID(nil), regOrder...)
+	regMu.Unlock()
+	t.Cleanup(func() {
+		regMu.Lock()
+		regByID = savedByID
+		regOrder = savedOrder
+		regMu.Unlock()
+	})
+}
+
+// validSpec returns a structurally valid spec that collides with
+// nothing registered by the paper data file.
+func validSpec() Device {
+	return Device{
+		ID: "test-gpu", Name: "Test GPU", Family: "ZZ", SeedID: 900,
+		MemoryGB: 8, CUDACores: 1024,
+		ComputeTFLOPS: 1, MemBWGBps: 100, LaunchUS: 5,
+		CPUFactor: 1,
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	snapshotRegistry(t)
+	if err := Register(validSpec()); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := map[string]Device{
+		"duplicate id": validSpec(),
+		"duplicate family": func() Device {
+			d := validSpec()
+			d.ID, d.SeedID = "test-gpu-2", 901
+			return d
+		}(),
+		"duplicate seed id": func() Device {
+			d := validSpec()
+			d.ID, d.Family = "test-gpu-3", "ZY"
+			return d
+		}(),
+	}
+	for name, spec := range cases {
+		if err := Register(spec); err == nil {
+			t.Errorf("%s: Register accepted %+v", name, spec)
+		}
+	}
+	// Collisions with the init-registered paper devices too.
+	dup := validSpec()
+	dup.ID = V100
+	if err := Register(dup); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("re-registering %q: got %v", V100, err)
+	}
+}
+
+func TestRegisterValidatesSpecs(t *testing.T) {
+	snapshotRegistry(t)
+	mutations := map[string]func(*Device){
+		"empty id":           func(d *Device) { d.ID = "" },
+		"empty name":         func(d *Device) { d.Name = "" },
+		"empty family":       func(d *Device) { d.Family = "" },
+		"zero memory":        func(d *Device) { d.MemoryGB = 0 },
+		"zero compute":       func(d *Device) { d.ComputeTFLOPS = 0 },
+		"zero bandwidth":     func(d *Device) { d.MemBWGBps = 0 },
+		"zero launch":        func(d *Device) { d.LaunchUS = 0 },
+		"zero cpu factor":    func(d *Device) { d.CPUFactor = 0 },
+		"negative roofline":  func(d *Device) { d.RooflineR0 = -1 },
+		"negative noise":     func(d *Device) { d.NoiseScale = -0.5 },
+		"negative conv":      func(d *Device) { d.Conv1x1Factor = -1 },
+		"negative comm":      func(d *Device) { d.CommBaseSeconds = -1 },
+		"zero op efficiency": func(d *Device) { d.OpEfficiency = map[ops.Type]float64{ops.MaxPool: 0} },
+	}
+	for name, mutate := range mutations {
+		spec := validSpec()
+		mutate(&spec)
+		if err := Register(spec); err == nil {
+			t.Errorf("%s: Register accepted invalid spec", name)
+		}
+	}
+}
+
+func TestRegisterCopiesEfficiencyTable(t *testing.T) {
+	snapshotRegistry(t)
+	spec := validSpec()
+	spec.OpEfficiency = map[ops.Type]float64{ops.MaxPool: 0.5}
+	if err := Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.OpEfficiency[ops.MaxPool] = 99 // must not reach the registry
+	if got := MustLookup(spec.ID).opEfficiency(ops.MaxPool); got != 0.5 {
+		t.Errorf("registered efficiency mutated through caller's map: %v", got)
+	}
+}
+
+func TestMustRegisterPanicsOnCollision(t *testing.T) {
+	snapshotRegistry(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister should panic on duplicate ID")
+		}
+	}()
+	spec := validSpec()
+	spec.ID = V100
+	MustRegister(spec)
+}
+
+func TestReorderForTest(t *testing.T) {
+	snapshotRegistry(t)
+	orig := All()
+	rev := make([]ID, len(orig))
+	for i, id := range orig {
+		rev[len(orig)-1-i] = id
+	}
+	if err := ReorderForTest(rev...); err != nil {
+		t.Fatalf("reorder: %v", err)
+	}
+	got := All()
+	for i := range rev {
+		if got[i] != rev[i] {
+			t.Fatalf("All() after reorder = %v, want %v", got, rev)
+		}
+	}
+	if err := ReorderForTest(orig[:1]...); err == nil {
+		t.Error("short permutation should be rejected")
+	}
+	if err := ReorderForTest(append([]ID{"no-such"}, orig[1:]...)...); err == nil {
+		t.Error("permutation with unknown ID should be rejected")
+	}
+	dup := append([]ID{orig[0]}, orig[:len(orig)-1]...)
+	if err := ReorderForTest(dup...); err == nil {
+		t.Error("permutation with duplicate ID should be rejected")
+	}
+}

@@ -17,7 +17,7 @@ import (
 // profile order included.
 func TestProfileAllParallelMatchesSerial(t *testing.T) {
 	names := []string{"vgg-11", "inception-v1"}
-	models := gpu.AllModels()
+	models := gpu.All()
 
 	serial := &Profiler{Seed: 3, Iterations: 25, Retain: 8, Workers: 1}
 	a, err := serial.ProfileAll(zoo.Build, names, 16, models)
@@ -56,7 +56,7 @@ func TestProfileAllParallelBuildError(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		p := &Profiler{Seed: 1, Iterations: 5, Retain: 4, Workers: workers}
-		_, err := p.ProfileAll(build, []string{"vgg-11", "bad", "inception-v1"}, 16, gpu.AllModels())
+		_, err := p.ProfileAll(build, []string{"vgg-11", "bad", "inception-v1"}, 16, gpu.All())
 		if !errors.Is(err, boom) {
 			t.Errorf("workers=%d: err = %v, want wrapped boom", workers, err)
 		}

@@ -5,7 +5,8 @@
 // (the ground truth the evaluation compares Ceer's predictions against).
 //
 // All randomness is derived deterministically from a caller-provided
-// seed, the CNN name, the GPU model, and the node ID, so every
+// seed, the CNN name, the GPU device's stable seed ID, and the node
+// ID, so every
 // experiment is exactly reproducible.
 package sim
 
@@ -53,21 +54,24 @@ func hashString(s string) uint64 {
 	return h.Sum64()
 }
 
-// streamFor derives the per-node noise stream.
-func (p *Profiler) streamFor(cnn string, m gpu.Model, node graph.NodeID) *rng.Source {
+// streamFor derives the per-node noise stream. Streams are keyed by
+// the device's frozen SeedID, never its registry position, so
+// registering extra devices (or reordering registration) leaves every
+// existing measurement byte-identical.
+func (p *Profiler) streamFor(cnn string, dev *gpu.Device, node graph.NodeID) *rng.Source {
 	base := rng.New(p.Seed ^ hashString(cnn))
-	return base.Derive(uint64(m)<<32 ^ uint64(node))
+	return base.Derive(dev.SeedID<<32 ^ uint64(node))
 }
 
 // Profile runs the graph for the configured number of iterations on one
 // GPU model and returns the aggregated op-level trace.
-func (p *Profiler) Profile(g *graph.Graph, m gpu.Model) (*trace.Profile, error) {
+func (p *Profiler) Profile(g *graph.Graph, m gpu.ID) (*trace.Profile, error) {
 	if p.Iterations <= 0 {
 		return nil, fmt.Errorf("sim: profiler iterations must be positive, got %d", p.Iterations)
 	}
 	dev, ok := gpu.Lookup(m)
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown GPU model %v", m)
+		return nil, fmt.Errorf("sim: unknown GPU device %q", string(m))
 	}
 	nodes := g.Nodes()
 	prof := &trace.Profile{
@@ -81,7 +85,7 @@ func (p *Profiler) Profile(g *graph.Graph, m gpu.Model) (*trace.Profile, error) 
 	}
 	streams := make([]*rng.Source, len(nodes))
 	for i, n := range nodes {
-		streams[i] = p.streamFor(g.Name, m, n.ID)
+		streams[i] = p.streamFor(g.Name, dev, n.ID)
 		prof.Series[i] = &trace.Series{
 			CNN:         g.Name,
 			GPU:         m,
@@ -108,12 +112,12 @@ func (p *Profiler) Profile(g *graph.Graph, m gpu.Model) (*trace.Profile, error) 
 }
 
 // ProfileAll profiles each named CNN (built at the given batch size) on
-// each GPU model, returning the combined bundle — the full measurement
+// each listed GPU device, returning the combined bundle — the full measurement
 // campaign of Section III. Independent (CNN, GPU) profiles are fanned
 // out over Workers goroutines; the bundle's profile order (names-major,
-// models-minor) and every sample in it are identical to a serial run.
+// devices-minor) and every sample in it are identical to a serial run.
 func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
-	names []string, batch int64, models []gpu.Model) (*trace.Bundle, error) {
+	names []string, batch int64, devices []gpu.ID) (*trace.Bundle, error) {
 	ctx := context.Background()
 	graphs, err := par.Map(ctx, p.Workers, len(names), func(_ context.Context, i int) (*graph.Graph, error) {
 		g, err := build(names[i], batch)
@@ -125,8 +129,8 @@ func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
 	if err != nil {
 		return nil, err
 	}
-	profs, err := par.Map(ctx, p.Workers, len(names)*len(models), func(_ context.Context, i int) (*trace.Profile, error) {
-		return p.Profile(graphs[i/len(models)], models[i%len(models)])
+	profs, err := par.Map(ctx, p.Workers, len(names)*len(devices), func(_ context.Context, i int) (*trace.Profile, error) {
+		return p.Profile(graphs[i/len(devices)], devices[i%len(devices)])
 	})
 	if err != nil {
 		return nil, err
@@ -179,15 +183,15 @@ func Train(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, measureIters in
 	}
 	dev, ok := gpu.Lookup(cfg.GPU)
 	if !ok {
-		return Measurement{}, fmt.Errorf("sim: unknown GPU model %v", cfg.GPU)
+		return Measurement{}, fmt.Errorf("sim: unknown GPU device %q", string(cfg.GPU))
 	}
 	nodes := g.Nodes()
 	base := rng.New(seed ^ hashString(g.Name))
 	streams := make([]*rng.Source, len(nodes))
 	for i, n := range nodes {
-		streams[i] = base.Derive(uint64(cfg.GPU)<<32 ^ uint64(n.ID))
+		streams[i] = base.Derive(dev.SeedID<<32 ^ uint64(n.ID))
 	}
-	commStream := base.Derive(0xC0111 ^ uint64(cfg.GPU)<<16 ^ uint64(cfg.K))
+	commStream := base.Derive(0xC0111 ^ dev.SeedID<<16 ^ uint64(cfg.K))
 
 	var compute, comm float64
 	for iter := 0; iter < measureIters; iter++ {

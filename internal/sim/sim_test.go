@@ -80,7 +80,7 @@ func TestProfileErrors(t *testing.T) {
 	if _, err := (&Profiler{Seed: 1, Iterations: 0}).Profile(g, gpu.T4); err == nil {
 		t.Error("zero iterations should error")
 	}
-	if _, err := (&Profiler{Seed: 1, Iterations: 5}).Profile(g, gpu.Model(99)); err == nil {
+	if _, err := (&Profiler{Seed: 1, Iterations: 5}).Profile(g, gpu.ID("no-such-device")); err == nil {
 		t.Error("unknown GPU should error")
 	}
 }
@@ -88,14 +88,14 @@ func TestProfileErrors(t *testing.T) {
 func TestProfileAll(t *testing.T) {
 	p := &Profiler{Seed: 3, Iterations: 5, Retain: 4}
 	b, err := p.ProfileAll(zoo.Build, []string{"alexnet", "inception-v1"}, 4,
-		[]gpu.Model{gpu.V100, gpu.K80})
+		[]gpu.ID{gpu.V100, gpu.K80})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(b.Profiles) != 4 {
 		t.Errorf("bundle has %d profiles, want 4", len(b.Profiles))
 	}
-	if _, err := p.ProfileAll(zoo.Build, []string{"nope"}, 4, []gpu.Model{gpu.V100}); err == nil {
+	if _, err := p.ProfileAll(zoo.Build, []string{"nope"}, 4, []gpu.ID{gpu.V100}); err == nil {
 		t.Error("unknown CNN should error")
 	}
 }
@@ -201,8 +201,8 @@ func TestGPUSpeedOrderingEndToEnd(t *testing.T) {
 	// P3 must beat G4, G3, P2 end to end on a real model (Fig. 8).
 	g := smallNet(t)
 	ds := dataset.Dataset{Name: "d", Samples: 3200}
-	times := map[gpu.Model]float64{}
-	for _, m := range gpu.AllModels() {
+	times := map[gpu.ID]float64{}
+	for _, m := range gpu.All() {
 		r, err := Train(g, cloud.Config{GPU: m, K: 1}, ds, 8, 2)
 		if err != nil {
 			t.Fatal(err)

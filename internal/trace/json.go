@@ -84,7 +84,7 @@ func ImportJSON(r io.Reader) (*Profile, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("trace: decoding profile: %w", err)
 	}
-	m, ok := gpu.ModelByFamily(in.Family)
+	m, ok := gpu.ByFamily(in.Family)
 	if !ok {
 		return nil, fmt.Errorf("trace: unknown GPU family %q", in.Family)
 	}

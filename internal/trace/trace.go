@@ -106,7 +106,7 @@ func (a *Agg) Retained() []float64 { return a.retained }
 // pair: the unit of Ceer's training data.
 type Series struct {
 	CNN    string
-	GPU    gpu.Model
+	GPU    gpu.ID
 	Node   graph.NodeID
 	OpType ops.Type
 	Class  ops.Class
@@ -124,7 +124,7 @@ type Series struct {
 // model: one Series per graph node plus the per-iteration totals.
 type Profile struct {
 	CNN        string
-	GPU        gpu.Model
+	GPU        gpu.ID
 	Iterations int
 	// Params is the CNN's trainable-parameter count.
 	Params int64
@@ -189,7 +189,7 @@ func (b *Bundle) Filter(keep func(*Profile) bool) []*Profile {
 }
 
 // ForGPU returns the profiles measured on one GPU model.
-func (b *Bundle) ForGPU(m gpu.Model) []*Profile {
+func (b *Bundle) ForGPU(m gpu.ID) []*Profile {
 	return b.Filter(func(p *Profile) bool { return p.GPU == m })
 }
 
@@ -199,7 +199,7 @@ func (b *Bundle) ForCNN(name string) []*Profile {
 }
 
 // Find returns the profile of (cnn, gpu), if present.
-func (b *Bundle) Find(cnn string, m gpu.Model) (*Profile, bool) {
+func (b *Bundle) Find(cnn string, m gpu.ID) (*Profile, bool) {
 	for _, p := range b.Profiles {
 		if p.CNN == cnn && p.GPU == m {
 			return p, true
@@ -225,7 +225,7 @@ func (b *Bundle) CNNs() []string {
 // MeanTimeByType returns, for one GPU model, the mean compute time of
 // each op type averaged over every instance and iteration in the bundle
 // — the quantity plotted in the paper's Figure 2.
-func (b *Bundle) MeanTimeByType(m gpu.Model) map[ops.Type]float64 {
+func (b *Bundle) MeanTimeByType(m gpu.ID) map[ops.Type]float64 {
 	sums := make(map[ops.Type]float64)
 	counts := make(map[ops.Type]float64)
 	for _, p := range b.ForGPU(m) {

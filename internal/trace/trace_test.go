@@ -78,7 +78,7 @@ func TestAggMatchesBatchProperty(t *testing.T) {
 	}
 }
 
-func mkSeries(cnn string, m gpu.Model, tp ops.Type, class ops.Class, mean float64, n int) *Series {
+func mkSeries(cnn string, m gpu.ID, tp ops.Type, class ops.Class, mean float64, n int) *Series {
 	a := NewAgg(8)
 	for i := 0; i < n; i++ {
 		a.Add(mean)
@@ -86,7 +86,7 @@ func mkSeries(cnn string, m gpu.Model, tp ops.Type, class ops.Class, mean float6
 	return &Series{CNN: cnn, GPU: m, OpType: tp, Class: class, Agg: a}
 }
 
-func mkProfile(cnn string, m gpu.Model) *Profile {
+func mkProfile(cnn string, m gpu.ID) *Profile {
 	p := &Profile{CNN: cnn, GPU: m, Iterations: 4, IterTotal: NewAgg(8)}
 	p.Series = []*Series{
 		mkSeries(cnn, m, ops.Conv2D, ops.HeavyGPU, 0.010, 4),

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1+ verification gate (see README "Verification"): vet, build,
-# the full test suite, and a race-detector pass over the packages that
-# exercise the parallel measurement campaign.
+# the full test suite, a race-detector pass over the packages that
+# exercise the parallel measurement campaign, and a device-genericity
+# grep gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,20 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (parallel campaign paths)"
-go test -race ./internal/sim ./internal/ceer ./internal/experiments
+go test -race ./internal/sim ./internal/ceer ./internal/experiments ./internal/devices/...
+
+echo "== device-genericity gate"
+# Core packages must stay generic over registered devices: no
+# switch/case dispatch on a concrete device identity outside the gpu
+# package's own data files. Reading per-device *data* (e.g. a paper
+# figure table keyed by gpu.V100 in experiments) is fine; branching
+# control flow on a device constant is not.
+violations=$(grep -rnE 'case[[:space:]]+(gpu\.)?(V100|K80|T4|M60)\b|switch[[:space:]].*\.GPU[[:space:]]*\{|switch[[:space:]]+(gpu\.)?(m|id|dev)[[:space:]]*\{.*//.*device' \
+    internal/ceer internal/sim internal/cloud internal/experiments 2>/dev/null || true)
+if [[ -n "${violations}" ]]; then
+    echo "device-genericity gate FAILED: core packages switch on a concrete device identity:" >&2
+    echo "${violations}" >&2
+    exit 1
+fi
 
 echo "check: OK"
