@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race check
+.PHONY: build test bench bench-predict race check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving-path benches only; writes BENCH_predict.json (see
+# scripts/bench.sh for BENCH_COUNT/BENCH_TIME/BENCH_OUT overrides).
+bench-predict:
+	./scripts/bench.sh
 
 # Race-detector pass over the packages exercising the parallel
 # measurement campaign (internal/par is covered transitively and has

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"ceer/internal/ceer"
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
 	"ceer/internal/experiments"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
@@ -362,6 +364,127 @@ func BenchmarkBuildCacheHitRate(b *testing.B) {
 	}
 	hits, misses := cache.Stats()
 	b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+}
+
+// servingPipeline trains the compact predictor used by the serving-path
+// benches below. Each bench that measures memo behavior trains its own
+// instance so the prediction memo starts cold.
+func servingPipeline() ceer.Pipeline {
+	pl := ceer.DefaultPipeline(7)
+	pl.ProfileIterations = 30
+	pl.CommIterations = 8
+	return pl
+}
+
+var (
+	servingOnce sync.Once
+	servingPred *ceer.Predictor
+	servingErr  error
+)
+
+// servingPredictor is the shared (warm-memo) predictor for the
+// per-iteration benches.
+func servingPredictor(b *testing.B) *ceer.Predictor {
+	b.Helper()
+	servingOnce.Do(func() {
+		pl := servingPipeline()
+		servingPred, _, servingErr = pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	})
+	if servingErr != nil {
+		b.Fatal(servingErr)
+	}
+	return servingPred
+}
+
+// BenchmarkPredictIterationFolded measures the warm folded serving path
+// on the deepest zoo CNN; unique-frac is the fold's class-to-node ratio
+// (the work reduction per prediction).
+func BenchmarkPredictIterationFolded(b *testing.B) {
+	p := servingPredictor(b)
+	g := zoo.MustBuild("resnet-152", 32)
+	if _, err := p.PredictIteration(g, gpu.V100, 4, ceer.Full); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictIteration(g, gpu.V100, 4, ceer.Full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(g.Fold().Len())/float64(g.Len()), "unique-frac")
+}
+
+// BenchmarkPredictIterationUnfolded is the naive per-node reference for
+// the bench above.
+func BenchmarkPredictIterationUnfolded(b *testing.B) {
+	p := servingPredictor(b)
+	g := zoo.MustBuild("resnet-152", 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictIterationUnfolded(g, gpu.V100, 4, ceer.Full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendSweep serves the entire zoo through the hoisted
+// device×k recommender and reports, against a naive unfolded sweep
+// measured in the same process: "eval-reduction-x" (cold-memo regression
+// evaluations, naive / folded — the ≥5x acceptance number) and
+// "speedup-vs-naive" (wall-clock, naive sweep / steady-state folded
+// sweep).
+func BenchmarkRecommendSweep(b *testing.B) {
+	pl := servingPipeline()
+	p, _, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var graphs []*graph.Graph
+	for _, name := range zoo.Names() {
+		graphs = append(graphs, zoo.MustBuild(name, 32))
+	}
+	cands := cloud.Configs(4)
+	sweep := func() {
+		for _, g := range graphs {
+			if _, err := p.Recommend(g, dataset.ImageNet, cloud.OnDemand, cands, ceer.MinimizeCost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	// Naive reference: every candidate through the per-node path.
+	base := p.ModelEvaluations()
+	start := time.Now()
+	for _, g := range graphs {
+		for _, cfg := range cands {
+			if _, err := p.PredictIterationUnfolded(g, cfg.GPU, cfg.K, ceer.Full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	naiveSec := time.Since(start).Seconds()
+	naiveEvals := p.ModelEvaluations() - base
+
+	// Cold folded sweep: pays the one-time memo fill.
+	base = p.ModelEvaluations()
+	sweep()
+	coldEvals := p.ModelEvaluations() - base
+	if coldEvals == 0 {
+		b.Fatal("cold folded sweep ran zero evaluations")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(naiveEvals)/float64(coldEvals), "eval-reduction-x")
+	if foldedSec := b.Elapsed().Seconds() / float64(b.N); foldedSec > 0 {
+		b.ReportMetric(naiveSec/foldedSec, "speedup-vs-naive")
+	}
 }
 
 func BenchmarkExtBatchSensitivity(b *testing.B) {

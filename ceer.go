@@ -156,8 +156,21 @@ func TrainingModels() []string { return zoo.TrainingSet() }
 func TestModels() []string { return zoo.TestSet() }
 
 // BuildModel constructs a built-in CNN's training graph at the given
-// per-GPU batch size (the paper default is 32).
+// per-GPU batch size (the paper default is 32). Each call builds a
+// fresh graph; use BuildModelCached when the same architecture is
+// consumed repeatedly (serving loops, device sweeps).
 func BuildModel(name string, batch int64) (*Graph, error) { return zoo.Build(name, batch) }
+
+// zooCache memoizes built-in zoo graphs process-wide: graphs are
+// immutable once built, so a CLI (or server) that trains in memory and
+// then predicts or recommends constructs each architecture exactly
+// once, however many devices and GPU counts it sweeps.
+var zooCache = graph.NewBuildCache(zoo.Build)
+
+// BuildModelCached returns the shared, memoized build of a built-in CNN
+// at the given batch size. The returned graph is shared — treat it as
+// read-only (all ceer APIs do).
+func BuildModelCached(name string, batch int64) (*Graph, error) { return zooCache.Build(name, batch) }
 
 // NewGraphBuilder starts a custom CNN definition; see nn.Builder's
 // layer methods (Conv, BatchNorm, ReLU, MaxPool, Dense, Concat, Add,
@@ -209,7 +222,7 @@ func Train(opts TrainOptions) (*System, error) {
 		pl.CommIterations = opts.CommIterations
 	}
 	pl.Workers = opts.Workers
-	pred, bundle, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	pred, bundle, err := pl.TrainOn(zooCache.Build, zoo.TrainingSet())
 	if err != nil {
 		return nil, err
 	}

@@ -77,8 +77,12 @@ func renderDevices() error {
 	return tbl.Render(os.Stdout)
 }
 
+// builds memoizes zoo graph construction so repeated builds of one
+// architecture (e.g. -dot plus a profile run) share a single DAG.
+var builds = graph.NewBuildCache(zoo.Build)
+
 func run(model, family string, iters int, batch int64, top int, seed uint64, dot, jsonOut, phases bool) error {
-	g, err := zoo.Build(model, batch)
+	g, err := builds.Build(model, batch)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -65,7 +67,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ceer train -out models.json [-seed N] [-iters N] [-workers N]
   ceer predict -model NAME [-models FILE] [-config 2xP3] [-samples N] [-batch N]
-               [-market] [-explain] [-workers N]
+               [-market] [-explain] [-explain-nodes N] [-workers N]
   ceer recommend -model NAME [-models FILE] [-objective cost|time]
                  [-hourly-budget X] [-total-budget X] [-memory] [-market]
                  [-samples N] [-batch N] [-workers N]
@@ -75,7 +77,68 @@ func usage() {
 -workers bounds the measurement campaign's parallelism (0 = GOMAXPROCS,
 1 = serial); any value trains an identical predictor.
 -extra-devices (train/predict/recommend/devices) registers the built-in
-non-paper GPU devices and their instances before running.`)
+non-paper GPU devices and their instances before running.
+train/predict/recommend accept -cpuprofile FILE and -memprofile FILE to
+write pprof profiles of the run.`)
+}
+
+// profileFlags holds the -cpuprofile/-memprofile flag values shared by
+// the train/predict/recommend subcommands.
+type profileFlags struct {
+	cpu, mem *string
+}
+
+// addProfileFlags registers the profiling flags on a subcommand.
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. Call stop
+// exactly once after the command's work; its error must be propagated.
+func (p *profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// deferStop runs the profiling stop function when the command returns,
+// surfacing its error unless the command already failed.
+func deferStop(stop func() error, err *error) {
+	if serr := stop(); serr != nil && *err == nil {
+		*err = serr
+	}
 }
 
 // loadOrTrain returns a system from -models, or trains one in memory.
@@ -92,16 +155,22 @@ func loadOrTrain(path string, seed uint64, workers int) (*ceer.System, error) {
 	return ceer.Train(ceer.TrainOptions{Seed: seed, Workers: workers})
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("out", "models.json", "output path for the trained models")
 	seed := fs.Uint64("seed", 1, "measurement noise seed")
 	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
 	workers := fs.Int("workers", 0, "parallel measurement workers; 0 = GOMAXPROCS, 1 = serial")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer deferStop(stop, &err)
 	if *extra {
 		a10g.Register()
 	}
@@ -136,7 +205,7 @@ func parseConfig(s string) (ceer.InstanceConfig, error) {
 	return ceer.Config(strings.ToUpper(fam), k)
 }
 
-func cmdPredict(args []string) error {
+func cmdPredict(args []string) (err error) {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	model := fs.String("model", "", "CNN name (see `ceer zoo`)")
 	modelsPath := fs.String("models", "", "trained models file (from `ceer train`)")
@@ -147,10 +216,17 @@ func cmdPredict(args []string) error {
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
+	explainNodes := fs.Int("explain-nodes", 0, "print the top N node-level contributions per device")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer deferStop(stop, &err)
 	if *extra {
 		a10g.Register()
 	}
@@ -161,7 +237,7 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := ceer.BuildModel(*model, *batch)
+	g, err := ceer.BuildModelCached(*model, *batch)
 	if err != nil {
 		return err
 	}
@@ -208,7 +284,39 @@ func cmdPredict(args []string) error {
 			}
 		}
 	}
+	if *explainNodes > 0 {
+		seen := map[gpu.ID]bool{}
+		for _, cfg := range cfgs {
+			if seen[cfg.GPU] {
+				continue
+			}
+			seen[cfg.GPU] = true
+			if err := renderNodeExplanation(sys, g, cfg.GPU, *explainNodes); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// renderNodeExplanation prints the top node-level contributions of one
+// device's predicted iteration (compute only; communication has no node
+// to attach to).
+func renderNodeExplanation(sys *ceer.System, g *ceer.Graph, m gpu.ID, top int) error {
+	nodes := sys.Predictor().ExplainNodes(g, m)
+	tbl := &textutil.Table{
+		Title:  fmt.Sprintf("Per-node attribution: %s on %s (top %d of %d)", g.Name, m, top, len(nodes)),
+		Header: []string{"node", "operation", "class", "phase", "ms/iter"},
+	}
+	for i, n := range nodes {
+		if i >= top {
+			break
+		}
+		tbl.AddRow(n.Name, string(n.OpType), n.Class.String(), n.Phase.String(),
+			textutil.Ms(n.Seconds))
+	}
+	tbl.AddNote("per-node rows exclude communication; see -explain for the full split")
+	return tbl.Render(os.Stdout)
 }
 
 // renderExplanation prints the per-op-type attribution of one
@@ -234,7 +342,7 @@ func renderExplanation(sys *ceer.System, g *ceer.Graph, cfg ceer.InstanceConfig)
 	return tbl.Render(os.Stdout)
 }
 
-func cmdRecommend(args []string) error {
+func cmdRecommend(args []string) (err error) {
 	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
 	model := fs.String("model", "", "CNN name (see `ceer zoo`)")
 	modelsPath := fs.String("models", "", "trained models file (from `ceer train`)")
@@ -248,9 +356,15 @@ func cmdRecommend(args []string) error {
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	memory := fs.Bool("memory", false, "exclude configurations whose GPU memory cannot hold the training state")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer deferStop(stop, &err)
 	if *extra {
 		a10g.Register()
 	}
@@ -261,7 +375,7 @@ func cmdRecommend(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := ceer.BuildModel(*model, *batch)
+	g, err := ceer.BuildModelCached(*model, *batch)
 	if err != nil {
 		return err
 	}
@@ -353,7 +467,7 @@ func cmdZoo() error {
 		split[n] = "test"
 	}
 	for _, name := range ceer.Models() {
-		g, err := ceer.BuildModel(name, 32)
+		g, err := ceer.BuildModelCached(name, 32)
 		if err != nil {
 			return err
 		}

@@ -36,7 +36,10 @@ type Explanation struct {
 
 // ExplainIteration predicts one training iteration and attributes the
 // prediction to operation types — the "why is this CNN slow here"
-// companion to PredictIteration (used by `ceer predict -explain`).
+// companion to PredictIteration (used by `ceer predict -explain`). The
+// attribution walks the graph's signature fold, so it shares the
+// serving path's per-(device, signature) memo; use ExplainNodes for a
+// per-node breakdown.
 func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.ID, k int) (*Explanation, error) {
 	iter, err := p.PredictIteration(g, m, k, Full)
 	if err != nil {
@@ -47,29 +50,27 @@ func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.ID, k int) (*Explanat
 		seconds float64
 	}
 	byType := make(map[ops.Type]*acc)
-	for _, n := range g.Nodes() {
-		t := n.Op.Type
+	entries := g.Fold().Entries()
+	for i := range entries {
+		e := &entries[i]
+		t := e.Rep.Op.Type
 		a := byType[t]
 		if a == nil {
 			a = &acc{}
 			byType[t] = a
 		}
-		a.count++
+		a.count += e.Count
 		switch p.Class.Of(t) {
 		case ops.HeavyGPU:
 			if om, ok := p.opModels[m][t]; ok {
-				pred := om.Model().Predict(n.Op.Features())
-				if pred < 0 {
-					pred = 0
-				}
-				a.seconds += pred
+				a.seconds += float64(e.Count) * p.memoizedHeavy(m, om, e)
 			} else {
-				a.seconds += p.LightMedian
+				a.seconds += float64(e.Count) * p.LightMedian
 			}
 		case ops.LightGPU:
-			a.seconds += p.LightMedian
+			a.seconds += float64(e.Count) * p.LightMedian
 		case ops.CPU:
-			a.seconds += p.CPUMedian
+			a.seconds += float64(e.Count) * p.CPUMedian
 		}
 	}
 	ex := &Explanation{Iter: iter}
@@ -96,4 +97,49 @@ func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.ID, k int) (*Explanat
 		ex.CommShare = iter.CommSeconds / total
 	}
 	return ex, nil
+}
+
+// NodeContribution attributes predicted per-iteration time to one DAG
+// node.
+type NodeContribution struct {
+	ID     graph.NodeID
+	Name   string
+	OpType ops.Type
+	Class  ops.Class
+	Phase  graph.Phase
+	// Seconds is the node's predicted compute time.
+	Seconds float64
+}
+
+// ExplainNodes attributes a predicted iteration node by node — the
+// unfolded attribution for pinpointing an individual layer (used by
+// `ceer predict -explain-nodes`). Nodes are returned sorted by
+// predicted time (descending), ties by ID. The communication term has
+// no node to attach to; read it from ExplainIteration.
+func (p *Predictor) ExplainNodes(g *graph.Graph, m gpu.ID) []NodeContribution {
+	out := make([]NodeContribution, 0, g.Len())
+	for _, n := range g.Nodes() {
+		t := n.Op.Type
+		c := NodeContribution{ID: n.ID, Name: n.Name, OpType: t, Class: p.Class.Of(t), Phase: n.Phase}
+		switch c.Class {
+		case ops.HeavyGPU:
+			if om, ok := p.opModels[m][t]; ok {
+				c.Seconds = p.evalHeavy(om, n.Op.Features())
+			} else {
+				c.Seconds = p.LightMedian
+			}
+		case ops.LightGPU:
+			c.Seconds = p.LightMedian
+		case ops.CPU:
+			c.Seconds = p.CPUMedian
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }

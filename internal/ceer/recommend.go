@@ -81,6 +81,12 @@ type Recommendation struct {
 // CNN over the dataset and returns the feasible one minimizing the
 // objective — the runtime loop of Section IV-D. It returns an error if
 // no candidate is feasible.
+//
+// The sweep hoists the k-independent op-sum out of the per-k loop: the
+// graph's fold is costed once per distinct device (only the
+// communication term of Eq. (2) depends on k), so sweeping devices × k
+// costs one fold evaluation per device plus one comm-model evaluation
+// per candidate.
 func (p *Predictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.Pricing,
 	candidates []cloud.Config, obj Objective, constraints ...Constraint) (Recommendation, error) {
 	if len(candidates) == 0 {
@@ -89,8 +95,21 @@ func (p *Predictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.
 	rec := Recommendation{}
 	bestScore := math.Inf(1)
 	found := false
+	sumsByGPU := make(map[gpu.ID]opSums, 4)
 	for _, cfg := range candidates {
-		pred, err := p.PredictTraining(g, cfg, ds, pricing)
+		if !cfg.Valid() {
+			return Recommendation{}, fmt.Errorf("ceer: invalid config %s", cfg)
+		}
+		sums, ok := sumsByGPU[cfg.GPU]
+		if !ok {
+			sums = p.foldSums(g, cfg.GPU)
+			sumsByGPU[cfg.GPU] = sums
+		}
+		iter, err := p.assembleIter(g, cfg.GPU, cfg.K, Full, sums)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		pred, err := p.finishPrediction(g, cfg, ds, pricing, iter)
 		if err != nil {
 			return Recommendation{}, err
 		}

@@ -382,8 +382,8 @@ func TestOverallClaim(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 19 {
-		t.Errorf("registry has %d experiments, want 19", len(names))
+	if len(names) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(names))
 	}
 	if names[0] != "fig1" || names[11] != "fig12" {
 		t.Errorf("registry order wrong: %v", names)
@@ -464,6 +464,35 @@ func TestExtSelectionClaims(t *testing.T) {
 	}
 	if r.MeanErr["auto"] > r.MeanErr["all-quadratic"]+0.01 {
 		t.Errorf("auto (%.3f) worse than all-quadratic (%.3f)", r.MeanErr["auto"], r.MeanErr["all-quadratic"])
+	}
+}
+
+func TestExtFoldClaims(t *testing.T) {
+	c := testContext(t)
+	r, err := ExtFold(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("fold table rows = %d, want one per zoo CNN", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Classes <= 0 || row.Classes > row.Nodes {
+			t.Errorf("%s: %d classes for %d nodes", row.CNN, row.Classes, row.Nodes)
+		}
+		if row.HeavyClasses > row.Classes || row.HeavyNodes > row.Nodes {
+			t.Errorf("%s: heavy counts exceed totals", row.CNN)
+		}
+		if row.HeavyClasses == 0 {
+			t.Errorf("%s: no heavy classes", row.CNN)
+		}
+		if got := float64(row.Classes) / float64(row.Nodes); got != row.Ratio {
+			t.Errorf("%s: ratio %v inconsistent with counts", row.CNN, row.Ratio)
+		}
+		// The deep repetitive nets are the fold's raison d'être.
+		if row.CNN == "resnet-152" && row.Ratio > 0.25 {
+			t.Errorf("resnet-152 fold ratio %.2f, want well under 0.25", row.Ratio)
+		}
 	}
 }
 

@@ -38,6 +38,7 @@ var registry = map[string]Runner{
 	"overall": func(c *Context) (Renderable, error) { return Overall(c) },
 	// Extensions beyond the paper (DESIGN.md Section 6).
 	"ext-batch":     func(c *Context) (Renderable, error) { return ExtBatch(c) },
+	"ext-fold":      func(c *Context) (Renderable, error) { return ExtFold(c) },
 	"ext-memory":    func(c *Context) (Renderable, error) { return ExtMemory(c) },
 	"ext-selection": func(c *Context) (Renderable, error) { return ExtSelection(c) },
 }

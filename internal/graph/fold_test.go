@@ -1,0 +1,139 @@
+package graph_test
+
+import (
+	"sort"
+	"testing"
+
+	"ceer/internal/graph"
+	"ceer/internal/zoo"
+)
+
+// TestFoldInvariants checks the documented Fold invariants on every zoo
+// CNN: counts sum to the node count, entries are sorted, and each
+// class's cached features match its representative.
+func TestFoldInvariants(t *testing.T) {
+	for _, name := range zoo.Names() {
+		g := zoo.MustBuild(name, 32)
+		f := g.Fold()
+		if f.Nodes() != g.Len() {
+			t.Errorf("%s: fold Nodes() = %d, want %d", name, f.Nodes(), g.Len())
+		}
+		entries := f.Entries()
+		if len(entries) != f.Len() {
+			t.Errorf("%s: Len() = %d but %d entries", name, f.Len(), len(entries))
+		}
+		sum := 0
+		for i := range entries {
+			e := &entries[i]
+			sum += e.Count
+			if e.Count < 1 {
+				t.Errorf("%s: entry %d has count %d", name, i, e.Count)
+			}
+			if e.Rep == nil {
+				t.Fatalf("%s: entry %d has nil representative", name, i)
+			}
+			if got := e.Rep.Op.Signature(); got != e.Sig {
+				t.Errorf("%s: entry %d signature %q but rep signs %q", name, i, e.Sig, got)
+			}
+			if e.Rep.Phase != e.Phase {
+				t.Errorf("%s: entry %d phase %v but rep in %v", name, i, e.Phase, e.Rep.Phase)
+			}
+			want := e.Rep.Op.Features()
+			if len(e.Features) != len(want) {
+				t.Fatalf("%s: entry %d cached %d features, want %d", name, i, len(e.Features), len(want))
+			}
+			for j := range want {
+				if e.Features[j] != want[j] {
+					t.Errorf("%s: entry %d feature %d = %v, want %v", name, i, j, e.Features[j], want[j])
+				}
+			}
+		}
+		if sum != g.Len() {
+			t.Errorf("%s: Σ Count = %d, want %d nodes", name, sum, g.Len())
+		}
+		if !sort.SliceIsSorted(entries, func(i, j int) bool {
+			if entries[i].Sig != entries[j].Sig {
+				return entries[i].Sig < entries[j].Sig
+			}
+			return entries[i].Phase < entries[j].Phase
+		}) {
+			t.Errorf("%s: fold entries not sorted by (signature, phase)", name)
+		}
+		if f.Len() >= g.Len() {
+			t.Errorf("%s: fold has %d classes for %d nodes — no folding happened",
+				name, f.Len(), g.Len())
+		}
+	}
+}
+
+// TestFoldClassMembersAgree verifies the core folding premise directly:
+// every node of a class derives the same feature vector as the cached
+// representative, so costing the representative × count is exact.
+func TestFoldClassMembersAgree(t *testing.T) {
+	g := zoo.MustBuild("resnet-50", 32)
+	type key struct {
+		sig   string
+		phase graph.Phase
+	}
+	feats := map[key][]float64{}
+	for _, e := range g.Fold().Entries() {
+		feats[key{string(e.Sig), e.Phase}] = e.Features
+	}
+	for _, n := range g.Nodes() {
+		want, ok := feats[key{string(n.Op.Signature()), n.Phase}]
+		if !ok {
+			t.Fatalf("node %d (%s) missing from fold", n.ID, n.Name)
+		}
+		got := n.Op.Features()
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d features, class has %d", n.ID, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("node %d: feature %d = %v, class caches %v", n.ID, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFoldCachedAndDeterministic(t *testing.T) {
+	g := zoo.MustBuild("inception-v3", 32)
+	if f1, f2 := g.Fold(), g.Fold(); f1 != f2 {
+		t.Error("Fold() did not return the cached fold")
+	}
+	// An independently built graph folds to the identical class sequence.
+	h := zoo.MustBuild("inception-v3", 32)
+	fg, fh := g.Fold().Entries(), h.Fold().Entries()
+	if len(fg) != len(fh) {
+		t.Fatalf("rebuild changed class count: %d vs %d", len(fg), len(fh))
+	}
+	for i := range fg {
+		if fg[i].Sig != fh[i].Sig || fg[i].Phase != fh[i].Phase || fg[i].Count != fh[i].Count {
+			t.Errorf("entry %d differs across rebuilds: (%s,%v,%d) vs (%s,%v,%d)", i,
+				fg[i].Sig, fg[i].Phase, fg[i].Count, fh[i].Sig, fh[i].Phase, fh[i].Count)
+		}
+	}
+}
+
+// TestFoldAllocs pins the warm path: once computed, Fold() must not
+// allocate.
+func TestFoldAllocs(t *testing.T) {
+	g := zoo.MustBuild("resnet-152", 32)
+	g.Fold()
+	if n := testing.AllocsPerRun(100, func() { g.Fold() }); n != 0 {
+		t.Errorf("warm Fold() allocates %v per call, want 0", n)
+	}
+}
+
+// TestFoldRatio records that folding is worthwhile on the deepest zoo
+// member: ResNet-152's DAG must fold to well under half its node count.
+func TestFoldRatio(t *testing.T) {
+	g := zoo.MustBuild("resnet-152", 32)
+	f := g.Fold()
+	ratio := float64(f.Len()) / float64(g.Len())
+	if ratio > 0.5 {
+		t.Errorf("resnet-152 fold ratio %.2f (%d classes / %d nodes), want ≤ 0.5",
+			ratio, f.Len(), g.Len())
+	}
+	t.Logf("resnet-152: %d nodes fold to %d classes (%.1f%%)", g.Len(), f.Len(), 100*ratio)
+}

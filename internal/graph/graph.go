@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ceer/internal/ops"
 )
@@ -74,6 +75,12 @@ type Graph struct {
 
 	nodes []*Node
 	byID  map[NodeID]*Node
+
+	// foldOnce/fold cache the graph's signature fold (see Fold): graphs
+	// are immutable once built, so the fold is computed at most once and
+	// never invalidated.
+	foldOnce sync.Once
+	fold     *Fold
 }
 
 // New creates an empty graph.

@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"strconv"
+
+	"ceer/internal/tensor"
+)
+
+// Signature is a canonical, stable key identifying an operation
+// instance up to compute equivalence: two ops share a signature exactly
+// when they have the same type, the same input specs (dtype and
+// dimensions, in order), the same output spec, and the same window
+// attributes. Because every cost quantity Ceer derives from an op —
+// Features, FLOPs, BytesMoved — is a pure function of those fields,
+// equal signatures imply identical predictions, which is what lets the
+// serving path evaluate each signature once and multiply by its
+// multiplicity (see graph.Fold).
+//
+// The encoding is compact and deterministic but otherwise unspecified;
+// treat signatures as opaque comparable keys, not a parseable format.
+type Signature string
+
+// Signature computes the op's canonical signature. The rendering is,
+// e.g., "Conv2D|0[32,224,224,3];0[3,3,3,64]>0[32,224,224,64]|w3x3s1x1p0"
+// (dtypes appear as their numeric codes).
+func (o *Op) Signature() Signature {
+	b := make([]byte, 0, 96)
+	b = append(b, o.Type...)
+	for i, in := range o.Inputs {
+		if i == 0 {
+			b = append(b, '|')
+		} else {
+			b = append(b, ';')
+		}
+		b = appendSpec(b, in)
+	}
+	b = append(b, '>')
+	b = appendSpec(b, o.Output)
+	if o.Window != nil {
+		w := o.Window
+		b = append(b, '|', 'w')
+		b = strconv.AppendInt(b, w.KernelH, 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, w.KernelW, 10)
+		b = append(b, 's')
+		b = strconv.AppendInt(b, w.StrideH, 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, w.StrideW, 10)
+		b = append(b, 'p')
+		b = strconv.AppendInt(b, int64(w.Padding), 10)
+	}
+	return Signature(b)
+}
+
+func appendSpec(b []byte, s tensor.Spec) []byte {
+	b = strconv.AppendInt(b, int64(s.DType), 10)
+	b = append(b, '[')
+	for i, d := range s.Shape {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, d, 10)
+	}
+	return append(b, ']')
+}

@@ -1,0 +1,122 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"ceer/internal/tensor"
+)
+
+// sigConv builds a fresh Conv2D instance; separate calls must produce
+// distinct *Op values with identical signatures.
+func sigConv() *Op {
+	w := tensor.Win(3, 1, tensor.Same)
+	return &Op{
+		Type:   Conv2D,
+		Inputs: []tensor.Spec{tensor.F32(32, 224, 224, 3), tensor.F32(3, 3, 3, 64)},
+		Output: tensor.F32(32, 224, 224, 64),
+		Window: &w,
+	}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	a, b := sigConv(), sigConv()
+	if a == b {
+		t.Fatal("test bug: same op instance")
+	}
+	if a.Signature() != b.Signature() {
+		t.Errorf("identical ops disagree: %q vs %q", a.Signature(), b.Signature())
+	}
+	if a.Signature() != a.Signature() {
+		t.Error("signature not stable across calls")
+	}
+}
+
+func TestSignatureRendering(t *testing.T) {
+	// Characterize the documented encoding on the doc comment's example
+	// (Float32 = dtype code 0, Same = padding code 0).
+	got := string(sigConv().Signature())
+	want := "Conv2D|0[32,224,224,3];0[3,3,3,64]>0[32,224,224,64]|w3x3s1x1p0"
+	if got != want {
+		t.Errorf("signature = %q, want %q", got, want)
+	}
+}
+
+// TestSignatureDiscriminates flips each field that affects cost and
+// checks the signature changes: equal signatures must imply identical
+// predictions, so no cost-relevant field may be dropped.
+func TestSignatureDiscriminates(t *testing.T) {
+	base := sigConv().Signature()
+	mutate := func(name string, f func(o *Op)) {
+		o := sigConv()
+		f(o)
+		if o.Signature() == base {
+			t.Errorf("%s: signature unchanged (%q)", name, base)
+		}
+	}
+	mutate("type", func(o *Op) { o.Type = Conv2DBackpropInput })
+	mutate("input dim", func(o *Op) { o.Inputs[0] = tensor.F32(32, 224, 224, 4) })
+	mutate("input dtype", func(o *Op) { o.Inputs[0].DType = tensor.Int32 })
+	mutate("input order", func(o *Op) { o.Inputs[0], o.Inputs[1] = o.Inputs[1], o.Inputs[0] })
+	mutate("dropped input", func(o *Op) { o.Inputs = o.Inputs[:1] })
+	mutate("output dim", func(o *Op) { o.Output = tensor.F32(32, 112, 112, 64) })
+	mutate("kernel", func(o *Op) { o.Window.KernelW = 5 })
+	mutate("stride", func(o *Op) { o.Window.StrideH = 2 })
+	mutate("padding", func(o *Op) { o.Window.Padding = tensor.Valid })
+	mutate("window removed", func(o *Op) { o.Window = nil })
+}
+
+// TestSignatureRankVsSplit guards against delimiter ambiguity: a [6]
+// input and a [2,3] input must not collide, nor may shape digits bleed
+// into neighboring fields.
+func TestSignatureRankVsSplit(t *testing.T) {
+	a := &Op{Type: Relu, Inputs: []tensor.Spec{tensor.F32(6)}, Output: tensor.F32(6)}
+	b := &Op{Type: Relu, Inputs: []tensor.Spec{tensor.F32(2, 3)}, Output: tensor.F32(6)}
+	if a.Signature() == b.Signature() {
+		t.Errorf("rank-1 [6] and rank-2 [2,3] collide: %q", a.Signature())
+	}
+	// Two rank-1 inputs vs one rank-2 input with the same digit stream.
+	c := &Op{Type: AddN, Inputs: []tensor.Spec{tensor.F32(1), tensor.F32(2)}, Output: tensor.F32(2)}
+	d := &Op{Type: AddN, Inputs: []tensor.Spec{tensor.F32(1, 2)}, Output: tensor.F32(2)}
+	if c.Signature() == d.Signature() {
+		t.Errorf("[1];[2] and [1,2] collide: %q", c.Signature())
+	}
+}
+
+// TestSignatureImpliesEqualCost samples cost-relevant derived quantities:
+// ops agreeing on signature must agree on Features, FLOPs, and BytesMoved.
+func TestSignatureImpliesEqualCost(t *testing.T) {
+	a, b := sigConv(), sigConv()
+	if a.Signature() != b.Signature() {
+		t.Fatal("setup: signatures differ")
+	}
+	fa, fb := a.Features(), b.Features()
+	if len(fa) != len(fb) {
+		t.Fatalf("feature arity differs: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Errorf("feature %d differs: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+	if a.FLOPs() != b.FLOPs() || a.BytesMoved() != b.BytesMoved() {
+		t.Error("derived costs differ for equal signatures")
+	}
+}
+
+func TestSignatureTypePrefix(t *testing.T) {
+	// The type is recoverable as the prefix up to the first '|' — the
+	// property the fold's contiguous-type grouping relies on.
+	sig := string(sigConv().Signature())
+	if !strings.HasPrefix(sig, "Conv2D|") {
+		t.Errorf("signature %q does not start with its type", sig)
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	o := sigConv()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = o.Signature()
+	}
+}

@@ -222,6 +222,24 @@ func (m *Model) Predict(x []float64) float64 {
 	return y
 }
 
+// PredictScalar evaluates a single-raw-feature model at x without
+// allocating (Predict builds scaled and expanded slices per call; the
+// serving path calls the communication model on every prediction). It
+// mirrors Predict's arithmetic exactly — same scaling, same term order —
+// so results are bit-identical. It panics on multi-feature models.
+func (m *Model) PredictScalar(x float64) float64 {
+	if m.NumFeatures != 1 {
+		panic(fmt.Sprintf("regress: PredictScalar on a %d-feature model", m.NumFeatures))
+	}
+	s := x / m.scale[0]
+	y := m.Coef[0]
+	y += m.Coef[1] * s
+	if m.Degree >= 2 {
+		y += m.Coef[2] * (s * s)
+	}
+	return y
+}
+
 func (m *Model) predictAll(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
 	for i, x := range xs {

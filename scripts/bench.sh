@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Serving-path benchmark runner (see DESIGN.md "Serving-path
+# performance"): runs the predict/recommend benches with -benchmem and
+# writes the headline numbers to BENCH_predict.json.
+#
+# Environment overrides:
+#   BENCH_COUNT    repetitions per bench (default 3; smoke runs use 1)
+#   BENCH_TIME     -benchtime value (default 100x; e.g. 2s, 500x)
+#   BENCH_OUT      output JSON path (default BENCH_predict.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-3}"
+TIME="${BENCH_TIME:-100x}"
+OUT="${BENCH_OUT:-BENCH_predict.json}"
+
+echo "== serving-path benches (count=${COUNT}, benchtime=${TIME})"
+raw=$(go test -run '^$' \
+    -bench 'PredictIteration(Folded|Unfolded)|RecommendSweep' \
+    -benchmem -count "${COUNT}" -benchtime "${TIME}" . | tee /dev/stderr)
+
+# Fold the repeated runs into one JSON document: ns/op and custom
+# metrics are averaged across -count repetitions, B/op and allocs/op
+# taken verbatim from the last run (they are deterministic).
+echo "${raw}" | awk -v out="${OUT}" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    ns[name] += $3; runs[name]++
+    # Fields: name iters ns "ns/op" [value unit]...
+    for (i = 5; i < NF; i += 2) {
+        v = $i; unit = $(i + 1)
+        if (unit == "B/op")           { bop[name] = v }
+        else if (unit == "allocs/op") { aop[name] = v }
+        else { metric[name "|" unit] += v; mruns[name "|" unit]++ }
+    }
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+    printf "{\n" > out
+    for (j = 1; j <= n; j++) {
+        name = names[j]
+        printf "  \"%s\": {\n", name >> out
+        printf "    \"ns_per_op\": %.1f,\n", ns[name] / runs[name] >> out
+        printf "    \"bytes_per_op\": %d,\n", bop[name] >> out
+        printf "    \"allocs_per_op\": %d", aop[name] >> out
+        for (key in metric) {
+            split(key, kv, "|")
+            if (kv[1] == name) {
+                m = kv[2]
+                gsub(/[^A-Za-z0-9._-]/, "_", m)
+                printf ",\n    \"%s\": %.4f", m, metric[key] / mruns[key] >> out
+            }
+        }
+        printf "\n  }%s\n", (j < n ? "," : "") >> out
+    }
+    printf "}\n" >> out
+}
+'
+echo "== wrote ${OUT}"

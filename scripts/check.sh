@@ -32,4 +32,9 @@ if [[ -n "${violations}" ]]; then
     exit 1
 fi
 
+echo "== serving-path bench smoke run"
+# One iteration per bench: proves the benches run and the JSON writer
+# works without paying for a full measurement (see scripts/bench.sh).
+BENCH_COUNT=1 BENCH_TIME=1x BENCH_OUT="$(mktemp)" ./scripts/bench.sh >/dev/null
+
 echo "check: OK"
