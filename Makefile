@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-predict race check
+.PHONY: build test bench bench-predict race lint check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench-predict:
 race:
 	$(GO) test -race ./internal/par ./internal/sim ./internal/ceer ./internal/experiments
 
-# The tier-1+ gate: vet + build + full tests + race pass.
+# The ceer-lint static-analysis suite (internal/lint): device
+# genericity, determinism, error hygiene, float comparisons.
+lint:
+	$(GO) run ./cmd/ceer-lint
+
+# The tier-1+ gate: gofmt + vet + build + full tests + module-wide
+# race pass + ceer-lint + bench smoke (scripts/check.sh).
 check:
 	./scripts/check.sh

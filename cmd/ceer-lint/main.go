@@ -1,0 +1,72 @@
+// Command ceer-lint runs the project's static analyzer suite
+// (internal/lint) over the module: devicegeneric, determinism,
+// errdrop, and floatcmp. It exits 0 when the tree is clean, 1 when
+// any diagnostic survives, and 2 when the module fails to load or
+// type-check.
+//
+// Usage:
+//
+//	ceer-lint [-C dir] [-json] [-analyzers a,b] [-list]
+//
+// Findings print as file:line:col: analyzer: message, sorted by
+// (file, line, col, analyzer), or as a JSON array with -json — the
+// ordering is identical in both modes so CI diffs are deterministic.
+// Individual findings are suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ceer/internal/lint"
+)
+
+func main() {
+	var (
+		dir       = flag.String("C", ".", "module root (directory containing go.mod)")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list      = flag.Bool("list", false, "list the available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := lint.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceer-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(lint.Config{Dir: *dir}, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceer-lint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ceer-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ceer-lint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -17,7 +17,7 @@ func quietStdout(t *testing.T) {
 	os.Stdout = devnull
 	t.Cleanup(func() {
 		os.Stdout = orig
-		_ = devnull.Close()
+		_ = devnull.Close() // test cleanup; the close error is irrelevant
 	})
 }
 

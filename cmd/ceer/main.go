@@ -107,7 +107,7 @@ func (p *profileFlags) start() (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // best-effort cleanup; the profile-start error matters
 			return nil, err
 		}
 	}
@@ -123,9 +123,12 @@ func (p *profileFlags) start() (stop func() error, err error) {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			runtime.GC() // materialize final live-heap state
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close() // best-effort; the profile-write error matters
+				return err
+			}
+			if err := f.Close(); err != nil {
 				return err
 			}
 		}
@@ -148,6 +151,7 @@ func loadOrTrain(path string, seed uint64, workers int) (*ceer.System, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore errdrop read-side close; there are no buffered writes to lose
 		defer f.Close()
 		return ceer.Load(f)
 	}
@@ -182,8 +186,11 @@ func cmdTrain(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := sys.Save(f); err != nil {
+		_ = f.Close() // best-effort; the save error is what matters
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("trained on %s; %d heavy op types; models written to %s\n",

@@ -58,7 +58,7 @@ func quietStdout(t *testing.T) {
 	os.Stdout = devnull
 	t.Cleanup(func() {
 		os.Stdout = orig
-		_ = devnull.Close()
+		_ = devnull.Close() // test cleanup; the close error is irrelevant
 	})
 }
 
@@ -79,7 +79,7 @@ func TestRenderExplanationSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, _ := ceer.Config("P3", 1)
+	cfg, _ := ceer.Config("P3", 1) // known-valid config; the error path has its own test
 	if err := renderExplanation(sys, g, cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -8,8 +8,8 @@ import (
 
 // ExampleConfig shows configuration construction and pricing.
 func ExampleConfig() {
-	cfg, _ := ceer.Config("P3", 3)
-	hourly, _ := ceer.HourlyCost(cfg, ceer.OnDemand)
+	cfg, _ := ceer.Config("P3", 3)                   // example code elides error handling for brevity
+	hourly, _ := ceer.HourlyCost(cfg, ceer.OnDemand) // example code elides error handling for brevity
 	fmt.Printf("%s = %s at $%.2f/hr\n", cfg, ceer.InstanceName(cfg), hourly)
 	// Output: 3xP3 = p3.8xlarge (3 of 4 GPUs) at $9.18/hr
 }
@@ -23,7 +23,7 @@ func ExampleAllConfigs() {
 
 // ExampleBuildModel shows zoo construction and graph metadata.
 func ExampleBuildModel() {
-	g, _ := ceer.BuildModel("resnet-50", 32)
+	g, _ := ceer.BuildModel("resnet-50", 32) // example code elides error handling for brevity
 	fmt.Printf("%s: %.1fM params, batch %d\n", g.Name, float64(g.Params)/1e6, g.BatchSize)
 	// Output: resnet-50: 25.5M params, batch 32
 }
@@ -37,7 +37,7 @@ func ExampleNewGraphBuilder() {
 	x = b.Flatten(x)
 	x = b.Dense(x, 10)
 	b.SoftmaxLoss(x)
-	g, _ := b.Finish()
+	g, _ := b.Finish() // example code elides error handling for brevity
 	fmt.Printf("%d params, %.2f GB training footprint\n",
 		g.Params, ceer.EstimateMemoryGB(g))
 	// Output: 82146 params, 0.00 GB training footprint

@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg, _ := ceer.Config("G4", 1)
+	cfg, _ := ceer.Config("G4", 1) // known-valid config; the error path has its own test
 	ds := ceer.ImageNetSubset6400
 	pred, err := sys.PredictTraining(g, cfg, ds, ceer.OnDemand)
 	if err != nil {

@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = rf.Close()
+	_ = rf.Close() // read-only file; the close error is irrelevant
 
 	fmt.Println("model                 split  params(M)  ops    cheapest     $ (epoch)   fastest  hours")
 	fmt.Println("----------------------------------------------------------------------------------------")

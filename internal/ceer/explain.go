@@ -88,8 +88,11 @@ func (p *Predictor) ExplainIteration(g *graph.Graph, m gpu.ID, k int) (*Explanat
 		ex.Contributions = append(ex.Contributions, c)
 	}
 	sort.Slice(ex.Contributions, func(i, j int) bool {
-		if ex.Contributions[i].Seconds != ex.Contributions[j].Seconds {
-			return ex.Contributions[i].Seconds > ex.Contributions[j].Seconds
+		if ex.Contributions[i].Seconds > ex.Contributions[j].Seconds {
+			return true
+		}
+		if ex.Contributions[i].Seconds < ex.Contributions[j].Seconds {
+			return false
 		}
 		return ex.Contributions[i].OpType < ex.Contributions[j].OpType
 	})
@@ -136,8 +139,11 @@ func (p *Predictor) ExplainNodes(g *graph.Graph, m gpu.ID) []NodeContribution {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Seconds != out[j].Seconds {
-			return out[i].Seconds > out[j].Seconds
+		if out[i].Seconds > out[j].Seconds {
+			return true
+		}
+		if out[i].Seconds < out[j].Seconds {
+			return false
 		}
 		return out[i].ID < out[j].ID
 	})

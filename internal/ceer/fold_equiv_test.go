@@ -16,6 +16,7 @@ import (
 const equivTol = 1e-9
 
 func relDiff(a, b float64) float64 {
+	//lint:ignore floatcmp exact equality is the fast path of this tolerance helper
 	if a == b {
 		return 0
 	}

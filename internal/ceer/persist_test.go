@@ -28,7 +28,7 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 	if len(loaded.Class.Heavy) != len(p.Class.Heavy) {
 		t.Errorf("heavy set size %d != %d", len(loaded.Class.Heavy), len(p.Class.Heavy))
 	}
-	if loaded.LightMedian != p.LightMedian || loaded.CPUMedian != p.CPUMedian {
+	if !eqExact(loaded.LightMedian, p.LightMedian) || !eqExact(loaded.CPUMedian, p.CPUMedian) {
 		t.Error("medians changed across roundtrip")
 	}
 
@@ -48,7 +48,7 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 			if math.Abs(a.TotalSeconds-b.TotalSeconds) > 1e-9*a.TotalSeconds {
 				t.Errorf("%s: prediction changed: %v vs %v", cfg, a.TotalSeconds, b.TotalSeconds)
 			}
-			if a.CostUSD != b.CostUSD {
+			if !eqExact(a.CostUSD, b.CostUSD) {
 				t.Errorf("%s: cost changed", cfg)
 			}
 		}

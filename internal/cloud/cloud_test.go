@@ -25,7 +25,7 @@ func TestCatalogPrices(t *testing.T) {
 			t.Errorf("missing instance %q", name)
 			continue
 		}
-		if inst.HourlyUSD != price {
+		if !eqExact(inst.HourlyUSD, price) {
 			t.Errorf("%s price = %v, want %v", name, inst.HourlyUSD, price)
 		}
 	}
@@ -137,8 +137,8 @@ func TestCommOverheadLinearInParams(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s1, _ := CommOverheadBase(m, 2, 10_000_000)
-		s2, _ := CommOverheadBase(m, 2, 20_000_000)
+		s1, _ := CommOverheadBase(m, 2, 10_000_000) // registered device; cannot fail
+		s2, _ := CommOverheadBase(m, 2, 20_000_000) // registered device; cannot fail
 		if math.Abs((s2-s1)-(s1-s0)) > 1e-12 {
 			t.Errorf("%v overhead not affine in params", m)
 		}
@@ -193,7 +193,7 @@ func TestSampleCommOverheadNoise(t *testing.T) {
 	if nsd < 0.02 || nsd > 0.15 {
 		t.Errorf("comm noise normalized stddev = %v, want ~0.06", nsd)
 	}
-	base, _ := CommOverheadBase(gpu.T4, 2, 25_000_000)
+	base, _ := CommOverheadBase(gpu.T4, 2, 25_000_000) // registered device; cannot fail
 	if m := stats.Mean(xs); math.Abs(m-base)/base > 0.05 {
 		t.Errorf("sample mean %v deviates from base %v", m, base)
 	}
@@ -227,7 +227,7 @@ func TestProxyPricingProperty(t *testing.T) {
 		if k == 1 {
 			return true
 		}
-		multiCost, _ := Config{GPU: m, K: maxK}.HourlyCost(OnDemand)
+		multiCost, _ := Config{GPU: m, K: maxK}.HourlyCost(OnDemand) // catalog-backed config; cannot fail
 		perGPU := multiCost / float64(maxK)
 		return math.Abs(cost-float64(k)*perGPU) < 1e-9
 	}
@@ -347,3 +347,8 @@ func TestConfigForUnregisteredDeviceIsInvalid(t *testing.T) {
 		t.Error("pricing a config on an unregistered device must error")
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: catalog prices and overhead bases are
+// exact spec data.
+func eqExact(a, b float64) bool { return a == b }

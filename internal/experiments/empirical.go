@@ -78,6 +78,7 @@ func Fig02(c *Context) (*Fig02Result, error) {
 		return res.Rows[i].Seconds[gpu.K80] > res.Rows[j].Seconds[gpu.K80]
 	})
 	for _, m := range gpuOrder() {
+		//lint:ignore devicegeneric V100/P3 is the paper's fixed normalization baseline for the Fig. 2 slowdown ratios
 		if m == gpu.V100 {
 			res.AvgRatioVsP3[m] = 1
 			continue
@@ -160,6 +161,7 @@ func Fig03(c *Context) (*Fig03Result, error) {
 		}
 		cr.Cheapest = best
 		res.WinCounts[best]++
+		//lint:ignore devicegeneric the paper's Fig. 3 claim under test pins pooling wins to P3/V100
 		if pooling[row.OpType] && best != gpu.V100 {
 			res.PoolingP3Wins = false
 		}

@@ -486,7 +486,7 @@ func TestExtFoldClaims(t *testing.T) {
 		if row.HeavyClasses == 0 {
 			t.Errorf("%s: no heavy classes", row.CNN)
 		}
-		if got := float64(row.Classes) / float64(row.Nodes); got != row.Ratio {
+		if got := float64(row.Classes) / float64(row.Nodes); !eqExact(got, row.Ratio) {
 			t.Errorf("%s: ratio %v inconsistent with counts", row.CNN, row.Ratio)
 		}
 		// The deep repetitive nets are the fold's raison d'être.
@@ -529,3 +529,8 @@ func TestExtMemoryClaims(t *testing.T) {
 		t.Error("vgg-19@128 should not fit an 8 GB M60")
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: the fold ratio is recomputed
+// from the same integer counts it was derived from.
+func eqExact(a, b float64) bool { return a == b }

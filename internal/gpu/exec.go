@@ -60,7 +60,7 @@ func (d *Device) opEfficiency(t ops.Type) float64 {
 // type-specific constants (noise levels, host bases) deterministically.
 func typeHash(t ops.Type) float64 {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(t))
+	_, _ = h.Write([]byte(t)) // fnv Write never fails
 	return float64(h.Sum64()>>11) / (1 << 53)
 }
 
@@ -171,15 +171,15 @@ func (d *Device) shapeJitter(op *ops.Op) float64 {
 		return 1
 	}
 	h := fnv.New64a()
-	_, _ = h.Write([]byte{byte(d.SeedID)})
-	_, _ = h.Write([]byte(op.Type))
+	_, _ = h.Write([]byte{byte(d.SeedID)}) // fnv Write never fails
+	_, _ = h.Write([]byte(op.Type))        // fnv Write never fails
 	var buf [8]byte
 	for _, in := range op.Inputs {
 		putUint64(&buf, uint64(in.Bytes()))
-		_, _ = h.Write(buf[:])
+		_, _ = h.Write(buf[:]) // fnv Write never fails
 	}
 	putUint64(&buf, uint64(op.OutputBytes()))
-	_, _ = h.Write(buf[:])
+	_, _ = h.Write(buf[:])                  // fnv Write never fails
 	u := float64(h.Sum64()>>11) / (1 << 53) // uniform [0,1)
 	return 1 - shapeJitterAmp + 2*shapeJitterAmp*u
 }

@@ -253,7 +253,7 @@ func TestBaseTimeDeterministicProperty(t *testing.T) {
 		for _, m := range All() {
 			d := MustLookup(m)
 			a, b := d.BaseTime(op), d.BaseTime(op)
-			if a != b || a <= 0 {
+			if !eqExact(a, b) || a <= 0 {
 				return false
 			}
 			if d.SampleTime(op, rng.New(seed)) <= 0 {
@@ -298,19 +298,19 @@ func TestConvShapeFactorRegimes(t *testing.T) {
 	if t4.convShapeFactor(mk(1, 7)) >= 1.0 {
 		t.Error("T4 should penalize asymmetric kernels")
 	}
-	if p3.convShapeFactor(mk(1, 1)) != 1.0 || p3.convShapeFactor(mk(7, 1)) != 1.0 {
+	if !eqExact(p3.convShapeFactor(mk(1, 1)), 1.0) || !eqExact(p3.convShapeFactor(mk(7, 1)), 1.0) {
 		t.Error("V100 should be regime-neutral")
 	}
-	if t4.convShapeFactor(mk(3, 3)) != 1.0 {
+	if !eqExact(t4.convShapeFactor(mk(3, 3)), 1.0) {
 		t.Error("square non-1x1 kernels should be neutral on T4")
 	}
 	// Non-conv ops are never affected.
 	relu := reluOp(1000)
-	if t4.convShapeFactor(relu) != 1.0 {
+	if !eqExact(t4.convShapeFactor(relu), 1.0) {
 		t.Error("non-conv op should have factor 1")
 	}
 	noWin := &ops.Op{Type: ops.Conv2D, Inputs: []tensor.Spec{tensor.F32(1, 4, 4, 1)}, Output: tensor.F32(1, 4, 4, 1)}
-	if t4.convShapeFactor(noWin) != 1.0 {
+	if !eqExact(t4.convShapeFactor(noWin), 1.0) {
 		t.Error("windowless conv should have factor 1")
 	}
 }
@@ -331,12 +331,12 @@ func TestShapeJitterProperties(t *testing.T) {
 		}
 	}
 	// Different shapes generally differ (kernel-selection surface).
-	if d.shapeJitter(op1) == d.shapeJitter(op2) {
+	if eqExact(d.shapeJitter(op1), d.shapeJitter(op2)) {
 		t.Error("distinct shapes should land on distinct jitter points")
 	}
 	// CPU ops are exempt (host code has no kernel-selection effect).
 	cpuOp := &ops.Op{Type: ops.OneHot, Inputs: []tensor.Spec{tensor.F32(32)}, Output: tensor.F32(32, 1000)}
-	if d.shapeJitter(cpuOp) != 1 {
+	if !eqExact(d.shapeJitter(cpuOp), 1) {
 		t.Error("CPU op jitter must be 1")
 	}
 }
@@ -382,3 +382,8 @@ func TestDepthwiseConvTiming(t *testing.T) {
 		}
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: base-time determinism, regime-neutral shape
+// factors, and jitter pinning are exact contracts.
+func eqExact(a, b float64) bool { return a == b }

@@ -103,7 +103,7 @@ func TestRegisterCopiesEfficiencyTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec.OpEfficiency[ops.MaxPool] = 99 // must not reach the registry
-	if got := MustLookup(spec.ID).opEfficiency(ops.MaxPool); got != 0.5 {
+	if got := MustLookup(spec.ID).opEfficiency(ops.MaxPool); !eqExact(got, 0.5) {
 		t.Errorf("registered efficiency mutated through caller's map: %v", got)
 	}
 }

@@ -43,7 +43,7 @@ func TestFoldInvariants(t *testing.T) {
 				t.Fatalf("%s: entry %d cached %d features, want %d", name, i, len(e.Features), len(want))
 			}
 			for j := range want {
-				if e.Features[j] != want[j] {
+				if !eqExact(e.Features[j], want[j]) {
 					t.Errorf("%s: entry %d feature %d = %v, want %v", name, i, j, e.Features[j], want[j])
 				}
 			}
@@ -89,7 +89,7 @@ func TestFoldClassMembersAgree(t *testing.T) {
 			t.Fatalf("node %d: %d features, class has %d", n.ID, len(got), len(want))
 		}
 		for j := range got {
-			if got[j] != want[j] {
+			if !eqExact(got[j], want[j]) {
 				t.Fatalf("node %d: feature %d = %v, class caches %v", n.ID, j, got[j], want[j])
 			}
 		}
@@ -137,3 +137,7 @@ func TestFoldRatio(t *testing.T) {
 	}
 	t.Logf("resnet-152: %d nodes fold to %d classes (%.1f%%)", g.Len(), f.Len(), 100*ratio)
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: the fold caches feature vectors verbatim.
+func eqExact(a, b float64) bool { return a == b }

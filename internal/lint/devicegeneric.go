@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDeviceGeneric enforces the device-registry invariant from the
+// PR 2 refactor: core packages must stay generic over registered
+// devices. Branching control flow on a concrete device identity —
+// switching on a gpu.ID, or comparing one against an identity constant
+// like gpu.V100 — reintroduces a closed device set and breaks the
+// "add a GPU as pure data" contract (internal/devices/a10g is the
+// proof case). Reading per-device *data* keyed by an identity (paper
+// figure tables in experiments, spec fields) is fine and is not
+// flagged; test files are exempt because tests pin per-device
+// expectations by design.
+var AnalyzerDeviceGeneric = &Analyzer{
+	Name: "devicegeneric",
+	Doc: "forbids switch/if dispatch on concrete gpu device identities " +
+		"in core packages; device behaviour belongs in gpu.Device spec fields",
+	Scope: []string{
+		"internal/ceer",
+		"internal/sim",
+		"internal/cloud",
+		"internal/experiments",
+		"internal/graph",
+	},
+	Run: runDeviceGeneric,
+}
+
+func runDeviceGeneric(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isDeviceID(pass.Info.TypeOf(n.Tag)) {
+					pass.Reportf(n.Switch,
+						"switch on concrete device identity (%s); dispatch on gpu.Device spec data instead",
+						types.ExprString(n.Tag))
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isDeviceID(pass.Info.TypeOf(n.X)) && !isDeviceID(pass.Info.TypeOf(n.Y)) {
+					return true
+				}
+				for _, op := range [2]ast.Expr{n.X, n.Y} {
+					if name, ok := deviceIdentityConst(pass.Info, op); ok {
+						pass.Reportf(n.OpPos,
+							"comparison against concrete device identity %s; branch on gpu.Device spec data instead",
+							name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isDeviceID reports whether t is the device registry's key type: a
+// named type called ID declared in a package whose path ends in "gpu".
+func isDeviceID(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "ID" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "gpu" || strings.HasSuffix(path, "/gpu")
+}
+
+// deviceIdentityConst reports whether expr is a non-empty constant of
+// the device ID type — a concrete registered identity such as gpu.V100.
+// The empty string is excluded so `id == ""` unset-checks stay legal.
+func deviceIdentityConst(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || !isDeviceID(tv.Type) {
+		return "", false
+	}
+	if tv.Value.ExactString() == `""` {
+		return "", false
+	}
+	return types.ExprString(expr), true
+}

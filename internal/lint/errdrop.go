@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrDrop enforces error hygiene across the whole module: an
+// error return may never vanish silently. A call whose error result is
+// discarded entirely (expression statement, defer, or go) is always
+// flagged; assigning the error to the blank identifier is allowed only
+// when the line (or the line above) carries a comment justifying it —
+// otherwise `x, _ := f()` is exactly the silent drop the analyzer
+// exists to catch.
+//
+// Writers that are documented to never fail are exempt: the fmt print
+// family writing to stdout, fmt.Fprint* into a *bytes.Buffer or
+// *strings.Builder, and the Write* methods of those two types.
+var AnalyzerErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbids silently discarded error returns; blank-assign with a " +
+		"justifying comment (or lint:ignore) where dropping is intentional",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		commented := commentLines(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankError(pass, n, commented)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall flags a statement-position call that returns an
+// error among its results.
+func checkDiscardedCall(pass *Pass, expr ast.Expr, kind string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx := errorResultIndex(pass, call)
+	if idx < 0 || neverFails(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall to %s discards its error result", kind, calleeString(call))
+}
+
+// checkBlankError flags `_ = f()` / `x, _ := g()` where the blank slot
+// holds an error, unless a comment on the line (or the line above)
+// justifies the drop.
+func checkBlankError(pass *Pass, as *ast.AssignStmt, commented map[int]bool) {
+	blankAt := func(i int) bool {
+		if i >= len(as.Lhs) {
+			return false
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	justified := func() bool {
+		line := pass.Fset.Position(as.Pos()).Line
+		return commented[line] || commented[line-1]
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f(): one call, tuple result.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		idx := errorResultIndex(pass, call)
+		if idx < 0 || !blankAt(idx) || neverFails(pass, call) || justified() {
+			return
+		}
+		pass.Reportf(as.Lhs[idx].Pos(),
+			"error result of %s assigned to _ without a justifying comment", calleeString(call))
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !blankAt(i) {
+			continue
+		}
+		t := pass.Info.TypeOf(rhs)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || neverFails(pass, call) || justified() {
+			continue
+		}
+		pass.Reportf(as.Lhs[i].Pos(),
+			"error result of %s assigned to _ without a justifying comment", calleeString(call))
+	}
+}
+
+// errorResultIndex returns the index of the first error among the
+// call's results, or -1.
+func errorResultIndex(pass *Pass, call *ast.CallExpr) int {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return -1
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+		return -1
+	}
+}
+
+// calleeString renders the called expression for the message.
+func calleeString(call *ast.CallExpr) string {
+	return types.ExprString(ast.Unparen(call.Fun))
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorIface) }
+
+// neverFails exempts calls whose error result is structurally always
+// nil: fmt.Print* (best-effort terminal output) and fmt.Fprint* or
+// Write* methods targeting a *bytes.Buffer or *strings.Builder.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if strings.HasPrefix(fn.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return isInfallibleWriter(pass.Info.TypeOf(call.Args[0])) ||
+				isStdStream(pass, call.Args[0])
+		}
+		return false
+	}
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal &&
+		strings.HasPrefix(fn.Name(), "Write") {
+		return isInfallibleWriter(s.Recv())
+	}
+	return false
+}
+
+// isStdStream reports whether expr is the package-level os.Stdout or
+// os.Stderr var: terminal output is best-effort by convention, same as
+// the fmt.Print family.
+func isStdStream(pass *Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// commentLines returns the set of lines carrying a comment — candidate
+// justifications for blank-assigned errors. Directive comments
+// (//go:..., //lint:...) don't count as prose justification.
+func commentLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if text == "" || strings.HasPrefix(c.Text, "//go:") {
+				continue
+			}
+			if strings.HasPrefix(c.Text, "//lint:") {
+				continue
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// AnalyzerFloatCmp forbids exact equality on floating-point operands:
+// the model pipeline is regression arithmetic end to end, and a `==`
+// that happens to hold on one machine's rounding is the classic way a
+// "deterministic" reproduction silently stops being one. Three
+// well-defined idioms stay legal everywhere:
+//
+//   - comparison against an exact constant zero (`x == 0` guards a
+//     division; zero is exactly representable),
+//   - comparison between two constants (evaluated at compile time),
+//   - the self-comparison NaN test (`x != x`).
+//
+// In _test.go files, comparisons inside an approved helper are also
+// allowed: a tolerance helper (a function whose name mentions
+// approx/almost/close/near/within/tol/eps), or a named exact-equality
+// helper (name mentioning "exact", e.g. eqExact) for the places where
+// exact equality IS the contract under test — determinism checks,
+// verbatim registry copies, integer-exact arithmetic. The helper name
+// is the declaration of intent; a raw == carries none. Test/Benchmark/
+// Fuzz/Example functions themselves never count as helpers.
+var AnalyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbids ==/!= on floating-point operands outside constant-zero " +
+		"guards, NaN self-tests, and (in tests) approved tolerance helpers",
+	Run: runFloatCmp,
+}
+
+// toleranceHelper matches function names sanctioned to compare floats
+// exactly in test files: tolerance helpers plus named exact-equality
+// helpers.
+var toleranceHelper = regexp.MustCompile(`(?i)(approx|almost|close|near|within|tol|eps|exact)`)
+
+// testEntryPoint matches the go test entry-point naming scheme; such
+// functions are never helpers, whatever their name mentions.
+var testEntryPoint = regexp.MustCompile(`^(Test|Benchmark|Fuzz|Example)`)
+
+func isApprovedHelper(name string) bool {
+	return toleranceHelper.MatchString(name) && !testEntryPoint.MatchString(name)
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		inTest := pass.IsTestFile(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := inTest && isApprovedHelper(fd.Name.Name)
+			if exempt {
+				continue
+			}
+			checkFloatCmpFunc(pass, fd, inTest)
+		}
+	}
+}
+
+func checkFloatCmpFunc(pass *Pass, fd *ast.FuncDecl, inTest bool) {
+	exemptLits := map[*ast.FuncLit]bool{}
+	if inTest {
+		// A tolerance helper defined as a closure (approx := func(...))
+		// is approved the same way a named one is.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && isApprovedHelper(id.Name) {
+						exemptLits[lit] = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					lit, ok := v.(*ast.FuncLit)
+					if !ok || i >= len(n.Names) {
+						continue
+					}
+					if isApprovedHelper(n.Names[i].Name) {
+						exemptLits[lit] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return !exemptLits[n]
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isFloat(pass.Info.TypeOf(n.Tag)) {
+				pass.Reportf(n.Switch, "switch on a floating-point value compares exactly; use explicit tolerance checks")
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(n.X)) && !isFloat(pass.Info.TypeOf(n.Y)) {
+				return true
+			}
+			if isExactZero(pass.Info, n.X) || isExactZero(pass.Info, n.Y) {
+				return true
+			}
+			if bothConstant(pass.Info, n) {
+				return true
+			}
+			if types.ExprString(n.X) == types.ExprString(n.Y) {
+				return true // NaN self-test: x != x
+			}
+			helperHint := "compare with a tolerance"
+			if inTest {
+				helperHint = "use a tolerance helper"
+			}
+			pass.Reportf(n.OpPos, "%s on floating-point operands is exact; %s", n.Op, helperHint)
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether expr is a compile-time constant equal to
+// exactly zero.
+func isExactZero(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func bothConstant(info *types.Info, n *ast.BinaryExpr) bool {
+	x, okx := info.Types[n.X]
+	y, oky := info.Types[n.Y]
+	return okx && oky && x.Value != nil && y.Value != nil
+}

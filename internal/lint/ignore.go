@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignoreSet records, per file and line, which analyzers the source has
+// asked to silence. A directive suppresses findings of the named
+// analyzer (or "all") on its own line and on the line below — covering
+// both the trailing-comment and the line-above idioms.
+type ignoreSet struct {
+	// byFileLine maps filename -> line -> analyzer names ("all" wins).
+	byFileLine map[string]map[int]map[string]bool
+}
+
+func (s *ignoreSet) suppressed(analyzer, file string, line int) bool {
+	lines := s.byFileLine[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if names := lines[l]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses every //lint:ignore directive of a unit.
+// Malformed directives — a missing reason, or a name that is neither
+// "all" nor a known analyzer — come back as diagnostics under the
+// pseudo-analyzer "ignore" (File holds the absolute filename; the
+// runner relativizes it).
+func collectIgnores(fset *token.FileSet, pkg *Package, known map[string]bool) (*ignoreSet, []Diagnostic) {
+	set := &ignoreSet{byFileLine: make(map[string]map[int]map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, malformed(pos, "lint:ignore needs an analyzer name and a reason"))
+					continue
+				case len(fields) == 1:
+					bad = append(bad, malformed(pos, "lint:ignore "+fields[0]+" needs a reason"))
+					continue
+				case fields[0] != "all" && !known[fields[0]]:
+					bad = append(bad, malformed(pos, fmt.Sprintf("lint:ignore names unknown analyzer %q", fields[0])))
+					continue
+				}
+				lines := set.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set.byFileLine[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+func malformed(pos token.Position, msg string) Diagnostic {
+	return Diagnostic{
+		File:     pos.Filename, // absolute here; relativized by the runner
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: "ignore",
+		Message:  msg,
+	}
+}

@@ -1,0 +1,20 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON emits diagnostics as an indented JSON array (an empty
+// slice marshals as [], not null). The slice order produced by Run —
+// (file, line, col, analyzer, message) — is preserved, so the output
+// is byte-stable for a given tree; cmd/ceer-lint and the golden test
+// share this encoder.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

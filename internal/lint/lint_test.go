@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceer/internal/lint"
+	"ceer/internal/lint/linttest"
+)
+
+// Each analyzer has a self-contained module under testdata with one
+// true-positive fixture (every expected finding marked by a
+// `// want "regexp"` comment) and one clean fixture that must stay
+// silent. linttest.Run fails on any mismatch in either direction.
+
+func TestDeviceGeneric(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "devicegeneric"), lint.AnalyzerDeviceGeneric)
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "determinism"), lint.AnalyzerDeterminism)
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "errdrop"), lint.AnalyzerErrDrop)
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "floatcmp"), lint.AnalyzerFloatCmp)
+}
+
+// TestJSONGolden pins the -json encoding byte for byte: ordering is
+// (file, line, col, analyzer, message) and the encoder is shared with
+// cmd/ceer-lint, so a drift here is a drift in the CLI's contract.
+func TestJSONGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	diags, err := lint.Run(lint.Config{Dir: dir}, lint.Analyzers)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("golden tree produced no diagnostics; the fixture is broken")
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "want.json"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("JSON output drifted from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONEmpty pins the no-findings encoding: an empty array, never
+// null, so downstream jq pipelines don't need a guard.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestByName covers analyzer selection for the CLI's -analyzers flag.
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != len(lint.Analyzers) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := lint.ByName("errdrop, floatcmp")
+	if err != nil || len(two) != 2 || two[0].Name != "errdrop" || two[1].Name != "floatcmp" {
+		t.Fatalf("ByName(errdrop, floatcmp) = %v, err %v", two, err)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) did not fail")
+	}
+}

@@ -1,0 +1,134 @@
+// Package linttest is a from-scratch analogue of analysistest: it runs
+// analyzers over a self-contained module tree under testdata and
+// matches the reported diagnostics against `// want "regexp"` comments
+// in the sources. Each analyzer in internal/lint keeps one
+// true-positive and one clean fixture there, so `go test
+// ./internal/lint/...` proves the suite both fires and stays silent.
+package linttest
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ceer/internal/lint"
+)
+
+// expectation is one `// want "regexp"` comment: a diagnostic must be
+// reported on its file and line, and "analyzer: message" must match
+// the pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// Run applies the analyzers to the module rooted at dir and compares
+// the diagnostics with the tree's want comments. A diagnostic with no
+// matching want, or a want with no matching diagnostic, fails the
+// test. Several wants on one line each consume one diagnostic.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	diags, err := lint.Run(lint.Config{Dir: dir}, analyzers)
+	if err != nil {
+		t.Fatalf("lint.Run(%s): %v", dir, err)
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		got := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.File || w.line != d.Line || !w.re.MatchString(got) {
+				continue
+			}
+			w.hit = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.File, d.Line, got)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, got no matching diagnostic", w.file, w.line, w.text)
+		}
+	}
+}
+
+// wantMarker introduces expectations; the rest of the comment is one
+// or more Go-quoted regexps.
+const wantMarker = "// want "
+
+// collectWants scans every .go file under dir for want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	var wants []*expectation
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			ws, err := parseWants(filepath.ToSlash(rel), i+1, line[idx+len(wantMarker):])
+			if err != nil {
+				return err
+			}
+			wants = append(wants, ws...)
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parseWants decodes the quoted patterns following a want marker.
+func parseWants(file string, line int, rest string) ([]*expectation, error) {
+	var wants []*expectation
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed want comment %q: %v", file, line, rest, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: unquoting %s: %v", file, line, q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", file, line, q, err)
+		}
+		wants = append(wants, &expectation{file: file, line: line, re: re, text: pat})
+		rest = rest[len(q):]
+	}
+	return wants, nil
+}

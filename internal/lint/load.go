@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Config locates the module to analyze.
+type Config struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// ModulePath is the module's import path. When empty it is read
+	// from go.mod in Dir.
+	ModulePath string
+}
+
+// Package is one analysis unit: either a package together with its
+// in-package _test.go files, or an external test package (package
+// foo_test). Non-test files therefore appear in exactly one unit.
+type Package struct {
+	// Path is the unit's import path. External test units share the
+	// path of the package under test and set ExternalTest.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// ExternalTest marks a package foo_test unit.
+	ExternalTest bool
+
+	// Files are the parsed files of the unit, sorted by filename.
+	Files []*ast.File
+	// Types and Info hold the unit's type-check results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks the module's packages from source in dependency
+// order: importing a module-local package triggers a memoized
+// type-check of that package's non-test files, and everything else
+// (the standard library) is resolved by the stdlib source importer.
+// No compiled export data and no network access are needed.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modpath string
+	std     types.Importer
+
+	exports map[string]*exportEntry
+	parsed  map[string][]*ast.File // dir -> parsed files (all .go files)
+}
+
+type exportEntry struct {
+	pkg      *types.Package
+	err      error
+	checking bool
+}
+
+// Load parses and type-checks every package under cfg.Dir (skipping
+// testdata, hidden, and underscore directories) and returns the
+// analysis units sorted by import path, external test units last
+// within a path.
+func Load(cfg Config) ([]*Package, *token.FileSet, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	modpath := cfg.ModulePath
+	if modpath == "" {
+		modpath, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    root,
+		modpath: modpath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		exports: make(map[string]*exportEntry),
+		parsed:  make(map[string][]*ast.File),
+	}
+
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var units []*Package
+	for _, dir := range dirs {
+		us, err := l.unitsFor(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		units = append(units, us...)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].Path != units[j].Path {
+			return units[i].Path < units[j].Path
+		}
+		return !units[i].ExternalTest && units[j].ExternalTest
+	})
+	return units, fset, nil
+}
+
+// packageDirs returns every directory under the root that contains .go
+// files, sorted, as root-relative slash paths ("" for the root itself).
+func (l *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			rel, err := filepath.Rel(l.root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			if rel == "." {
+				rel = ""
+			}
+			if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+				dirs = append(dirs, rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	uniq := dirs[:0]
+	for _, d := range dirs {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
+}
+
+func (l *loader) importPath(relDir string) string {
+	if relDir == "" {
+		return l.modpath
+	}
+	return l.modpath + "/" + relDir
+}
+
+func (l *loader) dirFor(path string) (string, bool) {
+	if path == l.modpath {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modpath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// parseDir parses every .go file of a directory once (with comments);
+// results are shared between the export pass and the analysis passes.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	if files, ok := l.parsed[dir]; ok {
+		return files, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	l.parsed[dir] = files
+	return files, nil
+}
+
+// splitFiles partitions a directory's files into the package's own
+// files, its in-package tests, and its external (package foo_test)
+// tests.
+func splitFiles(fset *token.FileSet, files []*ast.File) (pkg, inTest, extTest []*ast.File) {
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			pkg = append(pkg, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return pkg, inTest, extTest
+}
+
+// importFor resolves one import: module-local packages are type-checked
+// from source (non-test files only, memoized), everything else is
+// delegated to the standard library's source importer.
+func (l *loader) importFor(path string) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		return l.exportCheck(path, dir)
+	}
+	return l.std.Import(path)
+}
+
+// Import implements types.Importer for module-local and stdlib paths.
+func (l *loader) Import(path string) (*types.Package, error) { return l.importFor(path) }
+
+// exportCheck type-checks the importable (non-test) half of a
+// module-local package, recursing into its own imports first.
+func (l *loader) exportCheck(path, dir string) (*types.Package, error) {
+	if e, ok := l.exports[path]; ok {
+		if e.checking {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &exportEntry{checking: true}
+	l.exports[path] = e
+
+	files, err := l.parseDir(dir)
+	if err == nil {
+		pkgFiles, _, _ := splitFiles(l.fset, files)
+		if len(pkgFiles) == 0 {
+			err = fmt.Errorf("lint: no non-test Go files in %s", dir)
+		} else {
+			e.pkg, err = l.check(path, pkgFiles, nil)
+		}
+	}
+	e.err = err
+	e.checking = false
+	return e.pkg, e.err
+}
+
+// check runs the type checker over one set of files.
+func (l *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(errs) > 0 {
+		return pkg, fmt.Errorf("lint: type-checking %s: %v", path, errs[0])
+	}
+	if err != nil {
+		return pkg, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// unitsFor builds the analysis units of one directory: the package with
+// its in-package tests, plus the external test package if present.
+func (l *loader) unitsFor(relDir string) ([]*Package, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(relDir))
+	path := l.importPath(relDir)
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgFiles, inTest, extTest := splitFiles(l.fset, files)
+	var units []*Package
+
+	if len(pkgFiles)+len(inTest) > 0 {
+		all := append(append([]*ast.File(nil), pkgFiles...), inTest...)
+		info := newInfo()
+		tpkg, err := l.check(path, all, info)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{Path: path, Dir: dir, Files: all, Types: tpkg, Info: info})
+	}
+	if len(extTest) > 0 {
+		info := newInfo()
+		tpkg, err := l.check(path+"_test", extTest, info)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{Path: path, Dir: dir, ExternalTest: true, Files: extTest, Types: tpkg, Info: info})
+	}
+	return units, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}

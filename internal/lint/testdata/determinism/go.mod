@@ -1,0 +1,3 @@
+module example.com/determinism
+
+go 1.22

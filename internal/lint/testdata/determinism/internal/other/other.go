@@ -1,0 +1,7 @@
+// Package other is outside the determinism scope.
+package other
+
+import "time"
+
+// Stamp is legal here: this package is not on the result path.
+func Stamp() int64 { return time.Now().UnixNano() }

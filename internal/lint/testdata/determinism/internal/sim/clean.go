@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CleanCollect sorts after collecting, laundering map order out: the
+// repo's canonical collect-keys-then-sort idiom.
+func CleanCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CleanRand draws from an explicitly seeded stream; only the global
+// source is banned.
+func CleanRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

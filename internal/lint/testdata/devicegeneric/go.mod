@@ -1,0 +1,3 @@
+module example.com/devicegeneric
+
+go 1.22

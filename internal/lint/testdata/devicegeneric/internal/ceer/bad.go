@@ -1,0 +1,20 @@
+// Package ceer exercises the devicegeneric analyzer: inside core
+// packages, concrete device identities must not drive control flow.
+package ceer
+
+import "example.com/devicegeneric/internal/gpu"
+
+// BadSwitch dispatches on a concrete device identity.
+func BadSwitch(id gpu.ID) float64 {
+	switch id { // want `switch on concrete device identity`
+	case gpu.V100:
+		return 2.0
+	default:
+		return 1.0
+	}
+}
+
+// BadCompare branches on an identity comparison.
+func BadCompare(id gpu.ID) bool {
+	return id == gpu.V100 // want `comparison against concrete device identity gpu\.V100`
+}

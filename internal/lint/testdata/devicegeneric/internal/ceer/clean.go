@@ -1,0 +1,15 @@
+package ceer
+
+import "example.com/devicegeneric/internal/gpu"
+
+// CleanDispatch branches on spec data, never on identity.
+func CleanDispatch(d gpu.Device) float64 {
+	if d.Parallel && d.MemGB > 12 {
+		return 2.0
+	}
+	return 1.0
+}
+
+// CleanEmpty may compare against the zero ID: "is this set at all" is
+// not identity dispatch.
+func CleanEmpty(id gpu.ID) bool { return id != "" }

@@ -1,0 +1,24 @@
+// Package gpu is a miniature stand-in for the real device registry:
+// just enough for the devicegeneric fixtures to type-check.
+package gpu
+
+// ID names a registered device.
+type ID string
+
+// Device is the spec record core code should branch on.
+type Device struct {
+	ID       ID
+	MemGB    float64
+	Parallel bool
+}
+
+// The registered identities.
+const (
+	V100 ID = "v100"
+	T4   ID = "t4"
+)
+
+// Lookup returns a canned spec.
+func Lookup(id ID) Device {
+	return Device{ID: id, MemGB: 16, Parallel: id == V100}
+}

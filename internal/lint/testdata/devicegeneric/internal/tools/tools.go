@@ -1,0 +1,15 @@
+// Package tools sits outside the devicegeneric scope; reporting code
+// may name devices directly.
+package tools
+
+import "example.com/devicegeneric/internal/gpu"
+
+// Describe switches on identity, legally: this is not a core package.
+func Describe(id gpu.ID) string {
+	switch id {
+	case gpu.V100:
+		return "datacenter-class"
+	default:
+		return "other"
+	}
+}

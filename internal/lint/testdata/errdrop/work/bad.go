@@ -1,0 +1,40 @@
+// Package work exercises the errdrop analyzer: an error return may
+// never vanish silently.
+package work
+
+import (
+	"errors"
+	"os"
+)
+
+// mightFail always fails, so the fixtures have an error to drop.
+func mightFail() error { return errors.New("boom") }
+
+// parse returns a value and an error.
+func parse(s string) (int, error) { return len(s), nil }
+
+// BadDiscard drops the error on the floor.
+func BadDiscard() {
+	mightFail() // want `call to mightFail discards its error result`
+}
+
+// BadDefer defers a failing close without looking at the result.
+func BadDefer(f *os.File) {
+	defer f.Close() // want `deferred call to f\.Close discards its error result`
+}
+
+// BadBlank blank-assigns the error with no justification. The
+// statement is split across two lines so the want comment is not
+// itself mistaken for a justifying comment.
+func BadBlank(s string) int {
+	n,
+		_ := parse(s) // want `error result of parse assigned to _ without a justifying comment`
+	return n
+}
+
+// BadDirective misnames the analyzer, so nothing is suppressed and the
+// directive itself is reported.
+func BadDirective() {
+	//lint:ignore nosuch not a real analyzer // want `ignore: lint:ignore names unknown analyzer "nosuch"`
+	mightFail() // want `call to mightFail discards its error result`
+}

@@ -1,0 +1,41 @@
+package work
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// CleanChecked propagates the error.
+func CleanChecked() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CleanJustified documents why the drop is fine.
+func CleanJustified() {
+	// Best-effort: failure here only loses a cache warm-up.
+	_ = mightFail()
+}
+
+// CleanIgnored uses the lint escape, with the mandatory reason.
+func CleanIgnored() {
+	//lint:ignore errdrop shutdown path; nothing can be done with the error
+	mightFail()
+}
+
+// CleanInfallible exercises the never-fails exemptions: the fmt print
+// family, writes into Buffer/Builder, and the standard streams.
+func CleanInfallible() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("!")
+	fmt.Println("done")
+	fmt.Fprintln(os.Stderr, "note")
+	var buf bytes.Buffer
+	buf.Write([]byte("ok"))
+	return b.String()
+}

@@ -1,0 +1,32 @@
+// Package calc exercises the floatcmp analyzer.
+package calc
+
+// BadEqual compares computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b // want `== on floating-point operands is exact`
+}
+
+// BadSwitch switches on a float, which compares exactly per case.
+func BadSwitch(x float64) int {
+	switch x { // want `switch on a floating-point value compares exactly`
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+// CleanZero guards a division with an exact zero test; zero is exactly
+// representable.
+func CleanZero(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// CleanNaN is the self-comparison NaN test.
+func CleanNaN(x float64) bool { return x != x }
+
+// CleanInt compares integers; only float operands are the analyzer's
+// business.
+func CleanInt(a, b int) bool { return a == b }

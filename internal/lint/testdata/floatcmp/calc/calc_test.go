@@ -1,0 +1,27 @@
+package calc
+
+import (
+	"math"
+	"testing"
+)
+
+// approxEqual is an approved tolerance helper: exact comparison inside
+// it is the fast path, and the name declares the intent.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// TestRaw compares raw floats in a test body, which is flagged even in
+// tests.
+func TestRaw(t *testing.T) {
+	got := 0.1 + 0.2
+	if got != 0.3 { // want `!= on floating-point operands is exact; use a tolerance helper`
+		t.Log("expected: 0.1+0.2 rounds away from 0.3")
+	}
+	if !approxEqual(got, 0.3, 1e-9) {
+		t.Fatal("tolerance check failed")
+	}
+}

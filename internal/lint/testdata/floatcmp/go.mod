@@ -1,0 +1,3 @@
+module example.com/floatcmp
+
+go 1.22

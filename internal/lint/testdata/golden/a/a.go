@@ -1,0 +1,5 @@
+// Package a seeds one floatcmp diagnostic for the JSON golden test.
+package a
+
+// Equal compares exactly, on purpose.
+func Equal(x, y float64) bool { return x == y }

@@ -1,0 +1,9 @@
+// Package b seeds one errdrop diagnostic for the JSON golden test.
+package b
+
+import "errors"
+
+func fail() error { return errors.New("no") }
+
+// Drop loses the error, on purpose.
+func Drop() { fail() }

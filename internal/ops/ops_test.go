@@ -116,10 +116,10 @@ func TestConvOpValidateAndCosts(t *testing.T) {
 	if f[4] != 0 || f[5] != 0 {
 		t.Errorf("3x3 conv regime indicators = %v,%v, want 0,0", f[4], f[5])
 	}
-	if f[0] != float64(32*56*56*64*4) || f[1] != float64(3*3*64*128*4) {
+	if !eqExact(f[0], float64(32*56*56*64*4)) || !eqExact(f[1], float64(3*3*64*128*4)) {
 		t.Errorf("Conv2D features = %v", f)
 	}
-	if f[3] != float64(3*3*64) {
+	if !eqExact(f[3], float64(3*3*64)) {
 		t.Errorf("Conv2D MAC depth = %v, want %v", f[3], 3*3*64)
 	}
 }
@@ -156,7 +156,7 @@ func TestPoolOps(t *testing.T) {
 		t.Errorf("MaxPool FLOPs = %d", got)
 	}
 	f := pool.Features()
-	if len(f) != 3 || f[2] != 4 {
+	if len(f) != 3 || !eqExact(f[2], 4) {
 		t.Errorf("pool features = %v", f)
 	}
 
@@ -364,3 +364,8 @@ func TestHeavyOpCostTable(t *testing.T) {
 		}
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: feature encodings are integer-valued floats
+// computed exactly.
+func eqExact(a, b float64) bool { return a == b }

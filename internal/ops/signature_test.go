@@ -95,7 +95,7 @@ func TestSignatureImpliesEqualCost(t *testing.T) {
 		t.Fatalf("feature arity differs: %d vs %d", len(fa), len(fb))
 	}
 	for i := range fa {
-		if fa[i] != fb[i] {
+		if !eqExact(fa[i], fb[i]) {
 			t.Errorf("feature %d differs: %v vs %v", i, fa[i], fb[i])
 		}
 	}

@@ -28,7 +28,7 @@ func TestModelJSONRoundtrip(t *testing.T) {
 	if a, b := m.Predict(probe), back.Predict(probe); math.Abs(a-b) > 1e-12 {
 		t.Errorf("roundtrip prediction changed: %v vs %v", a, b)
 	}
-	if back.R2 != m.R2 || back.N != m.N || back.Degree != m.Degree {
+	if !eqExact(back.R2, m.R2) || back.N != m.N || back.Degree != m.Degree {
 		t.Error("metadata changed across roundtrip")
 	}
 }
@@ -45,7 +45,7 @@ func TestModelJSONQuadraticRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, _ := json.Marshal(m)
+	data, _ := json.Marshal(m) // Model is plain floats and ints; Marshal cannot fail
 	var back Model
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)

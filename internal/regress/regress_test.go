@@ -13,12 +13,12 @@ func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 func TestExpandLinear(t *testing.T) {
 	x := []float64{2, 3}
 	got := Expand(x, 1)
-	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+	if len(got) != 2 || !eqExact(got[0], 2) || !eqExact(got[1], 3) {
 		t.Errorf("Expand degree 1 = %v", got)
 	}
 	// Must be a copy.
 	got[0] = 99
-	if x[0] != 2 {
+	if !eqExact(x[0], 2) {
 		t.Error("Expand shares memory with input")
 	}
 }
@@ -30,7 +30,7 @@ func TestExpandQuadratic(t *testing.T) {
 		t.Fatalf("Expand degree 2 len = %d, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !eqExact(got[i], want[i]) {
 			t.Errorf("Expand[%d] = %v, want %v", i, got[i], want[i])
 		}
 	}
@@ -293,3 +293,8 @@ func TestQuadraticAtLeastLinearProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: Vandermonde rows and JSON round-trips
+// are exact.
+func eqExact(a, b float64) bool { return a == b }

@@ -114,10 +114,10 @@ func TestNormalMoments(t *testing.T) {
 
 func TestLogNormalFactor(t *testing.T) {
 	s := New(23)
-	if f := s.LogNormalFactor(0); f != 1 {
+	if f := s.LogNormalFactor(0); !eqExact(f, 1) {
 		t.Errorf("sigma=0 factor = %v, want 1", f)
 	}
-	if f := s.LogNormalFactor(-1); f != 1 {
+	if f := s.LogNormalFactor(-1); !eqExact(f, 1) {
 		t.Errorf("negative sigma factor = %v, want 1", f)
 	}
 	// For sigma=0.05 the factor should hover tightly around 1.
@@ -175,3 +175,7 @@ func TestFloat64RangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: a non-positive sigma must return exactly 1.
+func eqExact(a, b float64) bool { return a == b }

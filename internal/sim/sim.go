@@ -50,7 +50,7 @@ func NewProfiler(seed uint64) *Profiler {
 
 func hashString(s string) uint64 {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // fnv Write never fails
 	return h.Sum64()
 }
 

@@ -13,7 +13,7 @@ func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("empty mean should be 0")
 	}
-	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+	if got := Mean([]float64{1, 2, 3, 4}); !eqExact(got, 2.5) {
 		t.Errorf("Mean = %v, want 2.5", got)
 	}
 }
@@ -22,7 +22,7 @@ func TestSum(t *testing.T) {
 	if Sum(nil) != 0 {
 		t.Error("empty sum should be 0")
 	}
-	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+	if got := Sum([]float64{1.5, 2.5}); !eqExact(got, 4) {
 		t.Errorf("Sum = %v", got)
 	}
 }
@@ -54,10 +54,10 @@ func TestMedian(t *testing.T) {
 	if Median(nil) != 0 {
 		t.Error("empty median should be 0")
 	}
-	if got := Median([]float64{3, 1, 2}); got != 2 {
+	if got := Median([]float64{3, 1, 2}); !eqExact(got, 2) {
 		t.Errorf("odd median = %v, want 2", got)
 	}
-	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+	if got := Median([]float64{4, 1, 3, 2}); !eqExact(got, 2.5) {
 		t.Errorf("even median = %v, want 2.5", got)
 	}
 }
@@ -80,14 +80,14 @@ func TestPercentile(t *testing.T) {
 	// Input not modified.
 	ys := []float64{3, 1, 2}
 	Percentile(ys, 50)
-	if ys[0] != 3 {
+	if !eqExact(ys[0], 3) {
 		t.Error("Percentile modified its input")
 	}
 }
 
 func TestMinMax(t *testing.T) {
 	min, max := MinMax([]float64{3, -1, 7, 2})
-	if min != -1 || max != 7 {
+	if !eqExact(min, -1) || !eqExact(max, 7) {
 		t.Errorf("MinMax = %v,%v", min, max)
 	}
 	min, max = MinMax(nil)
@@ -125,7 +125,7 @@ func TestCDFQuantile(t *testing.T) {
 		{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {1.5, 40},
 	}
 	for _, cse := range cases {
-		if got := c.Quantile(cse.q); got != cse.want {
+		if got := c.Quantile(cse.q); !eqExact(got, cse.want) {
 			t.Errorf("Quantile(%v) = %v, want %v", cse.q, got, cse.want)
 		}
 	}
@@ -140,10 +140,10 @@ func TestCDFPoints(t *testing.T) {
 	if len(xs) != 5 || len(ys) != 5 {
 		t.Fatalf("Points lengths %d, %d", len(xs), len(ys))
 	}
-	if xs[0] != 0 || xs[4] != 4 {
+	if xs[0] != 0 || !eqExact(xs[4], 4) {
 		t.Errorf("Points range [%v,%v]", xs[0], xs[4])
 	}
-	if ys[4] != 1 {
+	if !eqExact(ys[4], 1) {
 		t.Errorf("final cumulative fraction = %v, want 1", ys[4])
 	}
 	for i := 1; i < len(ys); i++ {
@@ -209,7 +209,7 @@ func TestMedianBoundsProperty(t *testing.T) {
 		shuffled := make([]float64, len(xs))
 		copy(shuffled, xs)
 		sort.Float64s(shuffled)
-		return Median(shuffled) == m
+		return eqExact(Median(shuffled), m)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -260,3 +260,8 @@ func TestQuantileRoundtripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: small-integer inputs make these
+// aggregates exact in IEEE arithmetic.
+func eqExact(a, b float64) bool { return a == b }

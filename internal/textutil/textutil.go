@@ -86,7 +86,7 @@ func (t *Table) Render(w io.Writer) error {
 // String renders the table to a string.
 func (t *Table) String() string {
 	var b strings.Builder
-	_ = t.Render(&b)
+	_ = t.Render(&b) // strings.Builder writes cannot fail
 	return b.String()
 }
 

@@ -37,7 +37,7 @@ func TestProfileExportJSON(t *testing.T) {
 	if back.Series[0].Op != "Conv2D" || back.Series[0].Class != "heavy-gpu" {
 		t.Errorf("first series = %+v", back.Series[0])
 	}
-	if back.Series[0].N != 4 || back.Series[0].Mean != 0.010 {
+	if back.Series[0].N != 4 || !eqExact(back.Series[0].Mean, 0.010) {
 		t.Errorf("series stats wrong: %+v", back.Series[0])
 	}
 }
@@ -66,7 +66,7 @@ func TestProfileJSONRoundtrip(t *testing.T) {
 		if s.OpType != o.OpType || s.Class != o.Class {
 			t.Errorf("series %d type/class changed", i)
 		}
-		if s.Agg.Mean() != o.Agg.Mean() || s.Agg.N() != o.Agg.N() {
+		if !eqExact(s.Agg.Mean(), o.Agg.Mean()) || s.Agg.N() != o.Agg.N() {
 			t.Errorf("series %d stats changed: %v vs %v", i, s.Agg.Mean(), o.Agg.Mean())
 		}
 		if len(s.Agg.Retained()) != len(o.Agg.Retained()) {
@@ -102,7 +102,7 @@ func TestRestoreAggMatchesOriginal(t *testing.T) {
 		a.Add(v)
 	}
 	b := RestoreAgg(a.N(), a.Mean(), a.Std(), a.Min(), a.Max(), a.Retained())
-	if b.N() != a.N() || b.Mean() != a.Mean() || b.Min() != a.Min() || b.Max() != a.Max() {
+	if b.N() != a.N() || !eqExact(b.Mean(), a.Mean()) || !eqExact(b.Min(), a.Min()) || !eqExact(b.Max(), a.Max()) {
 		t.Error("restored stats differ")
 	}
 	if diff := b.Std() - a.Std(); diff > 1e-12 || diff < -1e-12 {

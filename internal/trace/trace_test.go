@@ -27,7 +27,7 @@ func TestAggBasics(t *testing.T) {
 	if math.Abs(a.NormalizedStd()-0.4) > 1e-12 {
 		t.Errorf("NormalizedStd = %v", a.NormalizedStd())
 	}
-	if a.Min() != 2 || a.Max() != 9 {
+	if !eqExact(a.Min(), 2) || !eqExact(a.Max(), 9) {
 		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
 	}
 	if len(a.Retained()) != 2 {
@@ -114,7 +114,7 @@ func TestProfileByTypeAndClassShare(t *testing.T) {
 	if share[ops.HeavyGPU] < 0.9 {
 		t.Errorf("heavy share = %v, want > 0.9 in this synthetic profile", share[ops.HeavyGPU])
 	}
-	if p.MeanIterSeconds() != 0.0123 {
+	if !eqExact(p.MeanIterSeconds(), 0.0123) {
 		t.Errorf("MeanIterSeconds = %v", p.MeanIterSeconds())
 	}
 }
@@ -173,3 +173,8 @@ func TestMeanTimeByType(t *testing.T) {
 		t.Error("no T4 profiles, map should be empty")
 	}
 }
+
+// eqExact reports a == b. Exact float equality is the contract under
+// test here: serialization round-trips must preserve
+// aggregates bit-for-bit.
+func eqExact(a, b float64) bool { return a == b }

@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1+ verification gate (see README "Verification"): vet, build,
-# the full test suite, a race-detector pass over the packages that
-# exercise the parallel measurement campaign, and a device-genericity
-# grep gate.
+# Tier-1+ verification gate (see README "Verification"): formatting,
+# vet, build, the full test suite, a race-detector pass over the whole
+# module, the ceer-lint static-analysis suite, and a bench smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "${unformatted}" ]]; then
+    echo "gofmt gate FAILED: files need gofmt -w:" >&2
+    echo "${unformatted}" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -15,22 +22,16 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel campaign paths)"
-go test -race ./internal/sim ./internal/ceer ./internal/experiments ./internal/devices/...
+echo "== go test -race ./..."
+go test -race ./...
 
-echo "== device-genericity gate"
-# Core packages must stay generic over registered devices: no
-# switch/case dispatch on a concrete device identity outside the gpu
-# package's own data files. Reading per-device *data* (e.g. a paper
-# figure table keyed by gpu.V100 in experiments) is fine; branching
-# control flow on a device constant is not.
-violations=$(grep -rnE 'case[[:space:]]+(gpu\.)?(V100|K80|T4|M60)\b|switch[[:space:]].*\.GPU[[:space:]]*\{|switch[[:space:]]+(gpu\.)?(m|id|dev)[[:space:]]*\{.*//.*device' \
-    internal/ceer internal/sim internal/cloud internal/experiments 2>/dev/null || true)
-if [[ -n "${violations}" ]]; then
-    echo "device-genericity gate FAILED: core packages switch on a concrete device identity:" >&2
-    echo "${violations}" >&2
-    exit 1
-fi
+echo "== ceer-lint"
+# The AST/type-aware invariant suite (internal/lint): device
+# genericity in core packages, determinism on the result path, error
+# hygiene, and float-comparison discipline. Any diagnostic fails the
+# gate; intentional exceptions carry //lint:ignore directives with a
+# reason, in the source, where reviewers can see them.
+go run ./cmd/ceer-lint
 
 echo "== serving-path bench smoke run"
 # One iteration per bench: proves the benches run and the JSON writer
