@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-predict race lint check
+.PHONY: build test bench bench-predict race lint chaos check
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,19 @@ race:
 	$(GO) test -race ./internal/par ./internal/sim ./internal/ceer ./internal/experiments
 
 # The ceer-lint static-analysis suite (internal/lint): device
-# genericity, determinism, error hygiene, float comparisons.
+# genericity, determinism, context threading, error hygiene, float
+# comparisons.
 lint:
 	$(GO) run ./cmd/ceer-lint
 
+# Chaos gate: train twice under the canned fault spec
+# (scripts/chaos-spec.json) at different worker counts and byte-diff
+# the resulting model files (scripts/chaos.sh).
+chaos:
+	./scripts/chaos.sh
+
 # The tier-1+ gate: gofmt + vet + build + full tests + module-wide
-# race pass + ceer-lint + bench smoke (scripts/check.sh).
+# race pass + ceer-lint + chaos determinism + bench smoke
+# (scripts/check.sh).
 check:
 	./scripts/check.sh

@@ -6,6 +6,7 @@
 package ceer_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ var (
 func benchContext(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchCtx, benchErr = experiments.NewContext(experiments.Options{
+		benchCtx, benchErr = experiments.NewContext(context.Background(), experiments.Options{
 			Seed:              42,
 			ProfileIterations: 100,
 			MeasureIters:      12,
@@ -315,7 +316,7 @@ func BenchmarkCampaignSerial(b *testing.B) {
 	pl := campaignPipeline(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := pl.Campaign(zoo.Build, campaignBenchNames); err != nil {
+		if _, err := pl.Campaign(context.Background(), zoo.Build, campaignBenchNames); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,7 +329,7 @@ func BenchmarkCampaignSerial(b *testing.B) {
 func BenchmarkCampaignParallel(b *testing.B) {
 	serial := campaignPipeline(1)
 	start := time.Now()
-	if _, _, err := serial.Campaign(zoo.Build, campaignBenchNames); err != nil {
+	if _, err := serial.Campaign(context.Background(), zoo.Build, campaignBenchNames); err != nil {
 		b.Fatal(err)
 	}
 	serialSec := time.Since(start).Seconds()
@@ -336,7 +337,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	pl := campaignPipeline(runtime.GOMAXPROCS(0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := pl.Campaign(zoo.Build, campaignBenchNames); err != nil {
+		if _, err := pl.Campaign(context.Background(), zoo.Build, campaignBenchNames); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -388,7 +389,7 @@ func servingPredictor(b *testing.B) *ceer.Predictor {
 	b.Helper()
 	servingOnce.Do(func() {
 		pl := servingPipeline()
-		servingPred, _, servingErr = pl.TrainOn(zoo.Build, zoo.TrainingSet())
+		servingPred, _, servingErr = pl.TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
 	})
 	if servingErr != nil {
 		b.Fatal(servingErr)
@@ -438,7 +439,7 @@ func BenchmarkPredictIterationUnfolded(b *testing.B) {
 // sweep).
 func BenchmarkRecommendSweep(b *testing.B) {
 	pl := servingPipeline()
-	p, _, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	p, _, err := pl.TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
 	if err != nil {
 		b.Fatal(err)
 	}

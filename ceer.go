@@ -27,12 +27,14 @@
 package ceer
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	internal "ceer/internal/ceer"
 	"ceer/internal/cloud"
 	"ceer/internal/dataset"
+	"ceer/internal/faults"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/nn"
@@ -75,7 +77,17 @@ type (
 	// Padding selects SAME/VALID window semantics for GraphBuilder
 	// convolutions and pooling.
 	Padding = tensor.Padding
+	// FaultSpec declares deterministic faults to inject into the
+	// measurement campaign (chaos testing; see internal/faults).
+	FaultSpec = faults.Spec
+	// Coverage summarizes how completely a campaign measured its cells.
+	Coverage = internal.Coverage
+	// PersistError is the typed failure of loading a saved predictor.
+	PersistError = internal.PersistError
 )
+
+// LoadFaultSpec reads a JSON fault specification from a file.
+func LoadFaultSpec(path string) (*FaultSpec, error) { return faults.LoadSpec(path) }
 
 // Window padding policies for GraphBuilder layers.
 const (
@@ -201,19 +213,40 @@ type TrainOptions struct {
 	// the serial path. Any worker count yields an identically trained
 	// system (the campaign is deterministic per (seed, CNN, GPU, node)).
 	Workers int
+	// Retries is the per-cell retry budget for transient campaign
+	// faults (0 = single attempt per cell).
+	Retries int
+	// Faults optionally injects deterministic faults into the campaign
+	// (nil = fault-free). With faults enabled the campaign completes
+	// with partial coverage instead of failing: uncovered cells are
+	// reported via System.Coverage and affected devices flagged
+	// degraded.
+	Faults *FaultSpec
+	// Checkpoint, when non-empty, journals campaign progress to the
+	// named file so a preempted run resumes without re-measuring
+	// completed cells.
+	Checkpoint string
 }
 
 // System is a trained Ceer instance plus the profiling corpus it was
 // trained on.
 type System struct {
-	pred   *internal.Predictor
-	bundle *trace.Bundle
+	pred     *internal.Predictor
+	bundle   *trace.Bundle
+	coverage Coverage
 }
 
 // Train runs the full paper pipeline: profile the 8 training-set CNNs
 // on all four GPU models, collect multi-GPU communication observations,
-// and fit every Ceer model.
+// and fit every Ceer model. It is TrainContext without a deadline.
 func Train(opts TrainOptions) (*System, error) {
+	return TrainContext(context.Background(), opts)
+}
+
+// TrainContext is Train bounded by a context: a deadline or
+// cancellation interrupts the measurement campaign promptly (mid-cell,
+// between iterations).
+func TrainContext(ctx context.Context, opts TrainOptions) (*System, error) {
 	pl := internal.DefaultPipeline(opts.Seed)
 	if opts.ProfileIterations > 0 {
 		pl.ProfileIterations = opts.ProfileIterations
@@ -222,12 +255,29 @@ func Train(opts TrainOptions) (*System, error) {
 		pl.CommIterations = opts.CommIterations
 	}
 	pl.Workers = opts.Workers
-	pred, bundle, err := pl.TrainOn(zooCache.Build, zoo.TrainingSet())
+	pl.CheckpointPath = opts.Checkpoint
+	if opts.Retries > 0 || opts.Faults != nil {
+		pl.Retry = internal.DefaultRetryPolicy(opts.Seed, opts.Retries)
+	}
+	inj, err := faults.NewInjector(opts.Faults)
 	if err != nil {
 		return nil, err
 	}
-	return &System{pred: pred, bundle: bundle}, nil
+	pl.Faults = inj
+	pred, res, err := pl.TrainOn(ctx, zooCache.Build, zoo.TrainingSet())
+	if err != nil {
+		return nil, err
+	}
+	return &System{pred: pred, bundle: res.Bundle, coverage: res.Coverage}, nil
 }
+
+// Coverage reports how completely the training campaign measured its
+// cells. A freshly loaded system (Load) reports a zero Coverage.
+func (s *System) Coverage() Coverage { return s.coverage }
+
+// DegradedDevices lists devices whose models were fit on incomplete
+// campaign coverage, sorted by ID.
+func (s *System) DegradedDevices() []GPUModel { return s.pred.DegradedDevices() }
 
 // Predictor exposes the underlying trained predictor for advanced use
 // (op-model inspection, ablation variants).
@@ -242,6 +292,16 @@ func (s *System) Save(w io.Writer) error { return s.pred.Save(w) }
 // corpus.
 func Load(r io.Reader) (*System, error) {
 	pred, err := internal.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &System{pred: pred}, nil
+}
+
+// LoadFile is Load from a file path. Failures carry the path and the
+// file's format version via *PersistError (errors.As).
+func LoadFile(path string) (*System, error) {
+	pred, err := internal.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +341,7 @@ func (s *System) HeavyOps() []string {
 // stand-in for actually renting the instance (see DESIGN.md). Useful
 // for validating predictions in examples and experiments.
 func Observe(g *Graph, cfg InstanceConfig, ds Dataset, measureIters int, seed uint64) (Measurement, error) {
-	return sim.Train(g, cfg, ds, measureIters, seed)
+	return sim.Train(context.Background(), g, cfg, ds, measureIters, seed)
 }
 
 // HourlyCost returns the rental price of a configuration under a

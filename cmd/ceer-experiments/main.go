@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"ceer/internal/experiments"
+	"ceer/internal/faults"
 )
 
 func main() {
@@ -35,6 +37,10 @@ func main() {
 	dot := flag.Bool("dot", false, "with fig1: print the full DOT graph")
 	markdown := flag.Bool("markdown", false, "wrap each experiment in a Markdown section")
 	workers := flag.Int("workers", 0, "parallel workers for the campaign and across figures; 0 = GOMAXPROCS, 1 = serial")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+	retries := flag.Int("retries", 0, "per-cell retry budget for transient campaign faults")
+	faultSpec := flag.String("fault-spec", "", "JSON fault-injection spec file for the training campaign (chaos testing)")
+	checkpoint := flag.String("checkpoint", "", "journal campaign progress to this file and resume from it")
 	flag.Parse()
 
 	if *list {
@@ -43,13 +49,15 @@ func main() {
 		}
 		return
 	}
-	if err := runAll(*run, *seed, *iters, *measure, *workers, *dot, *markdown); err != nil {
+	if err := runAll(*run, *seed, *iters, *measure, *workers, *dot, *markdown,
+		*timeout, *retries, *faultSpec, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "ceer-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runAll(runList string, seed uint64, iters, measure, workers int, dot, markdown bool) error {
+func runAll(runList string, seed uint64, iters, measure, workers int, dot, markdown bool,
+	timeout time.Duration, retries int, faultSpec, checkpoint string) error {
 	var names []string
 	if runList != "" {
 		names = strings.Split(runList, ",")
@@ -58,20 +66,42 @@ func runAll(runList string, seed uint64, iters, measure, workers int, dot, markd
 		}
 	}
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var spec *faults.Spec
+	if faultSpec != "" {
+		var err error
+		spec, err = faults.LoadSpec(faultSpec)
+		if err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "training Ceer on the 8 training-set CNNs (seed %d)...\n", seed)
-	ctx, err := experiments.NewContext(experiments.Options{
+	ectx, err := experiments.NewContext(ctx, experiments.Options{
 		Seed:              seed,
 		ProfileIterations: iters,
 		MeasureIters:      measure,
 		Workers:           workers,
+		Retries:           retries,
+		Faults:            spec,
+		Checkpoint:        checkpoint,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "trained in %.1fs\n\n", time.Since(start).Seconds())
+	if !ectx.Coverage.Complete() {
+		fmt.Fprintf(os.Stderr, "warning: campaign incomplete (%s); degraded devices: %v\n\n",
+			ectx.Coverage, ectx.Pred.DegradedDevices())
+	}
 
-	results, err := experiments.RunAll(ctx, names, workers)
+	results, err := experiments.RunAll(ctx, ectx, names, workers)
 	if err != nil {
 		return err
 	}

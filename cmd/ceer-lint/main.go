@@ -1,6 +1,7 @@
 // Command ceer-lint runs the project's static analyzer suite
-// (internal/lint) over the module: devicegeneric, determinism,
-// errdrop, and floatcmp. It exits 0 when the tree is clean, 1 when
+// (internal/lint) over the module: ctxflow, devicegeneric,
+// determinism, errdrop, and floatcmp. It exits 0 when the tree is
+// clean, 1 when
 // any diagnostic survives, and 2 when the module fails to load or
 // type-check.
 //

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func main() {
 	phases := flag.Bool("phases", false, "also print the per-phase time breakdown")
 	devices := flag.Bool("devices", false, "print the registered GPU device table and exit")
 	extra := flag.Bool("extra-devices", false, "also register the extra (non-paper) devices, e.g. the A10G")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the profile run (0 = none)")
 	flag.Parse()
 
 	if *extra {
@@ -51,7 +53,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*model, *family, *iters, *batch, *top, *seed, *dot, *jsonOut, *phases); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *model, *family, *iters, *batch, *top, *seed, *dot, *jsonOut, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "ceer-profile:", err)
 		os.Exit(1)
 	}
@@ -81,7 +89,7 @@ func renderDevices() error {
 // architecture (e.g. -dot plus a profile run) share a single DAG.
 var builds = graph.NewBuildCache(zoo.Build)
 
-func run(model, family string, iters int, batch int64, top int, seed uint64, dot, jsonOut, phases bool) error {
+func run(ctx context.Context, model, family string, iters int, batch int64, top int, seed uint64, dot, jsonOut, phases bool) error {
 	g, err := builds.Build(model, batch)
 	if err != nil {
 		return err
@@ -94,7 +102,7 @@ func run(model, family string, iters int, batch int64, top int, seed uint64, dot
 	if !ok {
 		return fmt.Errorf("unknown GPU family %q (want one of %s)", family, strings.Join(gpu.Families(), ", "))
 	}
-	prof, err := (&sim.Profiler{Seed: seed, Iterations: iters, Retain: 16}).Profile(g, m)
+	prof, err := (&sim.Profiler{Seed: seed, Iterations: iters, Retain: 16}).Profile(ctx, g, m)
 	if err != nil {
 		return err
 	}

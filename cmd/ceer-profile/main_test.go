@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 )
@@ -23,33 +24,33 @@ func quietStdout(t *testing.T) {
 
 func TestRunTableMode(t *testing.T) {
 	quietStdout(t)
-	if err := run("alexnet", "P2", 5, 8, 5, 1, false, false, true); err != nil {
+	if err := run(context.Background(), "alexnet", "P2", 5, 8, 5, 1, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONMode(t *testing.T) {
 	quietStdout(t)
-	if err := run("inception-v1", "G4", 3, 4, 5, 1, false, true, false); err != nil {
+	if err := run(context.Background(), "inception-v1", "G4", 3, 4, 5, 1, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDOTMode(t *testing.T) {
 	quietStdout(t)
-	if err := run("vgg-11", "P3", 1, 2, 5, 1, true, false, false); err != nil {
+	if err := run(context.Background(), "vgg-11", "P3", 1, 2, 5, 1, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "P3", 5, 8, 5, 1, false, false, false); err == nil {
+	if err := run(context.Background(), "nope", "P3", 5, 8, 5, 1, false, false, false); err == nil {
 		t.Error("unknown model should error")
 	}
-	if err := run("alexnet", "ZZ", 5, 8, 5, 1, false, false, false); err == nil {
+	if err := run(context.Background(), "alexnet", "ZZ", 5, 8, 5, 1, false, false, false); err == nil {
 		t.Error("unknown GPU family should error")
 	}
-	if err := run("alexnet", "P3", 0, 8, 5, 1, false, false, false); err == nil {
+	if err := run(context.Background(), "alexnet", "P3", 0, 8, 5, 1, false, false, false); err == nil {
 		t.Error("zero iterations should error")
 	}
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"ceer"
 	"ceer/internal/devices/a10g"
@@ -66,16 +68,24 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ceer train -out models.json [-seed N] [-iters N] [-workers N]
+             [-timeout D] [-retries N] [-fault-spec FILE] [-checkpoint FILE]
   ceer predict -model NAME [-models FILE] [-config 2xP3] [-samples N] [-batch N]
                [-market] [-explain] [-explain-nodes N] [-workers N]
+               [-timeout D] [-retries N] [-fault-spec FILE]
   ceer recommend -model NAME [-models FILE] [-objective cost|time]
                  [-hourly-budget X] [-total-budget X] [-memory] [-market]
                  [-samples N] [-batch N] [-workers N]
+                 [-timeout D] [-retries N] [-fault-spec FILE]
   ceer zoo
   ceer devices [-extra-devices]     (also: ceer -list-devices)
 
 -workers bounds the measurement campaign's parallelism (0 = GOMAXPROCS,
 1 = serial); any value trains an identical predictor.
+-timeout bounds the whole run (Go duration, e.g. 90s; 0 = none).
+-retries is the per-cell retry budget for transient campaign faults;
+-fault-spec injects deterministic faults from a JSON spec (chaos
+testing); -checkpoint (train) journals campaign progress so a preempted
+run resumes without re-measuring completed cells.
 -extra-devices (train/predict/recommend/devices) registers the built-in
 non-paper GPU devices and their instances before running.
 train/predict/recommend accept -cpuprofile FILE and -memprofile FILE to
@@ -144,19 +154,73 @@ func deferStop(stop func() error, err *error) {
 	}
 }
 
-// loadOrTrain returns a system from -models, or trains one in memory.
-func loadOrTrain(path string, seed uint64, workers int) (*ceer.System, error) {
-	if path != "" {
-		f, err := os.Open(path)
+// resilienceFlags holds the -timeout/-retries/-fault-spec flags shared
+// by the train/predict/recommend subcommands.
+type resilienceFlags struct {
+	timeout   *time.Duration
+	retries   *int
+	faultSpec *string
+}
+
+// addResilienceFlags registers the resilience flags on a subcommand.
+func addResilienceFlags(fs *flag.FlagSet) *resilienceFlags {
+	return &resilienceFlags{
+		timeout:   fs.Duration("timeout", 0, "overall deadline for the run (0 = none)"),
+		retries:   fs.Int("retries", 0, "per-cell retry budget for transient campaign faults"),
+		faultSpec: fs.String("fault-spec", "", "JSON fault-injection spec file (chaos testing)"),
+	}
+}
+
+// context derives the run's root context from -timeout.
+func (r *resilienceFlags) context() (context.Context, context.CancelFunc) {
+	if *r.timeout > 0 {
+		return context.WithTimeout(context.Background(), *r.timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// apply folds the resilience flags into the training options.
+func (r *resilienceFlags) apply(opts ceer.TrainOptions) (ceer.TrainOptions, error) {
+	opts.Retries = *r.retries
+	if *r.faultSpec != "" {
+		spec, err := ceer.LoadFaultSpec(*r.faultSpec)
 		if err != nil {
-			return nil, err
+			return opts, err
 		}
-		//lint:ignore errdrop read-side close; there are no buffered writes to lose
-		defer f.Close()
-		return ceer.Load(f)
+		opts.Faults = spec
+	}
+	return opts, nil
+}
+
+// warnCoverage reports incomplete campaign coverage on stderr; a
+// fully-covered campaign prints nothing.
+func warnCoverage(sys *ceer.System) {
+	cov := sys.Coverage()
+	if cov.Complete() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ceer: warning: campaign incomplete (%s)\n", cov)
+	for _, m := range sys.DegradedDevices() {
+		fmt.Fprintf(os.Stderr, "ceer: warning: device %s trained on partial coverage\n", m)
+	}
+}
+
+// loadOrTrain returns a system from -models, or trains one in memory.
+func loadOrTrain(ctx context.Context, path string, res *resilienceFlags, seed uint64, workers int) (*ceer.System, error) {
+	if path != "" {
+		return ceer.LoadFile(path)
 	}
 	fmt.Fprintln(os.Stderr, "ceer: no -models file given; training a fresh predictor...")
-	return ceer.Train(ceer.TrainOptions{Seed: seed, Workers: workers})
+	opts, err := res.apply(ceer.TrainOptions{Seed: seed, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := ceer.TrainContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	warnCoverage(sys)
+	return sys, nil
 }
 
 func cmdTrain(args []string) (err error) {
@@ -166,6 +230,8 @@ func cmdTrain(args []string) (err error) {
 	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
 	workers := fs.Int("workers", 0, "parallel measurement workers; 0 = GOMAXPROCS, 1 = serial")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	res := addResilienceFlags(fs)
+	checkpoint := fs.String("checkpoint", "", "journal campaign progress to this file and resume from it")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,10 +244,17 @@ func cmdTrain(args []string) (err error) {
 	if *extra {
 		a10g.Register()
 	}
-	sys, err := ceer.Train(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters, Workers: *workers})
+	ctx, cancel := res.context()
+	defer cancel()
+	opts, err := res.apply(ceer.TrainOptions{Seed: *seed, ProfileIterations: *iters, Workers: *workers, Checkpoint: *checkpoint})
 	if err != nil {
 		return err
 	}
+	sys, err := ceer.TrainContext(ctx, opts)
+	if err != nil {
+		return err
+	}
+	warnCoverage(sys)
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -225,6 +298,7 @@ func cmdPredict(args []string) (err error) {
 	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
 	explainNodes := fs.Int("explain-nodes", 0, "print the top N node-level contributions per device")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	res := addResilienceFlags(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -240,7 +314,9 @@ func cmdPredict(args []string) (err error) {
 	if *model == "" {
 		return fmt.Errorf("predict: -model is required")
 	}
-	sys, err := loadOrTrain(*modelsPath, *seed, *workers)
+	ctx, cancel := res.context()
+	defer cancel()
+	sys, err := loadOrTrain(ctx, *modelsPath, res, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -363,6 +439,7 @@ func cmdRecommend(args []string) (err error) {
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	memory := fs.Bool("memory", false, "exclude configurations whose GPU memory cannot hold the training state")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	res := addResilienceFlags(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -378,7 +455,9 @@ func cmdRecommend(args []string) (err error) {
 	if *model == "" {
 		return fmt.Errorf("recommend: -model is required")
 	}
-	sys, err := loadOrTrain(*modelsPath, *seed, *workers)
+	ctx, cancel := res.context()
+	defer cancel()
+	sys, err := loadOrTrain(ctx, *modelsPath, res, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -418,10 +497,15 @@ func cmdRecommend(args []string) (err error) {
 		Title:  fmt.Sprintf("Recommendation for %s (minimize %s)", *model, *objective),
 		Header: []string{"config", "instance", "$/hr", "total (h)", "cost", "feasible"},
 	}
+	degraded := map[string]string{}
 	for _, c := range rec.Candidates {
 		marker := ""
 		if c.Cfg == rec.Best.Cfg {
 			marker = " *"
+		}
+		if c.Degraded != "" {
+			marker += " †"
+			degraded[string(c.Cfg.GPU)] = c.Degraded
 		}
 		tbl.AddRow(c.Cfg.String()+marker, ceer.InstanceName(c.Cfg),
 			fmt.Sprintf("%.3f", c.HourlyUSD), textutil.Hours(c.TotalSeconds),
@@ -430,6 +514,16 @@ func cmdRecommend(args []string) (err error) {
 	tbl.AddNote("recommended: %s (%s) at %s, %s",
 		rec.Best.Cfg, ceer.InstanceName(rec.Best.Cfg),
 		textutil.Hours(rec.Best.TotalSeconds)+"h", textutil.USD(rec.Best.CostUSD))
+	if len(degraded) > 0 {
+		for _, m := range sys.DegradedDevices() {
+			if reason, ok := degraded[string(m)]; ok {
+				tbl.AddNote("† %s trained on partial coverage: %s", m, reason)
+			}
+		}
+		if rec.Best.Degraded != "" {
+			tbl.AddNote("no cleanly-covered feasible configuration; the recommendation is degraded")
+		}
+	}
 	return tbl.Render(os.Stdout)
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"os"
 	"testing"
 
@@ -41,7 +43,8 @@ func TestParseConfig(t *testing.T) {
 }
 
 func TestLoadOrTrainMissingFile(t *testing.T) {
-	if _, err := loadOrTrain("/nonexistent/models.json", 1, 1); err == nil {
+	res := addResilienceFlags(flag.NewFlagSet("test", flag.ContinueOnError))
+	if _, err := loadOrTrain(context.Background(), "/nonexistent/models.json", res, 1, 1); err == nil {
 		t.Error("missing models file should error")
 	}
 }

@@ -1,6 +1,7 @@
 package ceer
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -30,7 +31,11 @@ func predictor(t *testing.T) (*Predictor, *trace.Bundle) {
 		pl := DefaultPipeline(11)
 		pl.ProfileIterations = 60
 		pl.CommIterations = 12
-		trained, trainBundle, trainErr = pl.TrainOn(zoo.Build, zoo.TrainingSet())
+		var res *CampaignResult
+		trained, res, trainErr = pl.TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
+		if trainErr == nil {
+			trainBundle = res.Bundle
+		}
 	})
 	if trainErr != nil {
 		t.Fatal(trainErr)
@@ -113,7 +118,7 @@ func TestHeavyOpModelQuality(t *testing.T) {
 
 	// Held-out evaluation on the test CNNs.
 	prof := &sim.Profiler{Seed: 99, Iterations: 40, Retain: 8}
-	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), 32, gpu.All())
+	testBundle, err := prof.ProfileAll(context.Background(), zoo.Build, zoo.TestSet(), 32, gpu.All())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +217,7 @@ func TestEndToEndPredictionAccuracy(t *testing.T) {
 		for _, m := range gpu.All() {
 			for _, k := range []int{1, 4} {
 				cfg := cloud.Config{GPU: m, K: k}
-				obs, err := sim.Train(g, cfg, ds, 25, 555)
+				obs, err := sim.Train(context.Background(), g, cfg, ds, 25, 555)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -247,7 +252,7 @@ func TestPredictedRankingMatchesObserved(t *testing.T) {
 		vals := map[gpu.ID]pair{}
 		for _, m := range gpu.All() {
 			cfg := cloud.Config{GPU: m, K: 4}
-			obs, err := sim.Train(g, cfg, ds, 20, 777)
+			obs, err := sim.Train(context.Background(), g, cfg, ds, 20, 777)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -274,7 +279,7 @@ func TestAblations(t *testing.T) {
 	ds := dataset.ImageNetSubset6400
 	g := zoo.MustBuild("alexnet", 32)
 	cfg := cloud.Config{GPU: gpu.V100, K: 1}
-	obs, err := sim.Train(g, cfg, ds, 25, 31)
+	obs, err := sim.Train(context.Background(), g, cfg, ds, 25, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +397,7 @@ func TestUnseenHeavyOpWarning(t *testing.T) {
 	pl.ProfileIterations = 20
 	pl.CommIterations = 5
 	subset := []string{"vgg-11", "resnet-50", "alexnet"}
-	p, _, err := pl.TrainOn(zoo.Build, subset)
+	p, _, err := pl.TrainOn(context.Background(), zoo.Build, subset)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,395 @@
+package ceer
+
+// Chaos tests: the resilience machinery must never change what a
+// healthy campaign measures, and a faulted campaign must stay
+// deterministic — same spec, same seed, same bytes, at any worker
+// count.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/faults"
+	"ceer/internal/gpu"
+	"ceer/internal/zoo"
+)
+
+// chaosPolicy is the test retry policy: a real budget and backoff
+// schedule with sleeping disabled, so retried campaigns run at full
+// speed.
+func chaosPolicy(seed uint64, retries int) Pipeline {
+	pl := testPipeline(0)
+	pl.Retry = DefaultRetryPolicy(seed, retries)
+	pl.Retry.Sleep = func(time.Duration) {}
+	return pl
+}
+
+func mustInjector(t *testing.T, spec *faults.Spec) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func savedBytes(t *testing.T, p *Predictor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultFreeMatchesGolden is the no-regression gate of the
+// resilience work: with no fault spec and no retry policy, the
+// paper-default campaign must reproduce the pre-resilience predictor
+// byte for byte (testdata/predictor_seed1_golden.json, the exact
+// output of `ceer train -seed 1`).
+func TestFaultFreeMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "predictor_seed1_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, res, err := DefaultPipeline(1).TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coverage.Complete() {
+		t.Errorf("healthy campaign reported incomplete coverage: %s", res.Coverage)
+	}
+	if len(res.Bundle.Missing) != 0 {
+		t.Errorf("healthy campaign recorded missing cells: %v", res.Bundle.Missing)
+	}
+	if got := savedBytes(t, pred); !bytes.Equal(got, want) {
+		t.Error("fault-free predictor drifted from the pre-resilience golden bytes")
+	}
+}
+
+// TestRetryPolicyAloneChangesNothing: arming the retry machinery with
+// no faults to handle must be invisible in the results.
+func TestRetryPolicyAloneChangesNothing(t *testing.T) {
+	base, err := testPipeline(0).Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := chaosPolicy(11, 3).Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Bundle, armed.Bundle) || !reflect.DeepEqual(base.CommObs, armed.CommObs) {
+		t.Error("an armed retry policy changed a healthy campaign's measurements")
+	}
+	if armed.Coverage.Retries != 0 || !armed.Coverage.Complete() {
+		t.Errorf("healthy campaign coverage = %s", armed.Coverage)
+	}
+}
+
+// TestChaosTransientDeterminism pins the seeded-chaos contract: under
+// a 10% transient fault rate with retries, the campaign recovers fully
+// and produces byte-identical results at 1 and 8 workers.
+func TestChaosTransientDeterminism(t *testing.T) {
+	spec := &faults.Spec{Seed: 99, TransientRate: 0.10}
+	run := func(workers int) (*CampaignResult, []byte) {
+		pl := chaosPolicy(11, 4)
+		pl.Workers = workers
+		pl.Faults = mustInjector(t, spec)
+		res, err := pl.Campaign(context.Background(), zoo.Build, campaignNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := Train(res.Bundle, res.CommObs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, savedBytes(t, pred)
+	}
+	serial, serialJSON := run(1)
+	parallel, parallelJSON := run(8)
+
+	if serial.Coverage.Retries == 0 {
+		t.Error("a 10% transient rate should have forced at least one retry")
+	}
+	if !serial.Coverage.Complete() {
+		t.Errorf("transient faults within budget should leave full coverage, got %s", serial.Coverage)
+	}
+	if serial.Coverage != parallel.Coverage {
+		t.Errorf("coverage differs across worker counts: %s vs %s", serial.Coverage, parallel.Coverage)
+	}
+	if !reflect.DeepEqual(serial.Bundle, parallel.Bundle) {
+		t.Error("chaos bundle differs between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.CommObs, parallel.CommObs) {
+		t.Error("chaos comm observations differ between 1 and 8 workers")
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Error("chaos predictor JSON differs between 1 and 8 workers")
+	}
+
+	// The recommendation downstream of the chaos campaign is equally
+	// worker-independent.
+	recFrom := func(data []byte) Recommendation {
+		p, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p.Recommend(zoo.MustBuild("inception-v3", 32), dataset.ImageNet,
+			cloud.OnDemand, cloud.Configs(4), MinimizeCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := recFrom(serialJSON), recFrom(parallelJSON)
+	if a.Best.Cfg != b.Best.Cfg || !eqExact(a.Best.CostUSD, b.Best.CostUSD) {
+		t.Errorf("recommendation differs across worker counts: %v vs %v", a.Best.Cfg, b.Best.Cfg)
+	}
+}
+
+// TestChaosPermanentDeviceDegrades drives the graceful-degradation
+// journey: every cell of one device fails permanently, yet the
+// campaign completes, training succeeds, the device is flagged
+// degraded, and the recommender routes around it.
+func TestChaosPermanentDeviceDegrades(t *testing.T) {
+	pl := chaosPolicy(11, 2)
+	pl.Faults = mustInjector(t, &faults.Spec{Seed: 5, PermanentDevices: []string{string(gpu.M60)}})
+	pred, res, err := pl.TrainOn(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatalf("a permanently failing device must degrade, not abort: %v", err)
+	}
+	if res.Coverage.Complete() {
+		t.Fatal("coverage should be incomplete with a dead device")
+	}
+	wantMissing := len(campaignNames)           // profile cells
+	wantMissing += len(campaignNames) * pl.MaxK // comm cells
+	if got := len(res.Bundle.MissingForGPU(gpu.M60)); got != wantMissing {
+		t.Errorf("m60 missing cells = %d, want %d", got, wantMissing)
+	}
+	if got := res.Coverage.ProfileMissing; got != len(campaignNames) {
+		t.Errorf("profile missing = %d, want %d", got, len(campaignNames))
+	}
+
+	reason, degraded := pred.Degraded(gpu.M60)
+	if !degraded || reason == "" {
+		t.Fatalf("m60 should be flagged degraded, got (%q, %v)", reason, degraded)
+	}
+	for _, m := range gpu.All() {
+		if m == gpu.M60 {
+			continue
+		}
+		if r, d := pred.Degraded(m); d {
+			t.Errorf("%s wrongly flagged degraded: %s", m, r)
+		}
+	}
+
+	// The degraded flag survives persistence.
+	loaded, err := Load(bytes.NewReader(savedBytes(t, pred)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, d := loaded.Degraded(gpu.M60); !d {
+		t.Error("degraded flag lost across save/load")
+	}
+
+	// Recommend routes around the degraded device: the winner is clean,
+	// and every m60 candidate is labeled and infeasible (its comm model
+	// never trained).
+	rec, err := loaded.Recommend(zoo.MustBuild("inception-v3", 32), dataset.ImageNet,
+		cloud.OnDemand, cloud.Configs(4), MinimizeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Cfg.GPU == gpu.M60 || rec.Best.Degraded != "" {
+		t.Errorf("best candidate %v should be a clean device", rec.Best.Cfg)
+	}
+	for _, c := range rec.Candidates {
+		if c.Cfg.GPU != gpu.M60 {
+			continue
+		}
+		if c.Degraded == "" {
+			t.Errorf("m60 candidate %v lacks its degraded label", c.Cfg)
+		}
+		if c.Feasible {
+			t.Errorf("m60 candidate %v should be infeasible without a comm model", c.Cfg)
+		}
+	}
+}
+
+// TestChaosPreemptionCheckpointResume is the preemption journey: run 1
+// is killed by an injected preemption, run 2 reuses the checkpoint,
+// skips every completed cell, and finishes with the exact bytes an
+// uninterrupted fault-free campaign produces.
+func TestChaosPreemptionCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+	mk := func(spec *faults.Spec) Pipeline {
+		pl := chaosPolicy(11, 2)
+		pl.CheckpointPath = ckpt
+		pl.Faults = mustInjector(t, spec)
+		return pl
+	}
+	preempt := &faults.Spec{Seed: 1, Preempt: []faults.PreemptPoint{
+		{Stage: "comm", CNN: campaignNames[1], Device: string(gpu.T4), K: 2, Attempt: 1},
+	}}
+
+	_, err := mk(preempt).Campaign(context.Background(), zoo.Build, campaignNames)
+	if !faults.IsPreempted(err) {
+		t.Fatalf("run 1 should die preempted, got %v", err)
+	}
+
+	// Run 2: same spec, same checkpoint. The interrupted cell resumes at
+	// attempt 2, so the one-shot preemption point cannot re-fire.
+	res, err := mk(preempt).Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatalf("resumed run should complete, got %v", err)
+	}
+	if res.Coverage.Resumed == 0 {
+		t.Error("run 2 restored no cells from the checkpoint")
+	}
+	if !res.Coverage.Complete() {
+		t.Errorf("resumed campaign incomplete: %s", res.Coverage)
+	}
+
+	// The stitched-together result is bit-identical to an uninterrupted
+	// fault-free campaign of the same configuration.
+	clean, err := chaosPolicy(11, 2).Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean.Bundle, res.Bundle) {
+		t.Error("resumed bundle differs from an uninterrupted run")
+	}
+	if !reflect.DeepEqual(clean.CommObs, res.CommObs) {
+		t.Error("resumed comm observations differ from an uninterrupted run")
+	}
+	a, err := Train(clean.Bundle, clean.CommObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(res.Bundle, res.CommObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(savedBytes(t, a), savedBytes(t, b)) {
+		t.Error("resumed predictor JSON differs from an uninterrupted run")
+	}
+}
+
+// TestCheckpointSkipsCompletedCells: re-running a finished campaign
+// over its checkpoint restores every cell instead of re-measuring.
+func TestCheckpointSkipsCompletedCells(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+	pl := chaosPolicy(11, 0)
+	pl.CheckpointPath = ckpt
+	first, err := pl.Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Coverage.Resumed != 0 {
+		t.Errorf("fresh run resumed %d cells", first.Coverage.Resumed)
+	}
+	second, err := pl.Campaign(context.Background(), zoo.Build, campaignNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := first.Coverage.ProfileCells + first.Coverage.CommCells
+	if second.Coverage.Resumed != total {
+		t.Errorf("second run resumed %d cells, want all %d", second.Coverage.Resumed, total)
+	}
+	if !reflect.DeepEqual(first.Bundle, second.Bundle) || !reflect.DeepEqual(first.CommObs, second.CommObs) {
+		t.Error("checkpoint-restored campaign differs from the measured one")
+	}
+}
+
+// TestCheckpointRejectsConfigMismatch: resuming under different
+// campaign parameters would splice incompatible measurements, so the
+// journal is rejected.
+func TestCheckpointRejectsConfigMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+	pl := chaosPolicy(11, 0)
+	pl.CheckpointPath = ckpt
+	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err != nil {
+		t.Fatal(err)
+	}
+	other := pl
+	other.Seed = 12
+	if _, err := other.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err == nil {
+		t.Error("a checkpoint from a different seed must be rejected")
+	}
+}
+
+// TestCheckpointCorruption: a torn final line (interrupted append) is
+// tolerated; corruption anywhere else is an error.
+func TestCheckpointCorruption(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "campaign.ckpt")
+	pl := chaosPolicy(11, 0)
+	pl.CheckpointPath = ckpt
+	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: drop the last half-line, as a crash mid-append would.
+	torn := append(append([]byte(nil), data...), []byte(`{"type":"profile","cell":"pro`)...)
+	if err := os.WriteFile(ckpt, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1])
+	if err != nil {
+		t.Fatalf("a torn final line must be tolerated: %v", err)
+	}
+	if res.Coverage.Resumed == 0 {
+		t.Error("the intact prefix should still restore cells")
+	}
+
+	// Mid-file corruption is not recoverable.
+	lines := bytes.SplitN(data, []byte("\n"), 3)
+	if len(lines) < 3 {
+		t.Fatal("journal too short to corrupt")
+	}
+	corrupt := bytes.Join([][]byte{lines[0], []byte(`{broken`), lines[2]}, []byte("\n"))
+	bad := filepath.Join(dir, "corrupt.ckpt")
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pl.CheckpointPath = bad
+	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err == nil {
+		t.Error("mid-file corruption must be rejected")
+	}
+
+	// A journal that does not start with a header is rejected too.
+	headerless := filepath.Join(dir, "headerless.ckpt")
+	if err := os.WriteFile(headerless, bytes.Join(lines[1:], []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pl.CheckpointPath = headerless
+	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err == nil {
+		t.Error("a headerless journal must be rejected")
+	}
+}
+
+// TestTrainDegradedThresholdDevice: losing the classification
+// threshold device (K80) leaves nothing to classify against, so
+// training fails loudly rather than fitting nonsense.
+func TestTrainDegradedThresholdDevice(t *testing.T) {
+	pl := chaosPolicy(11, 0)
+	pl.Faults = mustInjector(t, &faults.Spec{Seed: 5, PermanentDevices: []string{string(gpu.K80)}})
+	_, _, err := pl.TrainOn(context.Background(), zoo.Build, campaignNames)
+	if err == nil {
+		t.Fatal("training without the threshold device should fail")
+	}
+	if faults.IsPreempted(err) {
+		t.Errorf("failure should be a training error, not an abort: %v", err)
+	}
+}

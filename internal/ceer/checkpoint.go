@@ -1,0 +1,281 @@
+// Campaign checkpointing: an append-only JSONL journal of completed
+// cells and consumed attempts. A campaign aborted by preemption (or a
+// crash) re-opens the journal, skips every completed cell, and resumes
+// interrupted cells at the attempt after their last consumed one.
+// Profiles round-trip through the exact trace state codec, so a
+// resumed campaign produces the very bytes an uninterrupted run would
+// have.
+
+package ceer
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"ceer/internal/gpu"
+	"ceer/internal/trace"
+)
+
+// checkpointVersion guards the journal format.
+const checkpointVersion = 1
+
+// checkpointHeader pins the campaign parameters a journal belongs to.
+// Resuming under different parameters would splice incompatible
+// measurements into one bundle, so mismatches are rejected.
+type checkpointHeader struct {
+	Version           int    `json:"version"`
+	Seed              uint64 `json:"seed"`
+	Batch             int64  `json:"batch"`
+	ProfileIterations int    `json:"profile_iters"`
+	CommIterations    int    `json:"comm_iters"`
+	MaxK              int    `json:"max_k"`
+}
+
+func (pl Pipeline) checkpointHeader() checkpointHeader {
+	return checkpointHeader{
+		Version:           checkpointVersion,
+		Seed:              pl.Seed,
+		Batch:             pl.Batch,
+		ProfileIterations: pl.ProfileIterations,
+		CommIterations:    pl.CommIterations,
+		MaxK:              pl.MaxK,
+	}
+}
+
+// checkpointRecord is one journal line. Type selects which payload
+// field is populated: "header", "profile", "comm", or "attempt".
+type checkpointRecord struct {
+	Type     string            `json:"type"`
+	Header   *checkpointHeader `json:"header,omitempty"`
+	Cell     string            `json:"cell,omitempty"`
+	Profile  json.RawMessage   `json:"profile,omitempty"`
+	Comm     *commObsJSON      `json:"comm,omitempty"`
+	Attempts int               `json:"attempts,omitempty"`
+}
+
+// commObsJSON is the journal form of a CommObs.
+type commObsJSON struct {
+	CNN      string  `json:"cnn"`
+	GPU      string  `json:"gpu"`
+	K        int     `json:"k"`
+	Params   int64   `json:"params"`
+	Overhead float64 `json:"overhead"`
+}
+
+// counter is a race-free failed-attempt tally.
+type counter struct{ n atomic.Int64 }
+
+func (c *counter) add(d int)  { c.n.Add(int64(d)) }
+func (c *counter) value() int { return int(c.n.Load()) }
+
+// checkpoint is the live journal: in-memory maps of everything loaded
+// or recorded, plus the append-side file. All methods are safe for
+// concurrent use by campaign workers, and read-side methods tolerate a
+// nil receiver (no checkpoint configured).
+type checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	profiles map[string]*trace.Profile
+	comms    map[string]CommObs
+	attempts map[string]int
+}
+
+// openCheckpoint loads the journal at path (if any), validates its
+// header against the campaign's, and opens it for appending. It
+// returns the checkpoint and the number of completed cells restored.
+func openCheckpoint(path string, h checkpointHeader) (*checkpoint, int, error) {
+	cp := &checkpoint{
+		profiles: make(map[string]*trace.Profile),
+		comms:    make(map[string]CommObs),
+		attempts: make(map[string]int),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, 0, fmt.Errorf("ceer: reading checkpoint %s: %w", path, err)
+	}
+	if len(bytes.TrimSpace(data)) > 0 {
+		if err := cp.load(path, data, h); err != nil {
+			return nil, 0, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ceer: opening checkpoint %s: %w", path, err)
+	}
+	cp.f = f
+	cp.enc = json.NewEncoder(f)
+	if len(bytes.TrimSpace(data)) == 0 {
+		if err := cp.append(checkpointRecord{Type: "header", Header: &h}); err != nil {
+			// The header write error is the one to surface; the close
+			// cannot lose buffered data (nothing was written).
+			_ = f.Close()
+			return nil, 0, err
+		}
+	}
+	return cp, len(cp.profiles) + len(cp.comms), nil
+}
+
+// load replays an existing journal. A torn final line — the footprint
+// of a process killed mid-write — is ignored; corruption anywhere else
+// is an error.
+func (c *checkpoint) load(path string, data []byte, want checkpointHeader) error {
+	lines := bytes.Split(data, []byte("\n"))
+	sawHeader := false
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				return nil // torn tail from an interrupted append
+			}
+			return fmt.Errorf("ceer: checkpoint %s line %d: %w", path, i+1, err)
+		}
+		if !sawHeader {
+			if rec.Type != "header" || rec.Header == nil {
+				return fmt.Errorf("ceer: checkpoint %s does not start with a header record", path)
+			}
+			if *rec.Header != want {
+				return fmt.Errorf("ceer: checkpoint %s was written by a different campaign configuration (have %+v, want %+v)",
+					path, *rec.Header, want)
+			}
+			sawHeader = true
+			continue
+		}
+		switch rec.Type {
+		case "profile":
+			p, err := trace.UnmarshalState(rec.Profile)
+			if err != nil {
+				return fmt.Errorf("ceer: checkpoint %s line %d: %w", path, i+1, err)
+			}
+			c.profiles[rec.Cell] = p
+		case "comm":
+			if rec.Comm == nil {
+				return fmt.Errorf("ceer: checkpoint %s line %d: comm record without payload", path, i+1)
+			}
+			m := gpu.ID(rec.Comm.GPU)
+			if _, ok := gpu.Lookup(m); !ok {
+				return fmt.Errorf("ceer: checkpoint %s line %d: unregistered device %q", path, i+1, rec.Comm.GPU)
+			}
+			c.comms[rec.Cell] = CommObs{
+				CNN:      rec.Comm.CNN,
+				GPU:      m,
+				K:        rec.Comm.K,
+				Params:   rec.Comm.Params,
+				Overhead: rec.Comm.Overhead,
+			}
+		case "attempt":
+			if rec.Attempts > c.attempts[rec.Cell] {
+				c.attempts[rec.Cell] = rec.Attempts
+			}
+		case "header":
+			return fmt.Errorf("ceer: checkpoint %s line %d: duplicate header record", path, i+1)
+		default:
+			return fmt.Errorf("ceer: checkpoint %s line %d: unknown record type %q", path, i+1, rec.Type)
+		}
+	}
+	return nil
+}
+
+// append journals one record. json.Encoder writes straight to the
+// file, so a record is durable as soon as append returns.
+func (c *checkpoint) append(rec checkpointRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(rec); err != nil {
+		return fmt.Errorf("ceer: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restoreProfile returns the checkpointed profile of a cell, if any.
+func (c *checkpoint) restoreProfile(key string) (*trace.Profile, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	p, ok := c.profiles[key]
+	c.mu.Unlock()
+	return p, ok
+}
+
+// restoreComm returns the checkpointed observation of a cell, if any.
+func (c *checkpoint) restoreComm(key string) (CommObs, bool) {
+	if c == nil {
+		return CommObs{}, false
+	}
+	c.mu.Lock()
+	o, ok := c.comms[key]
+	c.mu.Unlock()
+	return o, ok
+}
+
+// consumed returns how many attempts the cell has already used across
+// this and prior runs.
+func (c *checkpoint) consumed(key string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	n := c.attempts[key]
+	c.mu.Unlock()
+	return n
+}
+
+// noteAttempt journals a failed attempt so a resumed run continues
+// past it. Journal write errors here are deliberately swallowed: the
+// attempt record only optimizes resumption, and failing the cell over
+// it would turn a bookkeeping hiccup into lost measurements.
+func (c *checkpoint) noteAttempt(key string, attempt int) {
+	c.mu.Lock()
+	if attempt > c.attempts[key] {
+		c.attempts[key] = attempt
+	}
+	c.mu.Unlock()
+	// Best-effort journal append; see the function comment.
+	_ = c.append(checkpointRecord{Type: "attempt", Cell: key, Attempts: attempt})
+}
+
+// recordProfile journals a completed profile cell.
+func (c *checkpoint) recordProfile(key string, p *trace.Profile) error {
+	data, err := p.MarshalState()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.profiles[key] = p
+	c.mu.Unlock()
+	return c.append(checkpointRecord{Type: "profile", Cell: key, Profile: data})
+}
+
+// recordComm journals a completed communication cell.
+func (c *checkpoint) recordComm(key string, o CommObs) error {
+	c.mu.Lock()
+	c.comms[key] = o
+	c.mu.Unlock()
+	return c.append(checkpointRecord{Type: "comm", Cell: key, Comm: &commObsJSON{
+		CNN:      o.CNN,
+		GPU:      string(o.GPU),
+		K:        o.K,
+		Params:   o.Params,
+		Overhead: o.Overhead,
+	}})
+}
+
+// close releases the journal file.
+func (c *checkpoint) close() error {
+	if c == nil || c.f == nil {
+		return nil
+	}
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("ceer: closing checkpoint: %w", err)
+	}
+	return nil
+}

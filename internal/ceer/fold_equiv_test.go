@@ -1,6 +1,8 @@
 package ceer
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -123,7 +125,7 @@ func TestFoldedMatchesUnfoldedUnseen(t *testing.T) {
 	pl := DefaultPipeline(13)
 	pl.ProfileIterations = 20
 	pl.CommIterations = 5
-	p, _, err := pl.TrainOn(zoo.Build, []string{"vgg-11", "resnet-50", "alexnet"})
+	p, _, err := pl.TrainOn(context.Background(), zoo.Build, []string{"vgg-11", "resnet-50", "alexnet"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +227,7 @@ func TestFoldEvalReduction(t *testing.T) {
 	pl := DefaultPipeline(17)
 	pl.ProfileIterations = 20
 	pl.CommIterations = 5
-	p, _, err := pl.TrainOn(zoo.Build, zoo.TrainingSet())
+	p, _, err := pl.TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"ceer/internal/gpu"
@@ -15,6 +16,35 @@ import (
 // models by stable device ID strings (version 1 used AWS family codes
 // resolved through the then-closed model enum).
 const persistVersion = 2
+
+// PersistError is the typed failure of loading a serialized predictor:
+// it carries the source path (empty when loading from a stream) and
+// the file's declared version (0 when the JSON never decoded), so
+// callers can distinguish a stale-format file from a corrupt one.
+type PersistError struct {
+	// Path is the file being loaded, when known.
+	Path string
+	// Version is the version field of the decoded file, 0 if decoding
+	// never got that far.
+	Version int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the failure with its source context.
+func (e *PersistError) Error() string {
+	where := e.Path
+	if where == "" {
+		where = "predictor"
+	}
+	if e.Version != 0 {
+		return fmt.Sprintf("ceer: loading %s (version %d): %v", where, e.Version, e.Err)
+	}
+	return fmt.Sprintf("ceer: loading %s: %v", where, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PersistError) Unwrap() error { return e.Err }
 
 // predictorJSON is the serialized form of a trained Predictor. Only the
 // chosen per-op models are persisted (the rejected selection candidates
@@ -35,6 +65,11 @@ type predictorJSON struct {
 	CPUMedian   float64 `json:"cpu_median"`
 
 	CommModels []commModelJSON `json:"comm_models"`
+
+	// Degraded lists devices trained on incomplete campaign coverage.
+	// omitempty keeps fully-covered predictors byte-identical to files
+	// written before partial coverage existed.
+	Degraded []degradedJSON `json:"degraded,omitempty"`
 }
 
 type opModelJSON struct {
@@ -51,10 +86,15 @@ type commModelJSON struct {
 	Model  *regress.Model `json:"model"`
 }
 
+type degradedJSON struct {
+	Device string `json:"gpu"`
+	Reason string `json:"reason"`
+}
+
 // Save serializes the trained predictor as JSON. Output is
 // deterministic and independent of registry registration order: op
-// models are emitted in sorted (family, op type) order and comm models
-// in sorted (device ID, k) order.
+// models are emitted in sorted (family, op type) order, comm models in
+// sorted (device ID, k) order, and degraded devices sorted by ID.
 func (p *Predictor) Save(w io.Writer) error {
 	out := predictorJSON{
 		Version:     persistVersion,
@@ -99,6 +139,9 @@ func (p *Predictor) Save(w io.Writer) error {
 			})
 		}
 	}
+	for _, m := range p.DegradedDevices() {
+		out.Degraded = append(out.Degraded, degradedJSON{Device: string(m), Reason: p.degraded[m]})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
@@ -107,17 +150,37 @@ func (p *Predictor) Save(w io.Writer) error {
 // Load restores a predictor previously written by Save. Every device ID
 // in the file must be registered in the gpu registry of the loading
 // process (load the extra-device data packages before calling Load if
-// the predictor was trained with extras).
+// the predictor was trained with extras). Failures are *PersistError
+// values carrying the decoded version when available.
 func Load(r io.Reader) (*Predictor, error) {
+	return load(r, "")
+}
+
+// LoadFile is Load from a file path; the path is carried in any
+// resulting *PersistError.
+func LoadFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &PersistError{Path: path, Err: err}
+	}
+	//lint:ignore errdrop read-side close; there are no buffered writes to lose
+	defer f.Close()
+	return load(f, path)
+}
+
+func load(r io.Reader, path string) (*Predictor, error) {
+	fail := func(version int, format string, args ...any) (*Predictor, error) {
+		return nil, &PersistError{Path: path, Version: version, Err: fmt.Errorf(format, args...)}
+	}
 	var in predictorJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("ceer: decoding predictor: %w", err)
+		return fail(0, "decoding predictor: %w", err)
 	}
 	if in.Version != persistVersion {
-		return nil, fmt.Errorf("ceer: unsupported predictor version %d (want %d)", in.Version, persistVersion)
+		return fail(in.Version, "unsupported predictor version %d (want %d)", in.Version, persistVersion)
 	}
 	if in.LightMedian <= 0 || in.CPUMedian <= 0 {
-		return nil, fmt.Errorf("ceer: serialized medians must be positive")
+		return fail(in.Version, "serialized medians must be positive")
 	}
 	p := &Predictor{
 		Class: &Classification{
@@ -143,10 +206,10 @@ func Load(r io.Reader) (*Predictor, error) {
 	for _, om := range in.OpModels {
 		m := gpu.ID(om.Device)
 		if _, ok := gpu.Lookup(m); !ok {
-			return nil, fmt.Errorf("ceer: op model references unregistered device %q", om.Device)
+			return fail(in.Version, "op model references unregistered device %q", om.Device)
 		}
 		if om.Model == nil {
-			return nil, fmt.Errorf("ceer: op model %s/%s missing regression", om.Device, om.OpType)
+			return fail(in.Version, "op model %s/%s missing regression", om.Device, om.OpType)
 		}
 		if p.opModels[m] == nil {
 			p.opModels[m] = make(map[ops.Type]*OpModel)
@@ -161,15 +224,25 @@ func Load(r io.Reader) (*Predictor, error) {
 	for _, cm := range in.CommModels {
 		m := gpu.ID(cm.Device)
 		if _, ok := gpu.Lookup(m); !ok {
-			return nil, fmt.Errorf("ceer: comm model references unregistered device %q", cm.Device)
+			return fail(in.Version, "comm model references unregistered device %q", cm.Device)
 		}
 		if cm.Model == nil || cm.K < 1 {
-			return nil, fmt.Errorf("ceer: malformed comm model %s k=%d", cm.Device, cm.K)
+			return fail(in.Version, "malformed comm model %s k=%d", cm.Device, cm.K)
 		}
 		if p.commModels[m] == nil {
 			p.commModels[m] = make(map[int]*CommModel)
 		}
 		p.commModels[m][cm.K] = &CommModel{GPU: m, K: cm.K, Fit: cm.Model}
+	}
+	for _, d := range in.Degraded {
+		m := gpu.ID(d.Device)
+		if _, ok := gpu.Lookup(m); !ok {
+			return fail(in.Version, "degraded entry references unregistered device %q", d.Device)
+		}
+		if d.Reason == "" {
+			return fail(in.Version, "degraded entry for %q lacks a reason", d.Device)
+		}
+		p.setDegraded(m, d.Reason)
 	}
 	return p, nil
 }

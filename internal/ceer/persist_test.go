@@ -2,7 +2,10 @@ package ceer
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -153,5 +156,117 @@ func TestSaveLoadSurvivesRegistryReorder(t *testing.T) {
 	}
 	if again.String() != orig.String() {
 		t.Error("re-serialized predictor is not byte-identical under reordered registry")
+	}
+}
+
+// TestLoadPersistError pins the typed error contract: every load
+// failure is a *PersistError carrying the declared file version (0 when
+// decoding never reached it) and, for file loads, the source path.
+func TestLoadPersistError(t *testing.T) {
+	cases := []struct {
+		name        string
+		payload     string
+		wantVersion int
+	}{
+		{"truncated JSON", `{"version": 2, "light_median": 1e-`, 0},
+		{"empty input", ``, 0},
+		{"binary garbage", "\x00\x01\x02predictor", 0},
+		{"stale version", `{"version": 1, "light_median": 1e-6, "cpu_median": 1e-5}`, 1},
+		{"future version", `{"version": 99}`, 99},
+		{"corrupt medians", `{"version": 2, "light_median": 0, "cpu_median": 1}`, 2},
+		{"unregistered device", `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"op_models": [{"gpu": "no-such-device", "op": "Conv2D", "model": {"degree":1,"num_features":1,"coef":[0,1],"r2":1,"n":2,"scale":[1]}}]}`, 2},
+		{"degraded without reason", `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"degraded": [{"gpu": "v100", "reason": ""}]}`, 2},
+		{"degraded unknown device", `{"version": 2, "light_median": 1e-6, "cpu_median": 1e-5,
+			"degraded": [{"gpu": "no-such-device", "reason": "x"}]}`, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(c.payload))
+			if err == nil {
+				t.Fatal("Load should fail")
+			}
+			var pe *PersistError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %T (%v), want *PersistError", err, err)
+			}
+			if pe.Version != c.wantVersion {
+				t.Errorf("version = %d, want %d", pe.Version, c.wantVersion)
+			}
+			if pe.Path != "" {
+				t.Errorf("stream load should carry no path, got %q", pe.Path)
+			}
+		})
+	}
+}
+
+// TestLoadFilePersistError checks that file-based loads carry the path
+// in the typed error, for both open failures and corrupt contents.
+func TestLoadFilePersistError(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	_, err := LoadFile(missing)
+	var pe *PersistError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PersistError", err, err)
+	}
+	if pe.Path != missing {
+		t.Errorf("path = %q, want %q", pe.Path, missing)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("open failure should unwrap to os.ErrNotExist, got %v", err)
+	}
+
+	corrupt := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(corrupt)
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PersistError", err, err)
+	}
+	if pe.Path != corrupt || pe.Version != 99 {
+		t.Errorf("got path=%q version=%d, want path=%q version=99", pe.Path, pe.Version, corrupt)
+	}
+	if !strings.Contains(err.Error(), corrupt) {
+		t.Errorf("message %q should name the file", err.Error())
+	}
+}
+
+// TestSaveLoadDegradedRoundtrip proves degraded-device annotations
+// survive persistence and that their presence is the only difference
+// from a clean predictor's serialization.
+func TestSaveLoadDegradedRoundtrip(t *testing.T) {
+	p, _ := predictor(t)
+	var clean bytes.Buffer
+	if err := p.Save(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), `"degraded"`) {
+		t.Fatal("fully-covered predictor must not serialize a degraded field")
+	}
+
+	marked, err := Load(bytes.NewReader(clean.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked.setDegraded(gpu.M60, "2 campaign cells missing")
+	var dirty bytes.Buffer
+	if err := marked.Save(&dirty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dirty.String(), `"degraded"`) {
+		t.Fatal("degraded predictor must serialize the annotation")
+	}
+	back, err := Load(bytes.NewReader(dirty.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, ok := back.Degraded(gpu.M60)
+	if !ok || reason != "2 campaign cells missing" {
+		t.Errorf("degraded annotation lost: %q, %v", reason, ok)
+	}
+	if got := back.DegradedDevices(); len(got) != 1 || got[0] != gpu.M60 {
+		t.Errorf("DegradedDevices = %v, want [m60]", got)
 	}
 }

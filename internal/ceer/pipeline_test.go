@@ -2,6 +2,7 @@ package ceer
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -31,14 +32,16 @@ var campaignNames = []string{"vgg-11", "inception-v1", "resnet-50"}
 // Workers=1 — deeply equal bundle and observations, and a byte-identical
 // serialized predictor.
 func TestCampaignParallelDeterminism(t *testing.T) {
-	serialBundle, serialObs, err := testPipeline(1).Campaign(zoo.Build, campaignNames)
+	serialRes, err := testPipeline(1).Campaign(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallelBundle, parallelObs, err := testPipeline(8).Campaign(zoo.Build, campaignNames)
+	serialBundle, serialObs := serialRes.Bundle, serialRes.CommObs
+	parallelRes, err := testPipeline(8).Campaign(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}
+	parallelBundle, parallelObs := parallelRes.Bundle, parallelRes.CommObs
 
 	if !reflect.DeepEqual(serialBundle, parallelBundle) {
 		t.Error("parallel campaign bundle differs from serial")
@@ -105,7 +108,7 @@ func TestCampaignBuildsEachGraphOnce(t *testing.T) {
 		}
 		mu.Unlock()
 		pl := testPipeline(workers)
-		if _, _, err := pl.Campaign(counting, campaignNames); err != nil {
+		if _, err := pl.Campaign(context.Background(), counting, campaignNames); err != nil {
 			t.Fatal(err)
 		}
 		for _, name := range campaignNames {
@@ -119,11 +122,11 @@ func TestCampaignBuildsEachGraphOnce(t *testing.T) {
 // TestCollectCommObsParallelMatchesSerial exercises the comm stage's
 // fan-out in isolation (the campaign test covers it end to end).
 func TestCollectCommObsParallelMatchesSerial(t *testing.T) {
-	serial, err := testPipeline(1).CollectCommObs(zoo.Build, campaignNames)
+	serial, err := testPipeline(1).CollectCommObs(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := testPipeline(6).CollectCommObs(zoo.Build, campaignNames)
+	parallel, err := testPipeline(6).CollectCommObs(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,11 @@ type Predictor struct {
 	CPUMedian   float64
 	// commModels maps GPU → k → fitted overhead model.
 	commModels map[gpu.ID]map[int]*CommModel
+	// degraded maps devices with incomplete campaign coverage to a
+	// human-readable reason. Predictions on a degraded device rest on
+	// partial training data; the recommender prefers clean devices and
+	// labels degraded candidates.
+	degraded map[gpu.ID]string
 
 	// memoMu guards memo, the cross-call heavy-op prediction cache of
 	// the serving path, keyed by (device, op signature). A trained
@@ -181,7 +186,42 @@ func TrainWithDegree(bundle *trace.Bundle, commObs []CommObs, degree int) (*Pred
 			p.commModels[m][k] = &CommModel{GPU: m, K: k, Fit: fit}
 		}
 	}
+
+	// Devices whose campaign cells went missing trained on partial
+	// data: flag them degraded so serving can prefer clean devices.
+	// Missing is sorted, so the derived reasons are deterministic.
+	for _, m := range gpu.All() {
+		if missing := bundle.MissingForGPU(m); len(missing) > 0 {
+			p.setDegraded(m, fmt.Sprintf("%d campaign cells missing (e.g. %s)",
+				len(missing), missing[0]))
+		}
+	}
 	return p, nil
+}
+
+// setDegraded marks a device as trained on incomplete campaign data.
+func (p *Predictor) setDegraded(m gpu.ID, reason string) {
+	if p.degraded == nil {
+		p.degraded = make(map[gpu.ID]string)
+	}
+	p.degraded[m] = reason
+}
+
+// Degraded reports whether the device's models were fit on incomplete
+// campaign coverage, and why.
+func (p *Predictor) Degraded(m gpu.ID) (string, bool) {
+	reason, ok := p.degraded[m]
+	return reason, ok
+}
+
+// DegradedDevices lists the degraded devices, sorted by ID.
+func (p *Predictor) DegradedDevices() []gpu.ID {
+	out := make([]gpu.ID, 0, len(p.degraded))
+	for m := range p.degraded {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // fitOpModel fits one heavy-op model, honoring a forced degree.

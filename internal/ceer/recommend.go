@@ -66,11 +66,17 @@ type Candidate struct {
 	Feasible bool
 	// Score is the objective value (only meaningful when feasible).
 	Score float64
+	// Degraded explains why the candidate's device trained on
+	// incomplete campaign coverage; empty for clean devices.
+	Degraded string
 }
 
 // Recommendation is the outcome of a recommender run.
 type Recommendation struct {
 	// Best is the feasible candidate with the minimal objective.
+	// Candidates on cleanly-covered devices always win over degraded
+	// ones; a degraded Best (Best.Degraded != "") means no clean
+	// feasible candidate existed.
 	Best Candidate
 	// Candidates lists every evaluated configuration (feasible or not)
 	// in the order given.
@@ -81,6 +87,12 @@ type Recommendation struct {
 // CNN over the dataset and returns the feasible one minimizing the
 // objective — the runtime loop of Section IV-D. It returns an error if
 // no candidate is feasible.
+//
+// Candidates on devices with degraded (partial-coverage) training data
+// are labeled and only win when no cleanly-covered feasible candidate
+// exists. A degraded device missing its communication model entirely
+// is predicted without the comm term and marked infeasible rather than
+// failing the sweep.
 //
 // The sweep hoists the k-independent op-sum out of the per-k loop: the
 // graph's fold is costed once per distinct device (only the
@@ -93,8 +105,9 @@ func (p *Predictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.
 		return Recommendation{}, fmt.Errorf("ceer: no candidate configurations")
 	}
 	rec := Recommendation{}
-	bestScore := math.Inf(1)
-	found := false
+	bestScore, bestDegradedScore := math.Inf(1), math.Inf(1)
+	var bestDegraded Candidate
+	found, foundDegraded := false, false
 	sumsByGPU := make(map[gpu.ID]opSums, 4)
 	for _, cfg := range candidates {
 		if !cfg.Valid() {
@@ -105,30 +118,53 @@ func (p *Predictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.
 			sums = p.foldSums(g, cfg.GPU)
 			sumsByGPU[cfg.GPU] = sums
 		}
+		degradedReason, isDegraded := p.Degraded(cfg.GPU)
+		commMissing := false
 		iter, err := p.assembleIter(g, cfg.GPU, cfg.K, Full, sums)
 		if err != nil {
-			return Recommendation{}, err
+			if !isDegraded {
+				return Recommendation{}, err
+			}
+			// A degraded device may lack its comm model for this k:
+			// predict without the comm term and disqualify the candidate
+			// instead of aborting the sweep.
+			commMissing = true
+			iter, err = p.assembleIter(g, cfg.GPU, cfg.K, NoComm, sums)
+			if err != nil {
+				return Recommendation{}, err
+			}
 		}
 		pred, err := p.finishPrediction(g, cfg, ds, pricing, iter)
 		if err != nil {
 			return Recommendation{}, err
 		}
-		cand := Candidate{Prediction: pred, Feasible: true}
-		for _, c := range constraints {
-			if !c(pred) {
-				cand.Feasible = false
-				break
+		cand := Candidate{Prediction: pred, Feasible: !commMissing, Degraded: degradedReason}
+		if cand.Feasible {
+			for _, c := range constraints {
+				if !c(pred) {
+					cand.Feasible = false
+					break
+				}
 			}
 		}
 		if cand.Feasible {
 			cand.Score = obj(pred.TotalSeconds, pred.CostUSD)
-			if cand.Score < bestScore {
+			switch {
+			case !isDegraded && cand.Score < bestScore:
 				bestScore = cand.Score
 				rec.Best = cand
 				found = true
+			case isDegraded && cand.Score < bestDegradedScore:
+				bestDegradedScore = cand.Score
+				bestDegraded = cand
+				foundDegraded = true
 			}
 		}
 		rec.Candidates = append(rec.Candidates, cand)
+	}
+	if !found && foundDegraded {
+		rec.Best = bestDegraded
+		found = true
 	}
 	if !found {
 		return rec, fmt.Errorf("ceer: no feasible configuration among %d candidates", len(candidates))

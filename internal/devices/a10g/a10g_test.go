@@ -8,6 +8,7 @@ package a10g
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -71,14 +72,16 @@ func TestCampaignParallelDeterminismFiveDevices(t *testing.T) {
 	if n := len(gpu.All()); n != 5 {
 		t.Fatalf("expected the five-device catalog, got %d devices", n)
 	}
-	serialBundle, serialObs, err := testPipeline(1).Campaign(zoo.Build, campaignNames)
+	serialRes, err := testPipeline(1).Campaign(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallelBundle, parallelObs, err := testPipeline(8).Campaign(zoo.Build, campaignNames)
+	serialBundle, serialObs := serialRes.Bundle, serialRes.CommObs
+	parallelRes, err := testPipeline(8).Campaign(context.Background(), zoo.Build, campaignNames)
 	if err != nil {
 		t.Fatal(err)
 	}
+	parallelBundle, parallelObs := parallelRes.Bundle, parallelRes.CommObs
 	if !reflect.DeepEqual(serialBundle, parallelBundle) {
 		t.Error("parallel five-device campaign bundle differs from serial")
 	}
@@ -120,7 +123,7 @@ func TestCampaignParallelDeterminismFiveDevices(t *testing.T) {
 func TestFiveDeviceTrainPersistRecommend(t *testing.T) {
 	Register()
 	run := func() ([]byte, cloud.Config) {
-		pred, _, err := testPipeline(0).TrainOn(zoo.Build, zoo.TrainingSet())
+		pred, _, err := testPipeline(0).TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
 		if err != nil {
 			t.Fatal(err)
 		}

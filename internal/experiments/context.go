@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ceer/internal/ceer"
 	"ceer/internal/cloud"
 	"ceer/internal/dataset"
+	"ceer/internal/faults"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/sim"
@@ -21,10 +23,16 @@ import (
 // Context carries a trained Ceer instance, the training-set profile
 // bundle, and the simulation parameters shared by all experiments.
 type Context struct {
+	// Ctx bounds every measurement the experiments run (deadlines,
+	// cancellation). NewContext sets it; it is never nil.
+	Ctx context.Context
 	// Pred is Ceer trained on the 8 training-set CNNs.
 	Pred *ceer.Predictor
 	// TrainBundle holds the op-level profiles of the training CNNs.
 	TrainBundle *trace.Bundle
+	// Coverage summarizes the training campaign's cell coverage;
+	// incomplete coverage means Pred carries degraded devices.
+	Coverage ceer.Coverage
 	// Seed drives all "observed" measurement noise; experiment
 	// measurements use seeds derived from it, distinct from the
 	// training seed.
@@ -55,11 +63,21 @@ type Options struct {
 	MeasureIters int
 	// Workers bounds campaign and RunAll parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Retries is the per-cell retry budget of the training campaign
+	// (0 = no retries).
+	Retries int
+	// Faults optionally injects deterministic faults into the training
+	// campaign (nil = fault-free).
+	Faults *faults.Spec
+	// Checkpoint, when non-empty, journals campaign progress so a
+	// preempted run resumes without re-measuring completed cells.
+	Checkpoint string
 }
 
 // NewContext trains Ceer on the training-set CNNs and prepares the
-// experiment harness.
-func NewContext(opts Options) (*Context, error) {
+// experiment harness. ctx bounds the campaign and every later
+// measurement run through the context.
+func NewContext(ctx context.Context, opts Options) (*Context, error) {
 	if opts.ProfileIterations == 0 {
 		opts.ProfileIterations = 200
 	}
@@ -69,21 +87,32 @@ func NewContext(opts Options) (*Context, error) {
 	pl := ceer.DefaultPipeline(opts.Seed)
 	pl.ProfileIterations = opts.ProfileIterations
 	pl.Workers = opts.Workers
-	bundle, commObs, err := pl.Campaign(zoo.Build, zoo.TrainingSet())
+	pl.CheckpointPath = opts.Checkpoint
+	if opts.Retries > 0 || opts.Faults != nil {
+		pl.Retry = ceer.DefaultRetryPolicy(opts.Seed, opts.Retries)
+	}
+	inj, err := faults.NewInjector(opts.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault spec: %w", err)
+	}
+	pl.Faults = inj
+	res, err := pl.Campaign(ctx, zoo.Build, zoo.TrainingSet())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: measurement campaign: %w", err)
 	}
-	pred, err := ceer.Train(bundle, commObs)
+	pred, err := ceer.Train(res.Bundle, res.CommObs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training Ceer: %w", err)
 	}
 	return &Context{
+		Ctx:          ctx,
 		Pred:         pred,
-		TrainBundle:  bundle,
+		TrainBundle:  res.Bundle,
+		Coverage:     res.Coverage,
 		Seed:         opts.Seed,
 		MeasureIters: opts.MeasureIters,
 		Batch:        zoo.DefaultBatch,
-		CommObs:      commObs,
+		CommObs:      res.CommObs,
 		Workers:      opts.Workers,
 		graphs:       graph.NewBuildCache(zoo.Build),
 	}, nil
@@ -98,9 +127,10 @@ func (c *Context) Graph(name string) (*graph.Graph, error) {
 // measureSeed separates experiment observations from training noise.
 func (c *Context) measureSeed() uint64 { return c.Seed ^ 0x0B5E12345 }
 
-// Observe runs a simulated "real" training measurement.
+// Observe runs a simulated "real" training measurement under the
+// context's deadline.
 func (c *Context) Observe(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset) (sim.Measurement, error) {
-	return sim.Train(g, cfg, ds, c.MeasureIters, c.measureSeed())
+	return sim.Train(c.Ctx, g, cfg, ds, c.MeasureIters, c.measureSeed())
 }
 
 // gpuOrder is the device registration order — for the built-in data

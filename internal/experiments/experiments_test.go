@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"sync"
@@ -21,7 +23,7 @@ var (
 func testContext(t *testing.T) *Context {
 	t.Helper()
 	ctxOnce.Do(func() {
-		ctx, ctxErr = NewContext(Options{Seed: 21, ProfileIterations: 60, MeasureIters: 12})
+		ctx, ctxErr = NewContext(context.Background(), Options{Seed: 21, ProfileIterations: 60, MeasureIters: 12})
 	})
 	if ctxErr != nil {
 		t.Fatal(ctxErr)

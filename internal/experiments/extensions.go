@@ -126,7 +126,7 @@ func ExtSelection(c *Context) (*ExtSelectionResult, error) {
 			}
 			for _, m := range gpu.All() {
 				cfg := cloud.Config{GPU: m, K: 1}
-				obs, err := sim.Train(g, cfg, ds, c.MeasureIters, c.measureSeed())
+				obs, err := sim.Train(c.Ctx, g, cfg, ds, c.MeasureIters, c.measureSeed())
 				if err != nil {
 					return nil, err
 				}

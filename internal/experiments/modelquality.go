@@ -30,7 +30,7 @@ type Sec4BResult struct {
 // Sec4B profiles the test CNNs and evaluates every heavy-op model.
 func Sec4B(c *Context) (*Sec4BResult, error) {
 	prof := &sim.Profiler{Seed: c.measureSeed() + 1, Iterations: 50, Retain: 8, Workers: c.Workers}
-	testBundle, err := prof.ProfileAll(zoo.Build, zoo.TestSet(), c.Batch, gpu.All())
+	testBundle, err := prof.ProfileAll(c.Ctx, zoo.Build, zoo.TestSet(), c.Batch, gpu.All())
 	if err != nil {
 		return nil, err
 	}

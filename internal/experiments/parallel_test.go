@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"sync"
 	"testing"
@@ -26,7 +28,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 		want[name] = res.Table().String()
 	}
 
-	results, err := RunAll(c, runAllSubset, 6)
+	results, err := RunAll(context.Background(), c, runAllSubset, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 
 func TestRunAllUnknownName(t *testing.T) {
 	c := testContext(t)
-	_, err := RunAll(c, []string{"fig2", "nope"}, 2)
+	_, err := RunAll(context.Background(), c, []string{"fig2", "nope"}, 2)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v, want unknown-experiment rejection before running", err)
 	}

@@ -86,11 +86,13 @@ type Result struct {
 // RunAll executes the named experiments (every registered one when
 // names is empty) over a shared Context, fanning independent
 // experiments out across workers goroutines (<= 0 selects GOMAXPROCS).
-// Results come back in request order, and each experiment derives its
-// measurement noise deterministically from the context seed, so a
-// parallel RunAll is indistinguishable from sequential Run calls.
-// Unknown names are rejected up front, before any experiment runs.
-func RunAll(c *Context, names []string, workers int) ([]Result, error) {
+// ctx bounds the whole batch: cancellation stops scheduling new
+// experiments and interrupts in-flight measurements. Results come back
+// in request order, and each experiment derives its measurement noise
+// deterministically from the context seed, so a parallel RunAll is
+// indistinguishable from sequential Run calls. Unknown names are
+// rejected up front, before any experiment runs.
+func RunAll(ctx context.Context, c *Context, names []string, workers int) ([]Result, error) {
 	if len(names) == 0 {
 		names = Names()
 	}
@@ -99,7 +101,7 @@ func RunAll(c *Context, names []string, workers int) ([]Result, error) {
 			return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", n, Names())
 		}
 	}
-	return par.Map(context.Background(), workers, len(names), func(_ context.Context, i int) (Result, error) {
+	return par.Map(ctx, workers, len(names), func(_ context.Context, i int) (Result, error) {
 		res, err := Run(names[i], c)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %w", names[i], err)

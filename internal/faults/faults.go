@@ -1,0 +1,98 @@
+// Package faults is the failure model of the measurement campaign: a
+// typed error taxonomy for classifying what went wrong, and a
+// deterministic, seeded fault injector for making it go wrong on
+// purpose.
+//
+// Cloud measurement campaigns run in an environment where transient
+// profiling failures, stragglers, and instance preemption are the norm
+// ("Characterizing and Modeling Distributed Training with Transient
+// Cloud GPU Servers" models exactly this regime). The campaign code in
+// internal/ceer and internal/sim classifies every cell failure into one
+// of three classes and reacts per class:
+//
+//   - Transient: worth retrying (a profiling hiccup, a flaky kernel
+//     launch). The retry layer (internal/retry) backs off and retries
+//     within a per-cell attempt budget.
+//   - Permanent: retrying cannot help (a device that consistently
+//     fails, a configuration error). The cell is recorded as missing
+//     and the campaign degrades gracefully around it.
+//   - Preempted: the instance running the campaign went away. The whole
+//     campaign aborts — and resumes from its checkpoint.
+//
+// Classes are discriminated with errors.Is against the Transient /
+// Permanent / Preempted sentinels (or errors.As against *Error), so
+// classification survives any amount of fmt.Errorf("...: %w") wrapping
+// on the way up the stack.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel classes. Every fault error matches exactly one of these via
+// errors.Is; use them to branch on failure class without caring about
+// the concrete error value.
+var (
+	// Transient marks failures that a retry may cure.
+	Transient = errors.New("transient fault")
+	// Permanent marks failures that no retry can cure.
+	Permanent = errors.New("permanent fault")
+	// Preempted marks the loss of the instance running the campaign.
+	Preempted = errors.New("instance preempted")
+)
+
+// Error is a classified fault. It wraps an optional cause and matches
+// its class sentinel under errors.Is.
+type Error struct {
+	// Class is the matching sentinel: Transient, Permanent, or
+	// Preempted.
+	Class error
+	// Msg describes what failed.
+	Msg string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error renders "msg (class)". Msg already includes the rendered
+// cause when one was wrapped in.
+func (e *Error) Error() string {
+	return e.Msg + " (" + e.Class.Error() + ")"
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the error's class sentinel.
+func (e *Error) Is(target error) bool { return target == e.Class }
+
+// Transientf builds a Transient-class fault.
+func Transientf(format string, args ...any) error {
+	return newError(Transient, format, args...)
+}
+
+// Permanentf builds a Permanent-class fault.
+func Permanentf(format string, args ...any) error {
+	return newError(Permanent, format, args...)
+}
+
+// Preemptedf builds a Preempted-class fault.
+func Preemptedf(format string, args ...any) error {
+	return newError(Preempted, format, args...)
+}
+
+// newError splits a trailing %w cause out of the formatted message so
+// Unwrap chains reach it.
+func newError(class error, format string, args ...any) error {
+	wrapped := fmt.Errorf(format, args...)
+	return &Error{Class: class, Msg: wrapped.Error(), Err: errors.Unwrap(wrapped)}
+}
+
+// IsTransient reports whether err carries the Transient class.
+func IsTransient(err error) bool { return errors.Is(err, Transient) }
+
+// IsPermanent reports whether err carries the Permanent class.
+func IsPermanent(err error) bool { return errors.Is(err, Permanent) }
+
+// IsPreempted reports whether err carries the Preempted class.
+func IsPreempted(err error) bool { return errors.Is(err, Preempted) }

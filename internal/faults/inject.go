@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"hash/fnv"
+	"strconv"
+	"time"
+
+	"ceer/internal/rng"
+)
+
+// Op identifies one attempt at one campaign cell — the unit of fault
+// injection.
+type Op struct {
+	// Stage is the campaign stage: "profile" or "comm".
+	Stage string
+	// CNN and Device name the cell.
+	CNN    string
+	Device string
+	// K is the GPU count of a comm cell (0 for profile cells).
+	K int
+	// Attempt is the 1-based attempt number at this cell.
+	Attempt int
+}
+
+// CellKey renders the cell identity (without the attempt), the stable
+// key used by checkpoints and retry jitter streams.
+func (o Op) CellKey() string {
+	key := o.Stage + "/" + o.CNN + "/" + o.Device
+	if o.K > 0 {
+		key += "/" + strconv.Itoa(o.K)
+	}
+	return key
+}
+
+// Injector produces deterministic faults per a Spec. A nil Injector
+// injects nothing, so callers need no guard. All draws derive from
+// (Spec.Seed, cell, attempt) with no shared stream state, so injection
+// outcomes are independent of goroutine scheduling: the same spec and
+// seed produce the same faults at any worker count.
+type Injector struct {
+	spec Spec
+}
+
+// NewInjector validates the spec and builds an injector for it.
+func NewInjector(spec *Spec) (*Injector, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{spec: *spec}, nil
+}
+
+// Spec returns a copy of the injector's configuration.
+func (in *Injector) Spec() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// hashString mirrors the campaign's stream-derivation discipline
+// (FNV-1a over the key, xor-folded into the seed).
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s)) // fnv Write never fails
+	return h.Sum64()
+}
+
+// permanentLabel separates the cell-scoped permanent draw from the
+// attempt-scoped streams (attempts are labeled 1, 2, ...).
+const permanentLabel = 0xD1E0FF
+
+// cellStream derives the per-cell draw stream.
+func (in *Injector) cellStream(o Op) *rng.Source {
+	return rng.New(in.spec.Seed ^ hashString(o.CellKey()))
+}
+
+// Inject decides the fate of one attempt. It returns the straggler
+// delay to impose before the attempt runs (0 for non-stragglers) and
+// the fault the attempt suffers, or nil if it proceeds normally. The
+// decision is a pure function of (spec, op).
+func (in *Injector) Inject(o Op) (time.Duration, error) {
+	if in == nil {
+		return 0, nil
+	}
+	for _, d := range in.spec.PermanentDevices {
+		if d == o.Device {
+			return 0, Permanentf("injected: device %s configured to fail", o.Device)
+		}
+	}
+	for _, p := range in.spec.Preempt {
+		if p.Attempt == o.Attempt &&
+			(p.Stage == "" || p.Stage == o.Stage) &&
+			(p.CNN == "" || p.CNN == o.CNN) &&
+			(p.Device == "" || p.Device == o.Device) &&
+			(p.K == 0 || p.K == o.K) {
+			return 0, Preemptedf("injected: instance preempted at %s attempt %d", o.CellKey(), o.Attempt)
+		}
+	}
+	cell := in.cellStream(o)
+	// Cell-scoped permanent draw: attempt-independent, so a permanently
+	// faulted cell fails on every attempt.
+	if in.spec.PermanentRate > 0 && cell.Derive(permanentLabel).Float64() < in.spec.PermanentRate {
+		return 0, Permanentf("injected: cell %s failed permanently", o.CellKey())
+	}
+	// Attempt-scoped draws: one independent stream per attempt.
+	att := cell.Derive(uint64(o.Attempt))
+	var delay time.Duration
+	if in.spec.StragglerRate > 0 && att.Derive(1).Float64() < in.spec.StragglerRate {
+		delay = time.Duration(in.spec.StragglerDelayMS) * time.Millisecond
+	}
+	if in.spec.TransientRate > 0 && att.Derive(2).Float64() < in.spec.TransientRate {
+		return delay, Transientf("injected: transient failure at %s attempt %d", o.CellKey(), o.Attempt)
+	}
+	return delay, nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxFlow guards the cancellation contract introduced with the
+// resilient campaign (DESIGN.md Section 11): deadlines and
+// cancellation flow from the CLIs down through Pipeline, Profiler, and
+// par.ForEach as explicit context.Context parameters. A
+// context.Background() (or context.TODO()) conjured in the middle of
+// that path silently detaches the work below it from the caller's
+// deadline, so on the campaign packages the analyzer forbids both and
+// demands the context be threaded from the caller instead.
+//
+// The root ceer package and the cmd/ binaries are deliberately out of
+// scope — they are the top of the call tree, where a root context is
+// legitimately minted. Test files are exempt too: a test is its own
+// top of tree.
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "forbids context.Background/TODO on the campaign path; " +
+		"contexts must be threaded from the caller",
+	Scope: []string{
+		"internal/sim",
+		"internal/ceer",
+		"internal/experiments",
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			switch fn.Name() {
+			case "Background", "TODO":
+				pass.Reportf(call.Pos(),
+					"context.%s detaches this call tree from the caller's deadline; thread a ctx parameter instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -190,6 +190,7 @@ func runUnits(root string, fset *token.FileSet, pkgs []*Package, analyzers []*An
 
 // Analyzers is the full default suite, in reporting-name order.
 var Analyzers = []*Analyzer{
+	AnalyzerCtxFlow,
 	AnalyzerDeviceGeneric,
 	AnalyzerDeterminism,
 	AnalyzerErrDrop,

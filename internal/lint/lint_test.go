@@ -15,6 +15,10 @@ import (
 // `// want "regexp"` comment) and one clean fixture that must stay
 // silent. linttest.Run fails on any mismatch in either direction.
 
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "ctxflow"), lint.AnalyzerCtxFlow)
+}
+
 func TestDeviceGeneric(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "devicegeneric"), lint.AnalyzerDeviceGeneric)
 }

@@ -1,0 +1,3 @@
+module example.com/ctxflow
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package other is outside the ctxflow scope.
+package other
+
+import "context"
+
+// Root is legal here: this package is the top of its own call tree.
+func Root() context.Context { return context.Background() }

@@ -1,0 +1,17 @@
+// Package sim exercises the ctxflow analyzer: campaign-path packages
+// must thread contexts from their callers, never mint root ones.
+package sim
+
+import "context"
+
+// BadBackground conjures a root context mid-path, detaching everything
+// below it from the caller's deadline.
+func BadBackground() error {
+	ctx := context.Background() // want `context\.Background detaches this call tree from the caller's deadline`
+	return ctx.Err()
+}
+
+// BadTODO is the same leak wearing a to-do sign.
+func BadTODO() error {
+	return context.TODO().Err() // want `context\.TODO detaches this call tree from the caller's deadline`
+}

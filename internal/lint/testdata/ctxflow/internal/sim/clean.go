@@ -1,0 +1,11 @@
+package sim
+
+import "context"
+
+// CleanThreaded receives its context from the caller — deriving from a
+// threaded ctx is the sanctioned pattern.
+func CleanThreaded(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return sub.Err()
+}

@@ -1,0 +1,14 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestBackgroundAllowed may mint a root context: a test is its own top
+// of the call tree and the analyzer skips _test.go files.
+func TestBackgroundAllowed(t *testing.T) {
+	if err := CleanThreaded(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ package par
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,123 @@ func forEachParallel(parent context.Context, workers, n int, fn func(ctx context
 	wg.Wait()
 	if failErr != nil {
 		return failErr
+	}
+	return parent.Err()
+}
+
+// AbortError marks a task error that must stop the whole pool, not
+// just fail its own index: MapPartial treats it the way ForEach treats
+// any error. Build one with Abort.
+type AbortError struct{ Err error }
+
+// Error renders the wrapped cause.
+func (e *AbortError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause, so errors.Is/As see through the marker.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Abort wraps err so MapPartial aborts the pool when a task returns
+// it. Abort(nil) returns nil.
+func Abort(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &AbortError{Err: err}
+}
+
+// ErrSkipped is the per-index error MapPartial records for tasks that
+// never ran because the pool aborted or the context was cancelled
+// first.
+var ErrSkipped = errors.New("par: task skipped")
+
+// MapPartial runs fn over [0, n) like Map but keeps going past
+// individual task failures: out[i] and errs[i] record every task's
+// result and final error in input order (errs[i] == nil marks
+// success). Only two things stop the pool early — parent-context
+// cancellation, and a task returning an error wrapped with Abort — and
+// both are reported through the third return value (for aborts, the
+// lowest-indexed aborting task's unwrapped error, mirroring ForEach's
+// lowest-index determinism). Tasks that never started carry ErrSkipped
+// in errs.
+func MapPartial[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	if n <= 0 {
+		return nil, nil, ctx.Err()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = ErrSkipped
+	}
+	if Workers(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, errs, err
+			}
+			v, err := fn(ctx, i)
+			var abort *AbortError
+			if errors.As(err, &abort) {
+				errs[i] = abort.Err
+				return out, errs, abort.Err
+			}
+			out[i], errs[i] = v, err
+		}
+		return out, errs, nil
+	}
+	err := mapPartialParallel(ctx, Workers(workers, n), n, out, errs, fn)
+	return out, errs, err
+}
+
+func mapPartialParallel[T any](parent context.Context, workers, n int, out []T, errs []error, fn func(ctx context.Context, i int) (T, error)) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		abortIdx = n
+		abortErr error
+		nextIdx  atomic.Int64
+		wg       sync.WaitGroup
+	)
+	recordAbort := func(i int, err error) {
+		mu.Lock()
+		if i < abortIdx {
+			abortIdx, abortErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// As in forEachParallel: indices are claimed in order
+				// and started tasks run to completion, so every index
+				// below a recorded abort has a real outcome in errs.
+				if ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				var abort *AbortError
+				if errors.As(err, &abort) {
+					errs[i] = abort.Err
+					recordAbort(i, abort.Err)
+					return
+				}
+				// Each index is claimed exactly once, so these writes
+				// are race-free and published by wg.Wait.
+				out[i], errs[i] = v, err
+			}
+		}()
+	}
+	wg.Wait()
+	if abortErr != nil {
+		return abortErr
 	}
 	return parent.Err()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -153,5 +154,129 @@ func TestBoundedConcurrency(t *testing.T) {
 	}
 	if p := peak.Load(); p > workers {
 		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestParentCancellationMidPool covers the cancellation-in-flight
+// edge: a parent cancelled while workers are busy must stop issuing
+// new tasks and surface context.Canceled, at every pool shape.
+func TestParentCancellationMidPool(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(ctx, workers, 1000, func(_ context.Context, i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: all %d tasks ran despite mid-pool cancellation", workers, n)
+		}
+	}
+}
+
+// TestZeroTasksCancelledContext pins the n==0 edge under a dead
+// context: nothing to do still reports the cancellation rather than
+// claiming success.
+func TestZeroTasksCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 0, func(context.Context, int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: ForEach(ctx, 0) = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestMapPartialContinuesPastFailures pins the partial-coverage
+// contract: per-task errors are recorded in place and never stop the
+// pool.
+func TestMapPartialContinuesPastFailures(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, errs, err := MapPartial(context.Background(), workers, 6,
+			func(_ context.Context, i int) (int, error) {
+				if i%2 == 1 {
+					return 0, boom
+				}
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: run error %v; per-task failures must not stop the pool", workers, err)
+		}
+		for i := 0; i < 6; i++ {
+			if i%2 == 1 {
+				if !errors.Is(errs[i], boom) {
+					t.Errorf("workers=%d: errs[%d] = %v, want boom", workers, i, errs[i])
+				}
+			} else if errs[i] != nil || out[i] != i*i {
+				t.Errorf("workers=%d: task %d = (%d, %v)", workers, i, out[i], errs[i])
+			}
+		}
+	}
+}
+
+// TestMapPartialAbort covers the one per-task error that does stop the
+// pool: an Abort-wrapped error aborts the run, unstarted tasks record
+// ErrSkipped, and the lowest-indexed aborter wins deterministically.
+func TestMapPartialAbort(t *testing.T) {
+	cause := errors.New("preempted")
+	for _, workers := range []int{1, 4} {
+		_, errs, err := MapPartial(context.Background(), workers, 100,
+			func(_ context.Context, i int) (int, error) {
+				if i == 2 || i == 50 {
+					return 0, Abort(fmt.Errorf("task %d: %w", i, cause))
+				}
+				return i, nil
+			})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d: err = %v, want the abort cause", workers, err)
+		}
+		var ae *AbortError
+		if errors.As(err, &ae) {
+			t.Fatalf("workers=%d: the run error is the unwrapped cause, not the marker", workers)
+		}
+		if !strings.Contains(err.Error(), "task 2") {
+			t.Errorf("workers=%d: lowest-indexed aborter should win, got %v", workers, err)
+		}
+		skipped := 0
+		for _, e := range errs {
+			if errors.Is(e, ErrSkipped) {
+				skipped++
+			}
+		}
+		if workers == 1 && skipped != 97 {
+			t.Errorf("serial abort at task 2 should skip 97 tasks, skipped %d", skipped)
+		}
+		if skipped == 0 {
+			t.Errorf("workers=%d: an abort should leave unstarted tasks marked ErrSkipped", workers)
+		}
+	}
+}
+
+// TestMapPartialCancelledContext: a dead parent yields all-skipped
+// tasks and the cancellation as the run error.
+func TestMapPartialCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, errs, err := MapPartial(ctx, 4, 5, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range errs {
+		if !errors.Is(errs[i], ErrSkipped) {
+			t.Errorf("errs[%d] = %v, want ErrSkipped", i, errs[i])
+		}
+		if out[i] != 0 {
+			t.Errorf("out[%d] = %d for a skipped task", i, out[i])
+		}
 	}
 }

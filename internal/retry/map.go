@@ -1,0 +1,86 @@
+package retry
+
+import (
+	"context"
+
+	"ceer/internal/par"
+)
+
+// MapOptions customizes per-task retry state for Map.
+type MapOptions struct {
+	// Key returns the task's stable identity, seeding its jitter
+	// stream and labeling its errors. Nil keys tasks by index.
+	Key func(i int) string
+	// FirstAttempt returns the 1-based attempt a task starts at
+	// (checkpointed tasks resume mid-budget). Nil starts every task at
+	// attempt 1.
+	FirstAttempt func(i int) int
+	// OnFailure observes every failed attempt (i, attempt, err) before
+	// the retry decision is acted on — the campaign checkpoint records
+	// consumed attempts here. It may be called concurrently from
+	// multiple workers.
+	OnFailure func(i, attempt int, err error)
+}
+
+func (o MapOptions) key(i int) string {
+	if o.Key == nil {
+		return "task-" + itoa(i)
+	}
+	return o.Key(i)
+}
+
+func (o MapOptions) first(i int) int {
+	if o.FirstAttempt == nil {
+		return 1
+	}
+	return o.FirstAttempt(i)
+}
+
+// itoa avoids strconv for the tiny default-key case.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// Map is the retryable fan-out of the campaign path: it runs n tasks
+// over par.MapPartial, retrying each per the policy. Per-task outcomes
+// come back input-ordered in (results, errs); the third return value
+// is non-nil only when the run as a whole stopped — parent-context
+// cancellation, or a task error the classifier mapped to Abort (the
+// lowest-indexed aborting task wins, preserving par's determinism).
+func Map[T any](ctx context.Context, workers, n int, p Policy, opts MapOptions, fn func(ctx context.Context, i, attempt int) (T, error)) ([]T, []error, error) {
+	return par.MapPartial(ctx, workers, n, func(ctx context.Context, i int) (T, error) {
+		var out T
+		err := p.Do(ctx, opts.key(i), opts.first(i), func(attempt int) error {
+			v, err := fn(ctx, i, attempt)
+			if err != nil {
+				if opts.OnFailure != nil {
+					opts.OnFailure(i, attempt, err)
+				}
+				return err
+			}
+			out = v
+			return nil
+		})
+		if err != nil {
+			decision := Fail
+			if p.Classify != nil {
+				decision = p.Classify(err)
+			}
+			if decision == Abort {
+				return out, par.Abort(err)
+			}
+			return out, err
+		}
+		return out, nil
+	})
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"testing"
@@ -20,12 +22,12 @@ func TestProfileAllParallelMatchesSerial(t *testing.T) {
 	models := gpu.All()
 
 	serial := &Profiler{Seed: 3, Iterations: 25, Retain: 8, Workers: 1}
-	a, err := serial.ProfileAll(zoo.Build, names, 16, models)
+	a, err := serial.ProfileAll(context.Background(), zoo.Build, names, 16, models)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel := &Profiler{Seed: 3, Iterations: 25, Retain: 8, Workers: 8}
-	b, err := parallel.ProfileAll(zoo.Build, names, 16, models)
+	b, err := parallel.ProfileAll(context.Background(), zoo.Build, names, 16, models)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestProfileAllParallelBuildError(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		p := &Profiler{Seed: 1, Iterations: 5, Retain: 4, Workers: workers}
-		_, err := p.ProfileAll(build, []string{"vgg-11", "bad", "inception-v1"}, 16, gpu.All())
+		_, err := p.ProfileAll(context.Background(), build, []string{"vgg-11", "bad", "inception-v1"}, 16, gpu.All())
 		if !errors.Is(err, boom) {
 			t.Errorf("workers=%d: err = %v, want wrapped boom", workers, err)
 		}

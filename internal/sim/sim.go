@@ -17,6 +17,7 @@ import (
 
 	"ceer/internal/cloud"
 	"ceer/internal/dataset"
+	"ceer/internal/faults"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/par"
@@ -64,14 +65,18 @@ func (p *Profiler) streamFor(cnn string, dev *gpu.Device, node graph.NodeID) *rn
 }
 
 // Profile runs the graph for the configured number of iterations on one
-// GPU model and returns the aggregated op-level trace.
-func (p *Profiler) Profile(g *graph.Graph, m gpu.ID) (*trace.Profile, error) {
+// GPU model and returns the aggregated op-level trace. The context is
+// checked between iterations, so a deadline or cancellation interrupts
+// a long profile promptly. Configuration errors carry the
+// faults.Permanent class: no retry can cure an unknown device or a
+// non-positive iteration count.
+func (p *Profiler) Profile(ctx context.Context, g *graph.Graph, m gpu.ID) (*trace.Profile, error) {
 	if p.Iterations <= 0 {
-		return nil, fmt.Errorf("sim: profiler iterations must be positive, got %d", p.Iterations)
+		return nil, faults.Permanentf("sim: profiler iterations must be positive, got %d", p.Iterations)
 	}
 	dev, ok := gpu.Lookup(m)
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown GPU device %q", string(m))
+		return nil, faults.Permanentf("sim: unknown GPU device %q", string(m))
 	}
 	nodes := g.Nodes()
 	prof := &trace.Profile{
@@ -100,6 +105,9 @@ func (p *Profiler) Profile(g *graph.Graph, m gpu.ID) (*trace.Profile, error) {
 		}
 	}
 	for iter := 0; iter < p.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total := 0.0
 		for i, n := range nodes {
 			t := dev.SampleTime(n.Op, streams[i])
@@ -116,9 +124,8 @@ func (p *Profiler) Profile(g *graph.Graph, m gpu.ID) (*trace.Profile, error) {
 // campaign of Section III. Independent (CNN, GPU) profiles are fanned
 // out over Workers goroutines; the bundle's profile order (names-major,
 // devices-minor) and every sample in it are identical to a serial run.
-func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
+func (p *Profiler) ProfileAll(ctx context.Context, build func(string, int64) (*graph.Graph, error),
 	names []string, batch int64, devices []gpu.ID) (*trace.Bundle, error) {
-	ctx := context.Background()
 	graphs, err := par.Map(ctx, p.Workers, len(names), func(_ context.Context, i int) (*graph.Graph, error) {
 		g, err := build(names[i], batch)
 		if err != nil {
@@ -129,8 +136,8 @@ func (p *Profiler) ProfileAll(build func(string, int64) (*graph.Graph, error),
 	if err != nil {
 		return nil, err
 	}
-	profs, err := par.Map(ctx, p.Workers, len(names)*len(devices), func(_ context.Context, i int) (*trace.Profile, error) {
-		return p.Profile(graphs[i/len(devices)], devices[i%len(devices)])
+	profs, err := par.Map(ctx, p.Workers, len(names)*len(devices), func(ctx context.Context, i int) (*trace.Profile, error) {
+		return p.Profile(ctx, graphs[i/len(devices)], devices[i%len(devices)])
 	})
 	if err != nil {
 		return nil, err
@@ -174,16 +181,16 @@ func (m Measurement) CostUSD(p cloud.Pricing) (float64, error) {
 // batch size is fixed (the graph's), so k GPUs cut the iteration count
 // by k while each iteration pays the communication overhead
 // S(GPU, k, params).
-func Train(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, measureIters int, seed uint64) (Measurement, error) {
+func Train(ctx context.Context, g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, measureIters int, seed uint64) (Measurement, error) {
 	if !cfg.Valid() {
-		return Measurement{}, fmt.Errorf("sim: invalid config %s", cfg)
+		return Measurement{}, faults.Permanentf("sim: invalid config %s", cfg)
 	}
 	if measureIters <= 0 {
-		return Measurement{}, fmt.Errorf("sim: measureIters must be positive, got %d", measureIters)
+		return Measurement{}, faults.Permanentf("sim: measureIters must be positive, got %d", measureIters)
 	}
 	dev, ok := gpu.Lookup(cfg.GPU)
 	if !ok {
-		return Measurement{}, fmt.Errorf("sim: unknown GPU device %q", string(cfg.GPU))
+		return Measurement{}, faults.Permanentf("sim: unknown GPU device %q", string(cfg.GPU))
 	}
 	nodes := g.Nodes()
 	base := rng.New(seed ^ hashString(g.Name))
@@ -195,6 +202,9 @@ func Train(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, measureIters in
 
 	var compute, comm float64
 	for iter := 0; iter < measureIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		iterCompute := 0.0
 		for i, n := range nodes {
 			iterCompute += dev.SampleTime(n.Op, streams[i])

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -24,7 +26,7 @@ func smallNet(t *testing.T) *graph.Graph {
 func TestProfileBasics(t *testing.T) {
 	g := smallNet(t)
 	p := &Profiler{Seed: 1, Iterations: 20, Retain: 8}
-	prof, err := p.Profile(g, gpu.T4)
+	prof, err := p.Profile(context.Background(), g, gpu.T4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +56,11 @@ func TestProfileBasics(t *testing.T) {
 func TestProfileDeterministic(t *testing.T) {
 	g := smallNet(t)
 	p := &Profiler{Seed: 7, Iterations: 10, Retain: 4}
-	a, err := p.Profile(g, gpu.V100)
+	a, err := p.Profile(context.Background(), g, gpu.V100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.Profile(g, gpu.V100)
+	b, err := p.Profile(context.Background(), g, gpu.V100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestProfileDeterministic(t *testing.T) {
 		t.Error("same seed should reproduce identical profiles")
 	}
 	p2 := &Profiler{Seed: 8, Iterations: 10, Retain: 4}
-	c, err := p2.Profile(g, gpu.V100)
+	c, err := p2.Profile(context.Background(), g, gpu.V100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,17 +79,17 @@ func TestProfileDeterministic(t *testing.T) {
 
 func TestProfileErrors(t *testing.T) {
 	g := smallNet(t)
-	if _, err := (&Profiler{Seed: 1, Iterations: 0}).Profile(g, gpu.T4); err == nil {
+	if _, err := (&Profiler{Seed: 1, Iterations: 0}).Profile(context.Background(), g, gpu.T4); err == nil {
 		t.Error("zero iterations should error")
 	}
-	if _, err := (&Profiler{Seed: 1, Iterations: 5}).Profile(g, gpu.ID("no-such-device")); err == nil {
+	if _, err := (&Profiler{Seed: 1, Iterations: 5}).Profile(context.Background(), g, gpu.ID("no-such-device")); err == nil {
 		t.Error("unknown GPU should error")
 	}
 }
 
 func TestProfileAll(t *testing.T) {
 	p := &Profiler{Seed: 3, Iterations: 5, Retain: 4}
-	b, err := p.ProfileAll(zoo.Build, []string{"alexnet", "inception-v1"}, 4,
+	b, err := p.ProfileAll(context.Background(), zoo.Build, []string{"alexnet", "inception-v1"}, 4,
 		[]gpu.ID{gpu.V100, gpu.K80})
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +97,7 @@ func TestProfileAll(t *testing.T) {
 	if len(b.Profiles) != 4 {
 		t.Errorf("bundle has %d profiles, want 4", len(b.Profiles))
 	}
-	if _, err := p.ProfileAll(zoo.Build, []string{"nope"}, 4, []gpu.ID{gpu.V100}); err == nil {
+	if _, err := p.ProfileAll(context.Background(), zoo.Build, []string{"nope"}, 4, []gpu.ID{gpu.V100}); err == nil {
 		t.Error("unknown CNN should error")
 	}
 }
@@ -108,7 +110,7 @@ func TestHeavyOpsDominate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prof, err := p.Profile(g, gpu.K80)
+		prof, err := p.Profile(context.Background(), g, gpu.K80)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +127,7 @@ func TestHeavyOpsDominate(t *testing.T) {
 func TestTrainMeasurement(t *testing.T) {
 	g := smallNet(t)
 	ds := dataset.Dataset{Name: "d", Samples: 6400}
-	m, err := Train(g, cloud.Config{GPU: gpu.T4, K: 1}, ds, 10, 42)
+	m, err := Train(context.Background(), g, cloud.Config{GPU: gpu.T4, K: 1}, ds, 10, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestTrainMultiGPUScaling(t *testing.T) {
 	ds := dataset.Dataset{Name: "d", Samples: 64000}
 	var totals []float64
 	for k := 1; k <= 4; k++ {
-		m, err := Train(g, cloud.Config{GPU: gpu.T4, K: k}, ds, 10, 1)
+		m, err := Train(context.Background(), g, cloud.Config{GPU: gpu.T4, K: k}, ds, 10, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,10 +181,10 @@ func TestTrainMultiGPUScaling(t *testing.T) {
 func TestTrainErrors(t *testing.T) {
 	g := smallNet(t)
 	ds := dataset.Dataset{Name: "d", Samples: 100}
-	if _, err := Train(g, cloud.Config{GPU: gpu.T4, K: 0}, ds, 5, 1); err == nil {
+	if _, err := Train(context.Background(), g, cloud.Config{GPU: gpu.T4, K: 0}, ds, 5, 1); err == nil {
 		t.Error("invalid config should error")
 	}
-	if _, err := Train(g, cloud.Config{GPU: gpu.T4, K: 1}, ds, 0, 1); err == nil {
+	if _, err := Train(context.Background(), g, cloud.Config{GPU: gpu.T4, K: 1}, ds, 0, 1); err == nil {
 		t.Error("zero measureIters should error")
 	}
 }
@@ -190,8 +192,8 @@ func TestTrainErrors(t *testing.T) {
 func TestTrainDeterministic(t *testing.T) {
 	g := smallNet(t)
 	ds := dataset.Dataset{Name: "d", Samples: 1000}
-	a, _ := Train(g, cloud.Config{GPU: gpu.M60, K: 2}, ds, 5, 9) // valid config; determinism, not errors, is under test
-	b, _ := Train(g, cloud.Config{GPU: gpu.M60, K: 2}, ds, 5, 9) // valid config; determinism, not errors, is under test
+	a, _ := Train(context.Background(), g, cloud.Config{GPU: gpu.M60, K: 2}, ds, 5, 9) // valid config; determinism, not errors, is under test
+	b, _ := Train(context.Background(), g, cloud.Config{GPU: gpu.M60, K: 2}, ds, 5, 9) // valid config; determinism, not errors, is under test
 	if !eqExact(a.TotalSeconds, b.TotalSeconds) {
 		t.Error("Train not deterministic for fixed seed")
 	}
@@ -203,7 +205,7 @@ func TestGPUSpeedOrderingEndToEnd(t *testing.T) {
 	ds := dataset.Dataset{Name: "d", Samples: 3200}
 	times := map[gpu.ID]float64{}
 	for _, m := range gpu.All() {
-		r, err := Train(g, cloud.Config{GPU: m, K: 1}, ds, 8, 2)
+		r, err := Train(context.Background(), g, cloud.Config{GPU: m, K: 1}, ds, 8, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +219,7 @@ func TestGPUSpeedOrderingEndToEnd(t *testing.T) {
 func TestMeasurementArithmetic(t *testing.T) {
 	g := smallNet(t)
 	ds := dataset.Dataset{Name: "d", Samples: 3200}
-	m, err := Train(g, cloud.Config{GPU: gpu.V100, K: 2}, ds, 10, 3)
+	m, err := Train(context.Background(), g, cloud.Config{GPU: gpu.V100, K: 2}, ds, 10, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +237,7 @@ func TestCommGrowsWithKComputeDoesNot(t *testing.T) {
 	var prevComm float64
 	var computes []float64
 	for k := 1; k <= 4; k++ {
-		m, err := Train(g, cloud.Config{GPU: gpu.T4, K: k}, ds, 12, 9)
+		m, err := Train(context.Background(), g, cloud.Config{GPU: gpu.T4, K: k}, ds, 12, 9)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ceer/internal/gpu"
+)
+
+func TestAggStateRoundTrip(t *testing.T) {
+	a := NewAgg(4)
+	for _, v := range []float64{0.002, 0.0035, 0.0031, 0.0029, 0.004, 0.0025} {
+		a.Add(v)
+	}
+	b := RestoreAggState(a.State())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("restored Agg differs:\n%+v\nvs\n%+v", a, b)
+	}
+	if !eqExact(a.Mean(), b.Mean()) || !eqExact(a.Std(), b.Std()) ||
+		!eqExact(a.Min(), b.Min()) || !eqExact(a.Max(), b.Max()) {
+		t.Error("derived statistics drifted across restore")
+	}
+	// Restored accumulators must keep accumulating identically.
+	a.Add(0.0042)
+	b.Add(0.0042)
+	if !eqExact(a.Mean(), b.Mean()) || !eqExact(a.Std(), b.Std()) {
+		t.Error("post-restore accumulation diverges")
+	}
+}
+
+func TestAggStateEmpty(t *testing.T) {
+	a := NewAgg(2)
+	s := a.State()
+	// JSON cannot carry ±Inf; the empty accumulator's extremes encode
+	// as 0 and are re-created on restore.
+	if s.Min != 0 || s.Max != 0 || s.N != 0 {
+		t.Errorf("empty state = %+v, want zeroed extremes", s)
+	}
+	b := RestoreAggState(s)
+	if !math.IsInf(b.Min(), 1) || !math.IsInf(b.Max(), -1) {
+		t.Errorf("restored empty Agg extremes = (%v, %v), want (+Inf, -Inf)", b.Min(), b.Max())
+	}
+	a.Add(0.5)
+	b.Add(0.5)
+	if !eqExact(a.Min(), b.Min()) || !eqExact(a.Max(), b.Max()) {
+		t.Error("empty-restored Agg diverges on first sample")
+	}
+}
+
+func TestProfileStateRoundTrip(t *testing.T) {
+	p := mkProfile("vgg-11", gpu.V100)
+	data, err := p.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Errorf("restored profile differs:\n%+v\nvs\n%+v", p, q)
+	}
+	// The codec must be a fixed point: re-marshaling the restored
+	// profile reproduces the exact bytes (the checkpoint's resume
+	// guarantee).
+	again, err := q.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("marshal-restore-marshal is not byte-stable")
+	}
+}
+
+func TestUnmarshalStateRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{nope`,
+		"unknown device": `{"cnn":"x","gpu":"no-such-device","iterations":5,"iter_total":{"n":0,"mean":0,"m2":0,"min":0,"max":0,"cap":0}}`,
+		"zero iters":     `{"cnn":"x","gpu":"v100","iterations":0,"iter_total":{"n":0,"mean":0,"m2":0,"min":0,"max":0,"cap":0}}`,
+		"unknown op":     `{"cnn":"x","gpu":"v100","iterations":5,"iter_total":{"n":0,"mean":0,"m2":0,"min":0,"max":0,"cap":0},"series":[{"node":0,"op":"NoSuchOp","phase":"forward","agg":{"n":0,"mean":0,"m2":0,"min":0,"max":0,"cap":0}}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := UnmarshalState([]byte(payload)); err == nil {
+			t.Errorf("%s: UnmarshalState should fail", name)
+		}
+	}
+}
+
+func TestMissingCellBookkeeping(t *testing.T) {
+	b := &Bundle{}
+	// Insert out of order; AddMissing keeps the list sorted.
+	b.AddMissing(MissingCell{CNN: "vgg-11", GPU: gpu.T4, Reason: "boom"})
+	b.AddMissing(MissingCell{CNN: "alexnet", GPU: gpu.M60, K: 2, Reason: "comm fault"})
+	b.AddMissing(MissingCell{CNN: "alexnet", GPU: gpu.M60, Reason: "profile fault"})
+	if len(b.Missing) != 3 {
+		t.Fatalf("missing count = %d", len(b.Missing))
+	}
+	for i := 1; i < len(b.Missing); i++ {
+		a, c := b.Missing[i-1], b.Missing[i]
+		if a.CNN > c.CNN {
+			t.Errorf("missing list unsorted at %d: %v then %v", i, a, c)
+		}
+	}
+	m60 := b.MissingForGPU(gpu.M60)
+	if len(m60) != 2 {
+		t.Errorf("MissingForGPU(m60) = %v, want 2 cells", m60)
+	}
+	if got := b.MissingForGPU(gpu.V100); len(got) != 0 {
+		t.Errorf("MissingForGPU(v100) = %v, want none", got)
+	}
+	// String forms: with and without the k qualifier.
+	if s := (MissingCell{CNN: "x", GPU: gpu.T4, Reason: "r"}).String(); s != "x/T4: r" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (MissingCell{CNN: "x", GPU: gpu.T4, K: 4, Reason: "r"}).String(); s != "x/T4/k=4: r" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -168,10 +168,65 @@ func (p *Profile) ClassShare() map[ops.Class]float64 {
 // MeanIterSeconds returns the mean summed op time per iteration.
 func (p *Profile) MeanIterSeconds() float64 { return p.IterTotal.Mean() }
 
+// MissingCell records one measurement-campaign cell that produced no
+// surviving observation: the cell's identity plus why it is missing
+// (retries exhausted, permanent fault, ...). Missing cells are how a
+// partially-covered campaign degrades gracefully instead of aborting —
+// downstream training fits on the surviving data and marks the
+// affected devices as degraded.
+type MissingCell struct {
+	CNN string
+	GPU gpu.ID
+	// K is the GPU count of a communication cell; 0 marks an op-level
+	// profile cell.
+	K int
+	// Reason describes the final failure.
+	Reason string
+}
+
+// String renders "cnn/gpu" or "cnn/gpu/k" plus the reason.
+func (m MissingCell) String() string {
+	if m.K > 0 {
+		return fmt.Sprintf("%s/%s/k=%d: %s", m.CNN, m.GPU, m.K, m.Reason)
+	}
+	return fmt.Sprintf("%s/%s: %s", m.CNN, m.GPU, m.Reason)
+}
+
 // Bundle is a set of profiles spanning CNNs and GPU models — Ceer's
 // training corpus.
 type Bundle struct {
 	Profiles []*Profile
+	// Missing records campaign cells with no observation, sorted by
+	// (CNN, GPU, K). Empty for fully covered campaigns.
+	Missing []MissingCell
+}
+
+// AddMissing records an uncovered cell, keeping Missing sorted.
+func (b *Bundle) AddMissing(c MissingCell) {
+	i := sort.Search(len(b.Missing), func(i int) bool {
+		m := b.Missing[i]
+		if m.CNN != c.CNN {
+			return m.CNN > c.CNN
+		}
+		if m.GPU != c.GPU {
+			return m.GPU > c.GPU
+		}
+		return m.K >= c.K
+	})
+	b.Missing = append(b.Missing, MissingCell{})
+	copy(b.Missing[i+1:], b.Missing[i:])
+	b.Missing[i] = c
+}
+
+// MissingForGPU returns the uncovered cells of one device.
+func (b *Bundle) MissingForGPU(m gpu.ID) []MissingCell {
+	var out []MissingCell
+	for _, c := range b.Missing {
+		if c.GPU == m {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Add appends a profile.

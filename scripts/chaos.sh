@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Chaos gate: the resilient campaign must be deterministic under
+# injected faults. Trains the CLI predictor twice under the canned 10%
+# transient-fault spec (scripts/chaos-spec.json) — serial, then at
+# GOMAXPROCS workers — and requires the two model files to be
+# byte-for-byte identical. A third, fault-free run must also match the
+# serial faulted run: transient faults that retries fully absorb leave
+# no trace in the trained models.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "== building ceer"
+go build -o "${workdir}/ceer" ./cmd/ceer
+
+echo "== chaos run 1: serial, 10% transient faults, 3 retries"
+"${workdir}/ceer" train -seed 1 -workers 1 -retries 3 \
+    -fault-spec scripts/chaos-spec.json -out "${workdir}/models_serial.json" 2>/dev/null
+
+echo "== chaos run 2: parallel, same spec and seed"
+"${workdir}/ceer" train -seed 1 -workers 0 -retries 3 \
+    -fault-spec scripts/chaos-spec.json -out "${workdir}/models_parallel.json" 2>/dev/null
+
+echo "== diff: serial vs parallel under chaos"
+diff "${workdir}/models_serial.json" "${workdir}/models_parallel.json"
+
+echo "== fault-free reference run"
+"${workdir}/ceer" train -seed 1 -out "${workdir}/models_clean.json" 2>/dev/null
+
+echo "== diff: chaos vs fault-free"
+diff "${workdir}/models_serial.json" "${workdir}/models_clean.json"
+
+echo "chaos: OK (faulted campaigns are byte-reproducible and leave no residue)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1+ verification gate (see README "Verification"): formatting,
 # vet, build, the full test suite, a race-detector pass over the whole
-# module, the ceer-lint static-analysis suite, and a bench smoke run.
+# module, the ceer-lint static-analysis suite, the chaos determinism
+# gate, and a bench smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +33,12 @@ echo "== ceer-lint"
 # gate; intentional exceptions carry //lint:ignore directives with a
 # reason, in the source, where reviewers can see them.
 go run ./cmd/ceer-lint
+
+echo "== chaos determinism gate"
+# Campaigns under the canned fault spec must be byte-reproducible at
+# any worker count and leave no residue in the trained models
+# (scripts/chaos.sh).
+./scripts/chaos.sh >/dev/null
 
 echo "== serving-path bench smoke run"
 # One iteration per bench: proves the benches run and the JSON writer
