@@ -431,12 +431,89 @@ func BenchmarkPredictIterationUnfolded(b *testing.B) {
 	}
 }
 
-// BenchmarkRecommendSweep serves the entire zoo through the hoisted
-// device×k recommender and reports, against a naive unfolded sweep
-// measured in the same process: "eval-reduction-x" (cold-memo regression
-// evaluations, naive / folded — the ≥5x acceptance number) and
-// "speedup-vs-naive" (wall-clock, naive sweep / steady-state folded
-// sweep).
+var (
+	servingCompiledOnce sync.Once
+	servingGraphs       []*graph.Graph
+	servingCore         *ceer.CompiledPredictor
+	servingCompiledErr  error
+)
+
+// servingCompiled returns the shared compiled core over the whole zoo
+// (built from the shared serving predictor) plus the zoo graphs it was
+// compiled from — the compiled set is keyed by graph pointer identity.
+func servingCompiled(b *testing.B) (*ceer.CompiledPredictor, []*graph.Graph) {
+	b.Helper()
+	p := servingPredictor(b)
+	servingCompiledOnce.Do(func() {
+		for _, name := range zoo.Names() {
+			servingGraphs = append(servingGraphs, zoo.MustBuild(name, 32))
+		}
+		servingCore, servingCompiledErr = ceer.Compile(p, servingGraphs)
+	})
+	if servingCompiledErr != nil {
+		b.Fatal(servingCompiledErr)
+	}
+	return servingCore, servingGraphs
+}
+
+// BenchmarkPredictIterationCompiled measures the compiled serving core
+// on the same deepest-CNN prediction as the folded bench above: a pure
+// gather-and-sum over the precompiled flat tables, no memo, no mutex,
+// no allocation even on the first call. "table-kb" is the resident
+// size of the whole zoo-wide table.
+func BenchmarkPredictIterationCompiled(b *testing.B) {
+	core, graphs := servingCompiled(b)
+	var g *graph.Graph
+	for _, cand := range graphs {
+		if cand.Name == "resnet-152" {
+			g = cand
+		}
+	}
+	if g == nil {
+		b.Fatal("resnet-152 missing from the compiled zoo")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PredictIteration(g, gpu.V100, 4, ceer.Full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(core.Stats().TableBytes)/1024, "table-kb")
+}
+
+// BenchmarkCompileZoo measures the one-time build cost the compiled
+// path front-loads: folding the 12-CNN zoo globally and evaluating
+// every (device, class) and (graph, device, k) table cell.
+// "build-evals" is the number of regression rows evaluated per compile.
+func BenchmarkCompileZoo(b *testing.B) {
+	p := servingPredictor(b)
+	_, graphs := servingCompiled(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var core *ceer.CompiledPredictor
+	for i := 0; i < b.N; i++ {
+		var err error
+		core, err = ceer.Compile(p, graphs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(core.Stats().BuildEvals), "build-evals")
+}
+
+// BenchmarkRecommendSweep serves the entire zoo through the compiled
+// recommender — one RecommendInto table scan per CNN over all device×k
+// candidates — and reports, against references measured in the same
+// process: "speedup-vs-naive" (wall-clock vs a per-node unfolded
+// sweep), "speedup-vs-folded" (wall-clock vs the warm folded
+// per-predictor-memo sweep, the PR 3 serving path), "eval-reduction-x"
+// (cold regression evaluations, naive / folded), and "compile-ms" (the
+// one-time table build the compiled path amortizes). The steady state
+// is allocation-free: every prediction is a gather over immutable flat
+// tables into caller-owned Recommendations.
 func BenchmarkRecommendSweep(b *testing.B) {
 	pl := servingPipeline()
 	p, _, err := pl.TrainOn(context.Background(), zoo.Build, zoo.TrainingSet())
@@ -448,7 +525,7 @@ func BenchmarkRecommendSweep(b *testing.B) {
 		graphs = append(graphs, zoo.MustBuild(name, 32))
 	}
 	cands := cloud.Configs(4)
-	sweep := func() {
+	foldedSweep := func() {
 		for _, g := range graphs {
 			if _, err := p.Recommend(g, dataset.ImageNet, cloud.OnDemand, cands, ceer.MinimizeCost); err != nil {
 				b.Fatal(err)
@@ -469,22 +546,50 @@ func BenchmarkRecommendSweep(b *testing.B) {
 	naiveSec := time.Since(start).Seconds()
 	naiveEvals := p.ModelEvaluations() - base
 
-	// Cold folded sweep: pays the one-time memo fill.
+	// Folded reference: cold sweep pays the memo fill, then a warm
+	// steady state (the PR 3 serving path).
 	base = p.ModelEvaluations()
-	sweep()
+	foldedSweep()
 	coldEvals := p.ModelEvaluations() - base
 	if coldEvals == 0 {
 		b.Fatal("cold folded sweep ran zero evaluations")
 	}
+	const foldedReps = 10
+	start = time.Now()
+	for i := 0; i < foldedReps; i++ {
+		foldedSweep()
+	}
+	foldedSec := time.Since(start).Seconds() / foldedReps
 
+	// Compile the zoo-wide tables (the cost the compiled path pays
+	// once), then sweep through caller-owned Recommendations.
+	start = time.Now()
+	core, err := ceer.Compile(p, graphs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compileSec := time.Since(start).Seconds()
+	recs := make([]ceer.Recommendation, len(graphs))
+	sweep := func() {
+		for gi, g := range graphs {
+			if err := core.RecommendInto(&recs[gi], g, dataset.ImageNet, cloud.OnDemand, cands, ceer.MinimizeCost); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sweep() // warm-up: grows each Recommendation's candidate buffer once
+
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sweep()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(naiveEvals)/float64(coldEvals), "eval-reduction-x")
-	if foldedSec := b.Elapsed().Seconds() / float64(b.N); foldedSec > 0 {
-		b.ReportMetric(naiveSec/foldedSec, "speedup-vs-naive")
+	b.ReportMetric(compileSec*1e3, "compile-ms")
+	if compiledSec := b.Elapsed().Seconds() / float64(b.N); compiledSec > 0 {
+		b.ReportMetric(naiveSec/compiledSec, "speedup-vs-naive")
+		b.ReportMetric(foldedSec/compiledSec, "speedup-vs-folded")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	internal "ceer/internal/ceer"
 	"ceer/internal/cloud"
@@ -84,7 +85,21 @@ type (
 	Coverage = internal.Coverage
 	// PersistError is the typed failure of loading a saved predictor.
 	PersistError = internal.PersistError
+	// CompiledSystem is a compiled serving core: the full per-(device,
+	// signature-class) prediction table evaluated ahead of time, so
+	// predictions and recommendations over the compiled zoo are pure
+	// table gathers — lock-free, allocation-free, safe for concurrent
+	// readers. Obtain one from System.Compiled.
+	CompiledSystem = internal.CompiledPredictor
+	// CompiledBox atomically publishes a CompiledSystem for hot-swap in
+	// serving loops.
+	CompiledBox = internal.CompiledBox
 )
+
+// ErrNotCompiled reports a prediction against a graph or device outside
+// a CompiledSystem's compiled set (check with errors.Is; fall back to
+// the uncompiled System methods).
+var ErrNotCompiled = internal.ErrNotCompiled
 
 // LoadFaultSpec reads a JSON fault specification from a file.
 func LoadFaultSpec(path string) (*FaultSpec, error) { return faults.LoadSpec(path) }
@@ -234,6 +249,11 @@ type System struct {
 	pred     *internal.Predictor
 	bundle   *trace.Bundle
 	coverage Coverage
+
+	// compiledMu guards compiled, the per-batch-size cache of compiled
+	// zoo-wide serving tables (see Compiled).
+	compiledMu sync.Mutex
+	compiled   map[int64]*CompiledSystem
 }
 
 // Train runs the full paper pipeline: profile the 8 training-set CNNs
@@ -324,6 +344,44 @@ func (s *System) PredictTrainingVariant(g *Graph, cfg InstanceConfig, ds Dataset
 func (s *System) Recommend(g *Graph, ds Dataset, p Pricing, candidates []InstanceConfig,
 	obj Objective, constraints ...Constraint) (Recommendation, error) {
 	return s.pred.Recommend(g, ds, p, candidates, obj, constraints...)
+}
+
+// Compiled returns the system's compiled serving core for the built-in
+// zoo at the given per-GPU batch size (0 selects the paper default,
+// 32): every (device, signature class) prediction is evaluated once up
+// front into immutable flat tables, so subsequent predictions and
+// recommendations over zoo graphs are lock-free table gathers. The
+// result is cached per batch size and safe for concurrent use; graphs
+// must come from BuildModelCached (the compiled set is keyed by graph
+// identity). For graphs outside the zoo, use the System methods
+// directly (or check for ErrNotCompiled and fall back).
+func (s *System) Compiled(batch int64) (*CompiledSystem, error) {
+	if batch == 0 {
+		batch = zoo.DefaultBatch
+	}
+	s.compiledMu.Lock()
+	defer s.compiledMu.Unlock()
+	if c, ok := s.compiled[batch]; ok {
+		return c, nil
+	}
+	names := zoo.Names()
+	graphs := make([]*Graph, 0, len(names))
+	for _, name := range names {
+		g, err := zooCache.Build(name, batch)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g)
+	}
+	c, err := internal.Compile(s.pred, graphs)
+	if err != nil {
+		return nil, err
+	}
+	if s.compiled == nil {
+		s.compiled = make(map[int64]*CompiledSystem)
+	}
+	s.compiled[batch] = c
+	return c, nil
 }
 
 // HeavyOps returns the operation types Ceer classified as heavy (the

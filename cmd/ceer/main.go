@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -339,12 +340,24 @@ func cmdPredict(args []string) (err error) {
 	} else {
 		cfgs = ceer.AllConfigs(4)
 	}
+	// Compile the zoo-wide serving tables once up front (the persist
+	// warm-up: a system loaded from -models evaluates all its models
+	// here, then every query below is a table gather).
+	comp, err := sys.Compiled(*batch)
+	if err != nil {
+		return err
+	}
 	tbl := &textutil.Table{
 		Title:  fmt.Sprintf("Predicted training of %s (%d samples, batch %d, %s prices)", *model, *samples, *batch, pricing),
 		Header: []string{"config", "instance", "$/hr", "iter (ms)", "total (h)", "cost"},
 	}
 	for _, cfg := range cfgs {
-		pred, err := sys.PredictTraining(g, cfg, ds, pricing)
+		pred, err := comp.PredictTraining(g, cfg, ds, pricing)
+		if errors.Is(err, ceer.ErrNotCompiled) {
+			// Outside the compiled set (e.g. a device registered after
+			// compilation): fall back to the folded path.
+			pred, err = sys.PredictTraining(g, cfg, ds, pricing)
+		}
 		if err != nil {
 			return err
 		}
@@ -489,7 +502,17 @@ func cmdRecommend(args []string) (err error) {
 	if *memory {
 		constraints = append(constraints, ceer.FitsGPUMemory(g))
 	}
-	rec, err := sys.Recommend(g, ds, pricing, ceer.AllConfigs(4), obj, constraints...)
+	// Sweep through the compiled zoo-wide tables (one up-front compile,
+	// then the sweep is a pure table scan), falling back to the folded
+	// path for anything outside the compiled set.
+	comp, err := sys.Compiled(*batch)
+	if err != nil {
+		return err
+	}
+	rec, err := comp.Recommend(g, ds, pricing, ceer.AllConfigs(4), obj, constraints...)
+	if errors.Is(err, ceer.ErrNotCompiled) {
+		rec, err = sys.Recommend(g, ds, pricing, ceer.AllConfigs(4), obj, constraints...)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,483 @@
+package ceer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"ceer/internal/cloud"
+	"ceer/internal/dataset"
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+)
+
+// ErrNotCompiled reports a prediction request outside a
+// CompiledPredictor's compiled set — a graph that was not folded or a
+// device registered after Compile. Callers typically fall back to the
+// folded Predictor path (errors.Is).
+var ErrNotCompiled = errors.New("not in the compiled set")
+
+// Class kinds of the compiled per-(device, class) table.
+const (
+	kindHeavy  uint8 = iota // heavy with a trained model: times holds the regression value
+	kindUnseen              // heavy without a model: estimated by the light median, reported
+	kindLight               // light GPU op: the light median
+	kindCPU                 // CPU op: the CPU median
+)
+
+// CompiledPredictor is the serving core compiled from a trained
+// Predictor and a fixed set of graphs: every (device, signature class)
+// time is evaluated once at compile time into immutable flat arrays,
+// so the read path — PredictIteration, Recommend — is a pure
+// gather-and-sum over precomputed tables. No mutex, no map lookups,
+// and no allocations on the warm path; a CompiledPredictor is
+// immutable after Compile and safe for any number of concurrent
+// readers. Hot-swap a rebuilt instance atomically through CompiledBox.
+//
+// Compared to the folded Predictor path (which memoizes per (device,
+// signature) under an RWMutex on first use), the compiled path moves
+// all model evaluation to build time and dedups signatures across the
+// whole graph set: classes shared by several CNNs — the common case in
+// a CNN zoo — occupy one table slot total, not one memo fill per
+// graph.
+//
+// IterPrediction.UnseenHeavy values returned by the compiled path
+// alias immutable compile-time storage; treat them as read-only.
+type CompiledPredictor struct {
+	p    *Predictor
+	fold *graph.GlobalFold
+
+	// devices holds the compiled device set sorted by ID; degraded
+	// carries each device's partial-coverage reason ("" = clean).
+	devices  []gpu.ID
+	degraded []string
+
+	nd, nc, ng, maxK int
+
+	// kinds and times are the per-(device, class) tables, indexed
+	// di*nc+ci: the class kind and the per-instance predicted seconds.
+	kinds []uint8
+	times []float64
+
+	// unseen holds, per (graph, device) at gi*nd+di, the sorted heavy
+	// types lacking a trained model (nil when none) — precomputed so
+	// the hot path never appends.
+	unseen [][]ops.Type
+
+	// comm holds the precomputed communication overhead per (graph,
+	// device, k) at (gi*nd+di)*(maxK+1)+k; hasComm, per (device, k) at
+	// di*(maxK+1)+k, records whether a comm model exists there.
+	comm    []float64
+	hasComm []bool
+
+	buildEvals int
+}
+
+// Compile builds the compiled serving core for a trained predictor
+// over a fixed set of graphs: it folds the graphs into one global
+// signature-class table (graph.FoldAll), batch-evaluates every heavy
+// class on every registered device (regress.PredictBatch, one
+// struct-of-arrays matrix per (device, op type)), and precomputes the
+// per-(graph, device, k) communication terms. Compile-time cost is
+// amortized across every subsequent prediction; see Stats.
+func Compile(p *Predictor, graphs []*graph.Graph) (*CompiledPredictor, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("ceer: compile with no graphs")
+	}
+	gf := graph.FoldAll(graphs)
+	devices := append([]gpu.ID(nil), gpu.All()...)
+	sort.Slice(devices, func(i, j int) bool { return devices[i] < devices[j] })
+
+	c := &CompiledPredictor{
+		p:        p,
+		fold:     gf,
+		devices:  devices,
+		degraded: make([]string, len(devices)),
+		nd:       len(devices),
+		nc:       gf.Len(),
+		ng:       gf.NumGraphs(),
+	}
+	for _, byK := range p.commModels {
+		for k := range byK {
+			if k > c.maxK {
+				c.maxK = k
+			}
+		}
+	}
+	classes := gf.Classes()
+	c.kinds = make([]uint8, c.nd*c.nc)
+	c.times = make([]float64, c.nd*c.nc)
+	for di, m := range devices {
+		if reason, ok := p.Degraded(m); ok {
+			c.degraded[di] = reason
+		}
+		byType := p.opModels[m]
+		base := di * c.nc
+		// Classify every class on this device, deferring heavy modeled
+		// classes to batched evaluation below.
+		for ci := range classes {
+			t := classes[ci].Rep.Op.Type
+			switch p.Class.Of(t) {
+			case ops.HeavyGPU:
+				if _, ok := byType[t]; ok {
+					c.kinds[base+ci] = kindHeavy
+				} else {
+					c.kinds[base+ci] = kindUnseen
+				}
+			case ops.LightGPU:
+				c.kinds[base+ci] = kindLight
+				c.times[base+ci] = p.LightMedian
+			case ops.CPU:
+				c.kinds[base+ci] = kindCPU
+				c.times[base+ci] = p.CPUMedian
+			}
+		}
+		// Classes are signature-sorted and a signature starts with its
+		// op type, so one type's classes are contiguous: evaluate each
+		// (device, type) run as one struct-of-arrays batch.
+		for start := 0; start < c.nc; {
+			if c.kinds[base+start] != kindHeavy {
+				start++
+				continue
+			}
+			t := classes[start].Rep.Op.Type
+			end := start + 1
+			for end < c.nc && c.kinds[base+end] == kindHeavy && classes[end].Rep.Op.Type == t {
+				end++
+			}
+			om := byType[t]
+			arity := om.Model().NumFeatures
+			feats := make([]float64, 0, (end-start)*arity)
+			for ci := start; ci < end; ci++ {
+				if len(classes[ci].Features) != arity {
+					return nil, fmt.Errorf("ceer: compile: class %q has %d features, %s model wants %d",
+						classes[ci].Sig, len(classes[ci].Features), t, arity)
+				}
+				feats = append(feats, classes[ci].Features...)
+			}
+			dst := c.times[base+start : base+end]
+			om.Model().PredictBatch(dst, feats)
+			for i := range dst {
+				if dst[i] < 0 {
+					dst[i] = 0
+				}
+			}
+			c.buildEvals += end - start
+			start = end
+		}
+	}
+
+	// Per-(graph, device) unseen heavy types, precomputed and sorted so
+	// the hot path only hands out shared slices.
+	c.unseen = make([][]ops.Type, c.ng*c.nd)
+	for gi := 0; gi < c.ng; gi++ {
+		for di := 0; di < c.nd; di++ {
+			base := di * c.nc
+			var types []ops.Type
+			for _, pc := range gf.PerGraph(gi) {
+				if c.kinds[base+pc.Class] != kindUnseen {
+					continue
+				}
+				t := classes[pc.Class].Rep.Op.Type
+				dup := false
+				for _, seen := range types {
+					if seen == t {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					types = append(types, t)
+				}
+			}
+			sortTypes(types)
+			c.unseen[gi*c.nd+di] = types
+		}
+	}
+
+	// Communication terms, batched per (device, k) over the graphs'
+	// parameter counts (one single-feature struct-of-arrays matrix).
+	c.comm = make([]float64, c.ng*c.nd*(c.maxK+1))
+	c.hasComm = make([]bool, c.nd*(c.maxK+1))
+	params := make([]float64, c.ng)
+	for gi := 0; gi < c.ng; gi++ {
+		params[gi] = float64(gf.Graph(gi).Params)
+	}
+	vals := make([]float64, c.ng)
+	for di, m := range devices {
+		for k := 1; k <= c.maxK; k++ {
+			cm, ok := p.commModels[m][k]
+			if !ok {
+				continue
+			}
+			c.hasComm[di*(c.maxK+1)+k] = true
+			cm.Fit.PredictBatch(vals, params)
+			for gi, v := range vals {
+				if v < 0 {
+					v = 0
+				}
+				c.comm[(gi*c.nd+di)*(c.maxK+1)+k] = v
+			}
+			c.buildEvals += c.ng
+		}
+	}
+	return c, nil
+}
+
+// deviceIndex returns the compiled index of m, or -1.
+//
+//hot:path
+func (c *CompiledPredictor) deviceIndex(m gpu.ID) int {
+	// Linear scan: the device set is small (a handful of registered
+	// GPUs) and this avoids a map read on the serving path.
+	for i, id := range c.devices {
+		if id == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// classSums gathers graph gi's op-sum on device di from the compiled
+// tables: Σ count × table time over the graph's class pairs, with
+// median-estimated instances counted for later assembly. This is the
+// whole per-prediction compute of the compiled path.
+//
+//hot:path
+func (c *CompiledPredictor) classSums(gi, di int) opSums {
+	var s opSums
+	base := di * c.nc
+	for _, pc := range c.fold.PerGraph(gi) {
+		switch c.kinds[base+pc.Class] {
+		case kindHeavy:
+			s.modeledHeavy += float64(pc.Count) * c.times[base+pc.Class]
+		case kindUnseen:
+			s.unseenHeavy += pc.Count
+		case kindLight:
+			s.light += pc.Count
+		case kindCPU:
+			s.cpu += pc.Count
+		}
+	}
+	s.unseenTypes = c.unseen[gi*c.nd+di]
+	return s
+}
+
+// assemble builds an IterPrediction from gathered sums plus the
+// precomputed communication term, mirroring Predictor.assembleIter.
+//
+//hot:path
+func (c *CompiledPredictor) assemble(gi, di, k int, v Variant, s opSums) (IterPrediction, error) {
+	var out IterPrediction
+	out.HeavySeconds = s.modeledHeavy
+	if v == Full || v == NoComm {
+		out.HeavySeconds += float64(s.unseenHeavy) * c.p.LightMedian
+		out.LightSeconds = float64(s.light) * c.p.LightMedian
+		out.CPUSeconds = float64(s.cpu) * c.p.CPUMedian
+	}
+	if v == Full || v == HeavyOnly {
+		if k < 1 || k > c.maxK || !c.hasComm[di*(c.maxK+1)+k] {
+			return IterPrediction{}, fmt.Errorf("ceer: no communication model for %s k=%d",
+				c.devices[di].Family(), k)
+		}
+		out.CommSeconds = c.comm[(gi*c.nd+di)*(c.maxK+1)+k]
+	}
+	out.PerIterSeconds = out.HeavySeconds + out.LightSeconds + out.CPUSeconds + out.CommSeconds
+	if len(s.unseenTypes) > 0 {
+		out.UnseenHeavy = s.unseenTypes
+	}
+	return out, nil
+}
+
+// PredictIteration predicts the per-iteration training time of a
+// compiled graph on k GPUs of a compiled device — the compiled
+// equivalent of Predictor.PredictIteration: a gather-and-sum over the
+// flat class table plus one precomputed communication lookup. It
+// returns ErrNotCompiled (wrapped) for graphs or devices outside the
+// compiled set.
+//
+//hot:path
+func (c *CompiledPredictor) PredictIteration(g *graph.Graph, m gpu.ID, k int, v Variant) (IterPrediction, error) {
+	gi := c.fold.GraphIndex(g)
+	if gi < 0 {
+		return IterPrediction{}, fmt.Errorf("ceer: graph %q: %w", g.Name, ErrNotCompiled)
+	}
+	di := c.deviceIndex(m)
+	if di < 0 {
+		return IterPrediction{}, fmt.Errorf("ceer: device %s: %w", m, ErrNotCompiled)
+	}
+	return c.assemble(gi, di, k, v, c.classSums(gi, di))
+}
+
+// PredictTraining predicts end-to-end training time and cost through
+// the compiled tables; see Predictor.PredictTraining.
+func (c *CompiledPredictor) PredictTraining(g *graph.Graph, cfg cloud.Config, ds dataset.Dataset, pricing cloud.Pricing) (Prediction, error) {
+	if !cfg.Valid() {
+		return Prediction{}, fmt.Errorf("ceer: invalid config %s", cfg)
+	}
+	iter, err := c.PredictIteration(g, cfg.GPU, cfg.K, Full)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return c.p.finishPrediction(g, cfg, ds, pricing, iter)
+}
+
+// Recommend is the compiled equivalent of Predictor.Recommend: a table
+// scan over the candidates with the per-device op-sum gathered once
+// per device run. Semantics (degraded preference, constraint handling,
+// candidate order) match Predictor.Recommend exactly.
+func (c *CompiledPredictor) Recommend(g *graph.Graph, ds dataset.Dataset, pricing cloud.Pricing,
+	candidates []cloud.Config, obj Objective, constraints ...Constraint) (Recommendation, error) {
+	var rec Recommendation
+	if err := c.RecommendInto(&rec, g, ds, pricing, candidates, obj, constraints...); err != nil {
+		return Recommendation{}, err
+	}
+	return rec, nil
+}
+
+// RecommendInto is Recommend writing into a caller-owned
+// Recommendation, reusing rec.Candidates' capacity so a steady-state
+// serving loop recommends with zero allocations. rec is fully
+// overwritten.
+func (c *CompiledPredictor) RecommendInto(rec *Recommendation, g *graph.Graph, ds dataset.Dataset,
+	pricing cloud.Pricing, candidates []cloud.Config, obj Objective, constraints ...Constraint) error {
+	if len(candidates) == 0 {
+		return fmt.Errorf("ceer: no candidate configurations")
+	}
+	gi := c.fold.GraphIndex(g)
+	if gi < 0 {
+		return fmt.Errorf("ceer: graph %q: %w", g.Name, ErrNotCompiled)
+	}
+	rec.Best = Candidate{}
+	rec.Candidates = rec.Candidates[:0]
+	bestScore, bestDegradedScore := math.Inf(1), math.Inf(1)
+	var bestDegraded Candidate
+	found, foundDegraded := false, false
+	// Candidate lists group one device's ks together (cloud.Configs
+	// order), so caching the last device's gather covers the sweep with
+	// one gather per device without any per-call map or scratch table.
+	lastDI := -1
+	var sums opSums
+	for _, cfg := range candidates {
+		if !cfg.Valid() {
+			return fmt.Errorf("ceer: invalid config %s", cfg)
+		}
+		di := c.deviceIndex(cfg.GPU)
+		if di < 0 {
+			return fmt.Errorf("ceer: device %s: %w", cfg.GPU, ErrNotCompiled)
+		}
+		if di != lastDI {
+			sums = c.classSums(gi, di)
+			lastDI = di
+		}
+		degradedReason := c.degraded[di]
+		isDegraded := degradedReason != ""
+		commMissing := false
+		iter, err := c.assemble(gi, di, cfg.K, Full, sums)
+		if err != nil {
+			if !isDegraded {
+				return err
+			}
+			// A degraded device may lack its comm model for this k:
+			// predict without the comm term and disqualify the candidate
+			// instead of aborting the sweep (mirrors Predictor.Recommend).
+			commMissing = true
+			iter, err = c.assemble(gi, di, cfg.K, NoComm, sums)
+			if err != nil {
+				return err
+			}
+		}
+		pred, err := c.p.finishPrediction(g, cfg, ds, pricing, iter)
+		if err != nil {
+			return err
+		}
+		cand := Candidate{Prediction: pred, Feasible: !commMissing, Degraded: degradedReason}
+		if cand.Feasible {
+			for _, cons := range constraints {
+				if !cons(pred) {
+					cand.Feasible = false
+					break
+				}
+			}
+		}
+		if cand.Feasible {
+			cand.Score = obj(pred.TotalSeconds, pred.CostUSD)
+			switch {
+			case !isDegraded && cand.Score < bestScore:
+				bestScore = cand.Score
+				rec.Best = cand
+				found = true
+			case isDegraded && cand.Score < bestDegradedScore:
+				bestDegradedScore = cand.Score
+				bestDegraded = cand
+				foundDegraded = true
+			}
+		}
+		rec.Candidates = append(rec.Candidates, cand)
+	}
+	if !found && foundDegraded {
+		rec.Best = bestDegraded
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("ceer: no feasible configuration among %d candidates", len(candidates))
+	}
+	return nil
+}
+
+// Predictor returns the trained predictor the tables were compiled
+// from.
+func (c *CompiledPredictor) Predictor() *Predictor { return c.p }
+
+// CompiledStats sizes the compiled artifact for reporting: how much
+// table memory the zoo costs and how much evaluation work compilation
+// front-loaded.
+type CompiledStats struct {
+	// Graphs, Devices, Classes count the compiled dimensions; Pairs is
+	// the total gather length across all graph reductions.
+	Graphs, Devices, Classes, Pairs int
+	// BuildEvals is the number of regression rows evaluated at compile
+	// time (heavy classes × devices plus comm cells × graphs) — the
+	// work every later prediction skips.
+	BuildEvals int
+	// TableBytes approximates the resident size of the flat tables
+	// (class times + kinds + comm + presence bits + reduction pairs).
+	TableBytes int
+}
+
+// Stats reports the compiled table's dimensions and build cost.
+func (c *CompiledPredictor) Stats() CompiledStats {
+	const (
+		f64   = 8
+		pairB = 16 // graph.ClassCount{int, int}
+	)
+	return CompiledStats{
+		Graphs:     c.ng,
+		Devices:    c.nd,
+		Classes:    c.nc,
+		Pairs:      c.fold.Pairs(),
+		BuildEvals: c.buildEvals,
+		TableBytes: len(c.times)*f64 + len(c.kinds) + len(c.comm)*f64 + len(c.hasComm) + c.fold.Pairs()*pairB,
+	}
+}
+
+// CompiledBox atomically publishes a CompiledPredictor to concurrent
+// readers — the hot-swap point for serve-mode model reloads. Readers
+// Load the current instance and use it for a whole request; a rebuild
+// (retrain, new device, new graph set) Compiles off to the side and
+// Stores the replacement. Both sides are wait-free; a reader holding
+// the old instance keeps reading consistent (immutable) tables until
+// it drops the reference.
+type CompiledBox struct {
+	v atomic.Pointer[CompiledPredictor]
+}
+
+// Store publishes c as the current compiled predictor.
+func (b *CompiledBox) Store(c *CompiledPredictor) { b.v.Store(c) }
+
+// Load returns the current compiled predictor, or nil before the first
+// Store.
+func (b *CompiledBox) Load() *CompiledPredictor { return b.v.Load() }

@@ -115,28 +115,43 @@ type NodeContribution struct {
 }
 
 // ExplainNodes attributes a predicted iteration node by node — the
-// unfolded attribution for pinpointing an individual layer (used by
+// per-node attribution for pinpointing an individual layer (used by
 // `ceer predict -explain-nodes`). Nodes are returned sorted by
 // predicted time (descending), ties by ID. The communication term has
 // no node to attach to; read it from ExplainIteration.
+//
+// Attribution reuses the graph's cached signature fold: each unique
+// class is costed once (through the shared per-(device, signature)
+// memo) and fanned out to its member nodes, so repeated invocations —
+// the CLI re-explaining after every campaign — do no per-node model
+// evaluations instead of one per DAG node.
 func (p *Predictor) ExplainNodes(g *graph.Graph, m gpu.ID) []NodeContribution {
-	out := make([]NodeContribution, 0, g.Len())
-	for _, n := range g.Nodes() {
-		t := n.Op.Type
-		c := NodeContribution{ID: n.ID, Name: n.Name, OpType: t, Class: p.Class.Of(t), Phase: n.Phase}
-		switch c.Class {
+	fold := g.Fold()
+	entries := fold.Entries()
+	secs := make([]float64, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		t := e.Rep.Op.Type
+		switch p.Class.Of(t) {
 		case ops.HeavyGPU:
 			if om, ok := p.opModels[m][t]; ok {
-				c.Seconds = p.evalHeavy(om, n.Op.Features())
+				secs[i] = p.memoizedHeavy(m, om, e)
 			} else {
-				c.Seconds = p.LightMedian
+				secs[i] = p.LightMedian
 			}
 		case ops.LightGPU:
-			c.Seconds = p.LightMedian
+			secs[i] = p.LightMedian
 		case ops.CPU:
-			c.Seconds = p.CPUMedian
+			secs[i] = p.CPUMedian
 		}
-		out = append(out, c)
+	}
+	out := make([]NodeContribution, 0, g.Len())
+	for ni, n := range g.Nodes() {
+		t := n.Op.Type
+		out = append(out, NodeContribution{
+			ID: n.ID, Name: n.Name, OpType: t, Class: p.Class.Of(t), Phase: n.Phase,
+			Seconds: secs[fold.ClassOf(ni)],
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Seconds > out[j].Seconds {

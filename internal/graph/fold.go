@@ -36,6 +36,10 @@ type FoldEntry struct {
 // of an immutable graph never changes.
 type Fold struct {
 	entries []FoldEntry
+	// classOf maps a node's position in Graph.Nodes() to the index of
+	// its class in entries, so per-node consumers (attribution) can
+	// reuse one evaluation per class instead of re-deriving signatures.
+	classOf []int
 	nodes   int
 }
 
@@ -45,6 +49,10 @@ func (f *Fold) Entries() []FoldEntry { return f.entries }
 
 // Len returns the number of unique classes.
 func (f *Fold) Len() int { return len(f.entries) }
+
+// ClassOf returns the index into Entries of the class containing the
+// i-th node of Graph.Nodes().
+func (f *Fold) ClassOf(i int) int { return f.classOf[i] }
 
 // Nodes returns the total number of nodes folded (Σ Count).
 func (f *Fold) Nodes() int { return f.nodes }
@@ -64,15 +72,17 @@ type foldKey struct {
 }
 
 func (g *Graph) computeFold() *Fold {
-	f := &Fold{nodes: len(g.nodes)}
+	f := &Fold{nodes: len(g.nodes), classOf: make([]int, len(g.nodes))}
 	idx := make(map[foldKey]int, len(g.nodes)/4+1)
-	for _, n := range g.nodes {
+	for ni, n := range g.nodes {
 		k := foldKey{n.Op.Signature(), n.Phase}
 		if i, ok := idx[k]; ok {
 			f.entries[i].Count++
+			f.classOf[ni] = i
 			continue
 		}
 		idx[k] = len(f.entries)
+		f.classOf[ni] = len(f.entries)
 		f.entries = append(f.entries, FoldEntry{
 			Sig:      k.sig,
 			Phase:    n.Phase,
@@ -81,11 +91,28 @@ func (g *Graph) computeFold() *Fold {
 			Features: n.Op.Features(),
 		})
 	}
-	sort.Slice(f.entries, func(i, j int) bool {
-		if f.entries[i].Sig != f.entries[j].Sig {
-			return f.entries[i].Sig < f.entries[j].Sig
+	// Sort classes by (signature, phase), tracking the permutation so
+	// classOf keeps pointing at the right entry.
+	order := make([]int, len(f.entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &f.entries[order[i]], &f.entries[order[j]]
+		if a.Sig != b.Sig {
+			return a.Sig < b.Sig
 		}
-		return f.entries[i].Phase < f.entries[j].Phase
+		return a.Phase < b.Phase
 	})
+	sorted := make([]FoldEntry, len(f.entries))
+	perm := make([]int, len(f.entries)) // pre-sort index → sorted index
+	for newIdx, oldIdx := range order {
+		sorted[newIdx] = f.entries[oldIdx]
+		perm[oldIdx] = newIdx
+	}
+	f.entries = sorted
+	for ni := range f.classOf {
+		f.classOf[ni] = perm[f.classOf[ni]]
+	}
 	return f
 }

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"sort"
+
+	"ceer/internal/ops"
+)
+
+// GlobalClass is one zoo-wide signature equivalence class: every node,
+// in every folded graph, whose op carries one canonical signature.
+// Where the per-graph Fold partitions by (signature, phase) to keep
+// phase attribution possible, the global fold merges phases — cost is a
+// pure function of the signature alone — so the class table is the
+// smallest set of distinct evaluations that can serve the whole zoo.
+type GlobalClass struct {
+	// Sig is the canonical signature shared by the class.
+	Sig ops.Signature
+	// Rep is a representative node (from the first graph, in fold order,
+	// containing the class); any member is cost-interchangeable.
+	Rep *Node
+	// Features is the class's cached feature vector (shared with the
+	// owning per-graph fold entry; do not modify).
+	Features []float64
+	// Count is the total number of node instances across all folded
+	// graphs.
+	Count int
+	// Graphs is the number of folded graphs containing the class.
+	Graphs int
+}
+
+// ClassCount is one term of a graph's reduction under a GlobalFold: the
+// graph holds Count instances of the global class at index Class.
+type ClassCount struct {
+	// Class indexes GlobalFold.Classes.
+	Class int
+	// Count is the number of instances in this graph.
+	Count int
+}
+
+// GlobalFold is the cross-graph signature fold of a fixed set of
+// graphs: one table of unique signature classes (ascending signature)
+// plus, per graph, its reduction to (class index, count) pairs
+// (ascending class index). CNN zoos overlap heavily — different
+// architectures reuse identical convolution and pooling shapes — so
+// the global class table is typically far smaller than the sum of the
+// per-graph folds, and a consumer that precomputes one value per
+// (context, class) serves every graph from the same table.
+//
+// A GlobalFold is immutable after construction and safe for concurrent
+// readers.
+type GlobalFold struct {
+	classes  []GlobalClass
+	graphs   []*Graph
+	perGraph [][]ClassCount
+	nodes    int
+}
+
+// FoldAll builds the global fold of the given graphs, reusing each
+// graph's cached per-graph Fold. Graph order is preserved; the class
+// table depends only on the set of signatures (ascending), so two
+// FoldAll calls over permutations of the same graphs agree on classes
+// and per-graph reductions (representatives may differ).
+func FoldAll(graphs []*Graph) *GlobalFold {
+	gf := &GlobalFold{
+		graphs:   append([]*Graph(nil), graphs...),
+		perGraph: make([][]ClassCount, len(graphs)),
+	}
+	idx := make(map[ops.Signature]int)
+	for gi, g := range graphs {
+		entries := g.Fold().Entries()
+		gf.nodes += g.Fold().Nodes()
+		pairs := make([]ClassCount, 0, len(entries))
+		for i := range entries {
+			e := &entries[i]
+			ci, ok := idx[e.Sig]
+			if !ok {
+				ci = len(gf.classes)
+				idx[e.Sig] = ci
+				gf.classes = append(gf.classes, GlobalClass{
+					Sig:      e.Sig,
+					Rep:      e.Rep,
+					Features: e.Features,
+				})
+			}
+			gf.classes[ci].Count += e.Count
+			// Per-graph entries are (signature, phase)-sorted, so one
+			// signature's phases are adjacent: merge into the last pair.
+			if n := len(pairs); n > 0 && pairs[n-1].Class == ci {
+				pairs[n-1].Count += e.Count
+				continue
+			}
+			gf.classes[ci].Graphs++
+			pairs = append(pairs, ClassCount{Class: ci, Count: e.Count})
+		}
+		gf.perGraph[gi] = pairs
+	}
+
+	// Renumber classes into ascending-signature order so the table is
+	// independent of graph iteration order.
+	perm := make([]int, len(gf.classes)) // old index → sorted index
+	order := make([]int, len(gf.classes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return gf.classes[order[i]].Sig < gf.classes[order[j]].Sig
+	})
+	sorted := make([]GlobalClass, len(gf.classes))
+	for newIdx, oldIdx := range order {
+		sorted[newIdx] = gf.classes[oldIdx]
+		perm[oldIdx] = newIdx
+	}
+	gf.classes = sorted
+	for gi, pairs := range gf.perGraph {
+		for i := range pairs {
+			pairs[i].Class = perm[pairs[i].Class]
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Class < pairs[j].Class })
+		gf.perGraph[gi] = pairs
+	}
+	return gf
+}
+
+// Classes returns the global class table in ascending signature order.
+// The slice is shared; do not modify it.
+func (gf *GlobalFold) Classes() []GlobalClass { return gf.classes }
+
+// Len returns the number of unique global classes.
+func (gf *GlobalFold) Len() int { return len(gf.classes) }
+
+// Nodes returns the total node count folded across all graphs.
+func (gf *GlobalFold) Nodes() int { return gf.nodes }
+
+// NumGraphs returns the number of folded graphs.
+func (gf *GlobalFold) NumGraphs() int { return len(gf.graphs) }
+
+// Graph returns the gi-th folded graph.
+func (gf *GlobalFold) Graph(gi int) *Graph { return gf.graphs[gi] }
+
+// PerGraph returns graph gi's reduction: its (class index, count)
+// pairs in ascending class order. The slice is shared; do not modify.
+func (gf *GlobalFold) PerGraph(gi int) []ClassCount { return gf.perGraph[gi] }
+
+// GraphIndex returns the fold index of g, or -1 when g was not folded.
+// Identity is pointer identity: the compiled serving path hands out the
+// same immutable *Graph it folded (see graph.BuildCache).
+//
+//hot:path
+func (gf *GlobalFold) GraphIndex(g *Graph) int {
+	for i, fg := range gf.graphs {
+		if fg == g {
+			return i
+		}
+	}
+	return -1
+}
+
+// Pairs returns the total number of (graph, class) reduction pairs —
+// the per-prediction gather length summed over the zoo.
+func (gf *GlobalFold) Pairs() int {
+	n := 0
+	for _, p := range gf.perGraph {
+		n += len(p)
+	}
+	return n
+}

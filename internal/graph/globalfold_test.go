@@ -1,0 +1,209 @@
+package graph_test
+
+import (
+	"sort"
+	"testing"
+
+	"ceer/internal/graph"
+	"ceer/internal/zoo"
+)
+
+// zooGraphs builds every zoo CNN once for the global-fold tests.
+func zooGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	names := zoo.Names()
+	graphs := make([]*graph.Graph, len(names))
+	for i, name := range names {
+		graphs[i] = zoo.MustBuild(name, 32)
+	}
+	return graphs
+}
+
+// TestGlobalFoldInvariants checks the documented GlobalFold contract
+// over the whole zoo: classes ascend by signature, per-graph pairs
+// ascend by class, every count is conserved, and the cross-graph dedup
+// actually shrinks the table.
+func TestGlobalFoldInvariants(t *testing.T) {
+	graphs := zooGraphs(t)
+	gf := graph.FoldAll(graphs)
+
+	if gf.NumGraphs() != len(graphs) {
+		t.Fatalf("NumGraphs() = %d, want %d", gf.NumGraphs(), len(graphs))
+	}
+	classes := gf.Classes()
+	if len(classes) != gf.Len() {
+		t.Fatalf("Len() = %d but %d classes", gf.Len(), len(classes))
+	}
+	if !sort.SliceIsSorted(classes, func(i, j int) bool { return classes[i].Sig < classes[j].Sig }) {
+		t.Error("classes not in ascending signature order")
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i].Sig == classes[i-1].Sig {
+			t.Errorf("duplicate class signature %q", classes[i].Sig)
+		}
+	}
+
+	totalNodes, sumClassCounts := 0, 0
+	for i := range classes {
+		c := &classes[i]
+		if c.Rep == nil {
+			t.Fatalf("class %d has nil representative", i)
+		}
+		if got := c.Rep.Op.Signature(); got != c.Sig {
+			t.Errorf("class %d signature %q but rep signs %q", i, c.Sig, got)
+		}
+		if c.Count < 1 || c.Graphs < 1 || c.Graphs > len(graphs) {
+			t.Errorf("class %d has Count=%d Graphs=%d", i, c.Count, c.Graphs)
+		}
+		sumClassCounts += c.Count
+	}
+
+	pairCount := 0
+	for gi, g := range graphs {
+		if gf.Graph(gi) != g {
+			t.Errorf("Graph(%d) is not the folded graph", gi)
+		}
+		pairs := gf.PerGraph(gi)
+		pairCount += len(pairs)
+		if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Class < pairs[j].Class }) {
+			t.Errorf("%s: per-graph pairs not in ascending class order", g.Name)
+		}
+		sum := 0
+		perClass := map[int]bool{}
+		for _, pc := range pairs {
+			if pc.Class < 0 || pc.Class >= gf.Len() {
+				t.Fatalf("%s: class index %d out of range", g.Name, pc.Class)
+			}
+			if perClass[pc.Class] {
+				t.Errorf("%s: class %d appears in two pairs", g.Name, pc.Class)
+			}
+			perClass[pc.Class] = true
+			if pc.Count < 1 {
+				t.Errorf("%s: class %d count %d", g.Name, pc.Class, pc.Count)
+			}
+			sum += pc.Count
+		}
+		if sum != g.Len() {
+			t.Errorf("%s: Σ pair counts = %d, want %d nodes", g.Name, sum, g.Len())
+		}
+		totalNodes += g.Len()
+	}
+	if gf.Nodes() != totalNodes {
+		t.Errorf("Nodes() = %d, want %d", gf.Nodes(), totalNodes)
+	}
+	if sumClassCounts != totalNodes {
+		t.Errorf("Σ class counts = %d, want %d", sumClassCounts, totalNodes)
+	}
+	if gf.Pairs() != pairCount {
+		t.Errorf("Pairs() = %d, want %d", gf.Pairs(), pairCount)
+	}
+
+	// The point of the global fold: cross-model overlap must shrink the
+	// table below the sum of the per-graph folds.
+	perGraphClasses := 0
+	for _, g := range graphs {
+		perGraphClasses += g.Fold().Len()
+	}
+	if gf.Len() >= perGraphClasses {
+		t.Errorf("global fold has %d classes; per-graph folds total %d — no cross-graph dedup",
+			gf.Len(), perGraphClasses)
+	}
+}
+
+// TestGlobalFoldMatchesPerGraphFolds cross-checks each graph's
+// reduction against its own fold: for every (class, count) pair, the
+// graph's per-graph fold must hold entries with the same signature
+// totalling the same count (the global fold merges phases).
+func TestGlobalFoldMatchesPerGraphFolds(t *testing.T) {
+	graphs := zooGraphs(t)
+	gf := graph.FoldAll(graphs)
+	classes := gf.Classes()
+	for gi, g := range graphs {
+		bySig := map[string]int{}
+		for _, e := range g.Fold().Entries() {
+			bySig[string(e.Sig)] += e.Count
+		}
+		for _, pc := range gf.PerGraph(gi) {
+			sig := string(classes[pc.Class].Sig)
+			if bySig[sig] != pc.Count {
+				t.Errorf("%s: class %q count %d, per-graph fold says %d",
+					g.Name, sig, pc.Count, bySig[sig])
+			}
+			delete(bySig, sig)
+		}
+		for sig, n := range bySig {
+			t.Errorf("%s: signature %q (count %d) missing from reduction", g.Name, sig, n)
+		}
+	}
+}
+
+// TestGlobalFoldOrderIndependent folds a permutation of the zoo and
+// checks the class table (signatures and totals) is unchanged — the
+// table depends only on the signature set.
+func TestGlobalFoldOrderIndependent(t *testing.T) {
+	graphs := zooGraphs(t)
+	reversed := make([]*graph.Graph, len(graphs))
+	for i, g := range graphs {
+		reversed[len(graphs)-1-i] = g
+	}
+	a, b := graph.FoldAll(graphs), graph.FoldAll(reversed)
+	if a.Len() != b.Len() {
+		t.Fatalf("class counts differ across orders: %d vs %d", a.Len(), b.Len())
+	}
+	ca, cb := a.Classes(), b.Classes()
+	for i := range ca {
+		if ca[i].Sig != cb[i].Sig || ca[i].Count != cb[i].Count || ca[i].Graphs != cb[i].Graphs {
+			t.Errorf("class %d differs across orders: (%s,%d,%d) vs (%s,%d,%d)", i,
+				ca[i].Sig, ca[i].Count, ca[i].Graphs, cb[i].Sig, cb[i].Count, cb[i].Graphs)
+		}
+	}
+	// Reductions must agree too, graph by graph.
+	for gi, g := range graphs {
+		pa := a.PerGraph(gi)
+		pb := b.PerGraph(b.GraphIndex(g))
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: pair counts differ across orders: %d vs %d", g.Name, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Errorf("%s: pair %d differs across orders: %+v vs %+v", g.Name, i, pa[i], pb[i])
+			}
+		}
+	}
+}
+
+// TestGlobalFoldGraphIndex pins the pointer-identity contract of
+// GraphIndex: folded graphs resolve to their position, and an
+// identically-shaped rebuild (a different pointer) does not.
+func TestGlobalFoldGraphIndex(t *testing.T) {
+	graphs := zooGraphs(t)
+	gf := graph.FoldAll(graphs)
+	for gi, g := range graphs {
+		if got := gf.GraphIndex(g); got != gi {
+			t.Errorf("GraphIndex(%s) = %d, want %d", g.Name, got, gi)
+		}
+	}
+	rebuilt := zoo.MustBuild(zoo.Names()[0], 32)
+	if got := gf.GraphIndex(rebuilt); got != -1 {
+		t.Errorf("GraphIndex(rebuilt graph) = %d, want -1 (identity is by pointer)", got)
+	}
+}
+
+// TestGlobalFoldClassOf spot-checks Fold.ClassOf on a zoo graph: every
+// node maps to the entry carrying its (signature, phase).
+func TestGlobalFoldClassOf(t *testing.T) {
+	g := zoo.MustBuild("resnet-50", 32)
+	f := g.Fold()
+	entries := f.Entries()
+	for ni, n := range g.Nodes() {
+		ci := f.ClassOf(ni)
+		if ci < 0 || ci >= len(entries) {
+			t.Fatalf("node %d: class index %d out of range", ni, ci)
+		}
+		e := &entries[ci]
+		if e.Sig != n.Op.Signature() || e.Phase != n.Phase {
+			t.Errorf("node %d: ClassOf → (%s,%v), node is (%s,%v)",
+				ni, e.Sig, e.Phase, n.Op.Signature(), n.Phase)
+		}
+	}
+}

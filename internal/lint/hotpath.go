@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotPath machine-checks the compiled serving core's contract
+// (DESIGN.md §9): a function marked with a `//hot:path` doc directive
+// is on the lock-free, allocation-free read path, so it must not
+// acquire a sync mutex (Lock/RLock/TryLock/TryRLock), index a map, or
+// call append. Those all belong at compile/build time — the hot path
+// gathers from precomputed flat arrays. The directive is an explicit
+// opt-in, so the analyzer runs everywhere but stays silent on unmarked
+// functions; function literals nested in a marked function inherit the
+// marking.
+var AnalyzerHotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbids mutex acquisition, map indexing, and append in " +
+		"functions marked //hot:path",
+	Run: runHotPath,
+}
+
+// hotPathDirective is the doc-comment line opting a function into the
+// hot-path checks.
+const hotPathDirective = "//hot:path"
+
+// mutexAcquire is the set of sync methods that take a lock.
+var mutexAcquire = map[string]bool{
+	"Lock":     true,
+	"RLock":    true,
+	"TryLock":  true,
+	"TryRLock": true,
+}
+
+func runHotPath(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkHotBody(pass, fn.Name.Name, fn.Body)
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //hot:path directive on a line of its own.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody walks one marked function body (including nested
+// function literals) and reports banned constructs.
+func checkHotBody(pass *Pass, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.IndexExpr:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"map index in //hot:path function %s; gather from precompiled flat arrays instead",
+						name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags append calls and sync lock acquisitions.
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+			pass.Reportf(call.Pos(),
+				"append in //hot:path function %s; preallocate at compile/build time instead",
+				name)
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !mutexAcquire[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"sync %s acquired in //hot:path function %s; the hot path must be lock-free",
+			fn.Name(), name)
+	}
+}

@@ -195,6 +195,7 @@ var Analyzers = []*Analyzer{
 	AnalyzerDeterminism,
 	AnalyzerErrDrop,
 	AnalyzerFloatCmp,
+	AnalyzerHotPath,
 }
 
 // ByName returns the subset of the default suite matching the given

@@ -35,6 +35,10 @@ func TestFloatCmp(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "floatcmp"), lint.AnalyzerFloatCmp)
 }
 
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "hotpath"), lint.AnalyzerHotPath)
+}
+
 // TestJSONGolden pins the -json encoding byte for byte: ordering is
 // (file, line, col, analyzer, message) and the encoder is shared with
 // cmd/ceer-lint, so a drift here is a drift in the CLI's contract.

@@ -1,0 +1,56 @@
+// Package hot exercises the hotpath analyzer: functions marked with a
+// //hot:path doc directive must not take locks, index maps, or append.
+package hot
+
+import "sync"
+
+// table mixes compiled flat arrays with the memo-style state the
+// compiled serving core exists to retire.
+type table struct {
+	mu    sync.Mutex
+	rwmu  sync.RWMutex
+	memo  map[string]float64
+	times []float64
+}
+
+// badLookup acquires a mutex and reads a map on a marked hot path.
+//
+//hot:path
+func (t *table) badLookup(key string) float64 {
+	t.mu.Lock() // want `sync Lock acquired in //hot:path function badLookup`
+	defer t.mu.Unlock()
+	return t.memo[key] // want `map index in //hot:path function badLookup`
+}
+
+// badReadLock takes a read lock and tries an upgrade.
+//
+//hot:path
+func (t *table) badReadLock() int {
+	t.rwmu.RLock() // want `sync RLock acquired in //hot:path function badReadLock`
+	n := len(t.times)
+	t.rwmu.RUnlock()
+	if t.mu.TryLock() { // want `sync TryLock acquired in //hot:path function badReadLock`
+		t.mu.Unlock()
+	}
+	return n
+}
+
+// badAppend grows a slice per call, including inside a nested function
+// literal (which inherits the marking).
+//
+//hot:path
+func (t *table) badAppend(v float64) []float64 {
+	out := append(t.times, v) // want `append in //hot:path function badAppend`
+	grow := func() {
+		out = append(out, v) // want `append in //hot:path function badAppend`
+	}
+	grow()
+	return out
+}
+
+// badStore writes through a map index on the hot path.
+//
+//hot:path
+func (t *table) badStore(key string, v float64) {
+	t.memo[key] = v // want `map index in //hot:path function badStore`
+}

@@ -1,0 +1,46 @@
+package regress
+
+import "fmt"
+
+// PredictBatch evaluates the model over a struct-of-arrays feature
+// matrix: feats holds len(dst) rows of NumFeatures raw features each,
+// stored contiguously row-major, and the i-th prediction is written to
+// dst[i]. It exists for table-building paths (compiled predictors)
+// that evaluate one model over many feature vectors: Predict allocates
+// a scaled copy and a polynomial expansion per call, PredictBatch
+// allocates one scratch row for the whole batch and accumulates the
+// expansion terms in place.
+//
+// The arithmetic mirrors Predict exactly — same normalization, same
+// term order (linear columns, then squares and cross products in
+// expansion order) — so PredictBatch(dst, feats)[i] is bit-identical
+// to Predict(row_i). It panics on a shape mismatch, like Predict.
+func (m *Model) PredictBatch(dst []float64, feats []float64) {
+	nf := m.NumFeatures
+	if len(feats) != len(dst)*nf {
+		panic(fmt.Sprintf("regress: PredictBatch with %d features for %d rows of a %d-feature model",
+			len(feats), len(dst), nf))
+	}
+	scaled := make([]float64, nf)
+	for r := range dst {
+		row := feats[r*nf : (r+1)*nf]
+		for j, v := range row {
+			scaled[j] = v / m.scale[j]
+		}
+		y := m.Coef[0]
+		ci := 1
+		for _, s := range scaled {
+			y += m.Coef[ci] * s
+			ci++
+		}
+		if m.Degree >= 2 {
+			for i := 0; i < nf; i++ {
+				for j := i; j < nf; j++ {
+					y += m.Coef[ci] * (scaled[i] * scaled[j])
+					ci++
+				}
+			}
+		}
+		dst[r] = y
+	}
+}

@@ -1,0 +1,110 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+
+	"ceer/internal/rng"
+)
+
+// fitRandom fits a degree-d model on synthetic noisy data with nf
+// features, returning the model and a fresh matrix of query rows.
+func fitRandom(t *testing.T, seed uint64, nf, degree, rows int) (*Model, [][]float64) {
+	t.Helper()
+	src := rng.New(seed)
+	n := 40
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, nf)
+		for j := range x {
+			x[j] = 1 + src.Float64()*100
+		}
+		xs[i] = x
+		y := 0.5
+		for j, v := range x {
+			y += float64(j+1) * 0.01 * v
+			y += 1e-5 * v * v
+		}
+		ys[i] = y * (1 + 0.05*src.Normal())
+	}
+	m, err := Fit(xs, ys, degree)
+	if err != nil {
+		t.Fatalf("Fit(degree=%d): %v", degree, err)
+	}
+	queries := make([][]float64, rows)
+	for i := range queries {
+		q := make([]float64, nf)
+		for j := range q {
+			q[j] = 1 + src.Float64()*150 // include extrapolation beyond the fit range
+		}
+		queries[i] = q
+	}
+	return m, queries
+}
+
+// TestPredictBatchMatchesPredict pins the contract: PredictBatch is
+// bit-identical to per-row Predict, for linear and quadratic models
+// across feature arities.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for _, degree := range []int{1, 2} {
+		for _, nf := range []int{1, 2, 3, 6} {
+			m, queries := fitRandom(t, uint64(100+10*degree+nf), nf, degree, 17)
+			feats := make([]float64, 0, len(queries)*nf)
+			for _, q := range queries {
+				feats = append(feats, q...)
+			}
+			dst := make([]float64, len(queries))
+			m.PredictBatch(dst, feats)
+			for i, q := range queries {
+				if want := m.Predict(q); !eqExact(dst[i], want) {
+					t.Errorf("degree=%d nf=%d row %d: PredictBatch = %v, Predict = %v",
+						degree, nf, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredictScalar checks the single-feature fast
+// paths agree bit for bit.
+func TestPredictBatchMatchesPredictScalar(t *testing.T) {
+	for _, degree := range []int{1, 2} {
+		m, queries := fitRandom(t, uint64(7+degree), 1, degree, 9)
+		feats := make([]float64, len(queries))
+		for i, q := range queries {
+			feats[i] = q[0]
+		}
+		dst := make([]float64, len(queries))
+		m.PredictBatch(dst, feats)
+		for i := range queries {
+			if want := m.PredictScalar(feats[i]); !eqExact(dst[i], want) {
+				t.Errorf("degree=%d row %d: PredictBatch = %v, PredictScalar = %v",
+					degree, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestPredictBatchEmpty accepts a zero-row batch.
+func TestPredictBatchEmpty(t *testing.T) {
+	m, _ := fitRandom(t, 3, 2, 1, 1)
+	m.PredictBatch(nil, nil) // must not panic
+}
+
+// TestPredictBatchShapePanic pins the shape contract: a feature matrix
+// that does not factor into len(dst) rows panics, like Predict does on
+// arity mismatch.
+func TestPredictBatchShapePanic(t *testing.T) {
+	m, _ := fitRandom(t, 4, 2, 1, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PredictBatch accepted a mis-shaped matrix")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "PredictBatch") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	m.PredictBatch(make([]float64, 3), make([]float64, 5))
+}

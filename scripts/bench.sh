@@ -1,22 +1,31 @@
 #!/usr/bin/env bash
 # Serving-path benchmark runner (see DESIGN.md "Serving-path
-# performance"): runs the predict/recommend benches with -benchmem and
-# writes the headline numbers to BENCH_predict.json.
+# performance"): runs the predict/recommend benches with -benchmem,
+# writes the headline numbers to BENCH_predict.json, and gates fresh
+# results against the committed baseline (fail on a >20% ns/op
+# regression or any allocs/op increase).
 #
 # Environment overrides:
-#   BENCH_COUNT    repetitions per bench (default 3; smoke runs use 1)
-#   BENCH_TIME     -benchtime value (default 100x; e.g. 2s, 500x)
-#   BENCH_OUT      output JSON path (default BENCH_predict.json)
+#   BENCH_COUNT     repetitions per bench (default 3; smoke runs use 1)
+#   BENCH_TIME      -benchtime value (default 100x; e.g. 2s, 500x)
+#   BENCH_OUT       output JSON path (default BENCH_predict.json)
+#   BENCH_BASELINE  committed baseline to gate against (default
+#                   BENCH_predict.json; the gate is skipped when the
+#                   baseline is missing or is the output file itself,
+#                   i.e. when regenerating the baseline)
+#   BENCH_GATE      set to 0 to skip the regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-100x}"
 OUT="${BENCH_OUT:-BENCH_predict.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_predict.json}"
+GATE="${BENCH_GATE:-1}"
 
 echo "== serving-path benches (count=${COUNT}, benchtime=${TIME})"
 raw=$(go test -run '^$' \
-    -bench 'PredictIteration(Folded|Unfolded)|RecommendSweep' \
+    -bench 'PredictIteration(Folded|Unfolded|Compiled)|CompileZoo|RecommendSweep' \
     -benchmem -count "${COUNT}" -benchtime "${TIME}" . | tee /dev/stderr)
 
 # Fold the repeated runs into one JSON document: ns/op and custom
@@ -58,3 +67,64 @@ END {
 }
 '
 echo "== wrote ${OUT}"
+
+# Regression gate: compare the fresh numbers against the committed
+# baseline. A benchmark regresses when its ns/op grows by more than 20%
+# or its allocs/op grows at all; benchmarks absent from the baseline
+# (newly added) pass. Skipped when regenerating the baseline in place.
+if [[ "${GATE}" != "1" ]]; then
+    echo "== regression gate skipped (BENCH_GATE=${GATE})"
+elif [[ ! -f "${BASELINE}" ]]; then
+    echo "== regression gate skipped (no baseline ${BASELINE})"
+elif [[ "$(cd "$(dirname "${OUT}")" && pwd)/$(basename "${OUT}")" == \
+        "$(cd "$(dirname "${BASELINE}")" && pwd)/$(basename "${BASELINE}")" ]]; then
+    echo "== regression gate skipped (regenerating baseline ${BASELINE} in place)"
+else
+    echo "== regression gate: ${OUT} vs baseline ${BASELINE}"
+    awk -v fresh="${OUT}" -v base="${BASELINE}" '
+    function load(path, ns, aop,    name, key, val) {
+        name = ""
+        while ((getline line < path) > 0) {
+            if (match(line, /^  "[^"]+": \{/)) {
+                name = line
+                sub(/^  "/, "", name); sub(/": \{.*/, "", name)
+            } else if (match(line, /^    "(ns_per_op|allocs_per_op)": /)) {
+                key = line
+                sub(/^    "/, "", key); sub(/":.*/, "", key)
+                val = line
+                sub(/^[^:]*: /, "", val); sub(/,$/, "", val)
+                if (key == "ns_per_op")     { ns[name]  = val + 0 }
+                if (key == "allocs_per_op") { aop[name] = val + 0 }
+            }
+        }
+        close(path)
+    }
+    BEGIN {
+        load(fresh, fns, faop)
+        load(base,  bns, baop)
+        bad = 0
+        for (name in fns) {
+            if (!(name in bns)) {
+                printf "   new  %-34s %.0f ns/op, %d allocs/op (no baseline)\n", \
+                    name, fns[name], faop[name]
+                continue
+            }
+            nsfail = (fns[name] > bns[name] * 1.20)
+            aopfail = (faop[name] > baop[name])
+            verdict = (nsfail || aopfail) ? "FAIL" : "ok"
+            printf "   %-4s %-34s ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d\n", \
+                verdict, name, bns[name], fns[name], \
+                (fns[name] / bns[name] - 1) * 100, baop[name], faop[name]
+            if (nsfail) {
+                printf "        ns/op regressed more than 20%% over the baseline\n"
+                bad = 1
+            }
+            if (aopfail) {
+                printf "        allocs/op regressed (any increase fails)\n"
+                bad = 1
+            }
+        }
+        exit bad
+    }' || { echo "== BENCH REGRESSION: see above (baseline ${BASELINE})"; exit 1; }
+    echo "== regression gate passed"
+fi

@@ -40,9 +40,11 @@ echo "== chaos determinism gate"
 # (scripts/chaos.sh).
 ./scripts/chaos.sh >/dev/null
 
-echo "== serving-path bench smoke run"
-# One iteration per bench: proves the benches run and the JSON writer
-# works without paying for a full measurement (see scripts/bench.sh).
-BENCH_COUNT=1 BENCH_TIME=1x BENCH_OUT="$(mktemp)" ./scripts/bench.sh >/dev/null
+echo "== serving-path bench regression gate"
+# A moderate-depth bench run (enough iterations to average out timer
+# noise) written to a scratch file and gated against the committed
+# BENCH_predict.json: >20% ns/op or any allocs/op regression fails
+# (see scripts/bench.sh).
+BENCH_COUNT=2 BENCH_TIME=500x BENCH_OUT="$(mktemp)" ./scripts/bench.sh >/dev/null
 
 echo "check: OK"
