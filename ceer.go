@@ -35,6 +35,7 @@ import (
 	internal "ceer/internal/ceer"
 	"ceer/internal/cloud"
 	"ceer/internal/dataset"
+	"ceer/internal/drift"
 	"ceer/internal/faults"
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
@@ -94,6 +95,22 @@ type (
 	// CompiledBox atomically publishes a CompiledSystem for hot-swap in
 	// serving loops.
 	CompiledBox = internal.CompiledBox
+	// Obs is one observed op timing — the record type of JSONL
+	// observation logs (see System.WriteObsLog and Calibrator.Replay).
+	Obs = trace.Obs
+	// Calibrator drives the observe→predict→calibrate loop over a
+	// trained system; obtain one from System.NewCalibrator.
+	Calibrator = internal.Calibrator
+	// CalibrationPolicy fixes the calibration loop's drift thresholds
+	// and refit schedule.
+	CalibrationPolicy = internal.CalibrationPolicy
+	// CalibrationReport is the structured outcome of a calibration run.
+	CalibrationReport = internal.CalibrationReport
+	// DriftPolicy fixes the windowed drift-detection thresholds.
+	DriftPolicy = drift.Policy
+	// FaultInjector evaluates a FaultSpec deterministically; build one
+	// with NewFaultInjector to fault-inject a calibration replay.
+	FaultInjector = faults.Injector
 )
 
 // ErrNotCompiled reports a prediction against a graph or device outside
@@ -103,6 +120,18 @@ var ErrNotCompiled = internal.ErrNotCompiled
 
 // LoadFaultSpec reads a JSON fault specification from a file.
 func LoadFaultSpec(path string) (*FaultSpec, error) { return faults.LoadSpec(path) }
+
+// NewFaultInjector compiles a fault spec into a deterministic injector
+// (nil spec = inject nothing).
+func NewFaultInjector(spec *FaultSpec) (*FaultInjector, error) { return faults.NewInjector(spec) }
+
+// DefaultCalibrationPolicy pairs the default drift thresholds with
+// drift-triggered refits only.
+func DefaultCalibrationPolicy() CalibrationPolicy { return internal.DefaultCalibrationPolicy() }
+
+// DefaultDriftPolicy returns the standard drift thresholds (24-wide
+// window, 25% MAPE, 12 same-signed residuals).
+func DefaultDriftPolicy() DriftPolicy { return drift.DefaultPolicy() }
 
 // Window padding policies for GraphBuilder layers.
 const (
@@ -382,6 +411,40 @@ func (s *System) Compiled(batch int64) (*CompiledSystem, error) {
 	}
 	s.compiled[batch] = c
 	return c, nil
+}
+
+// WriteObsLog streams the training campaign's op-level observations to
+// w as JSONL — the replayable record a calibration run consumes. Only
+// a freshly trained system carries the corpus; a system restored by
+// Load has none and returns an error.
+func (s *System) WriteObsLog(w io.Writer) error {
+	if s.bundle == nil {
+		return fmt.Errorf("ceer: system carries no profiling corpus (loaded, not trained)")
+	}
+	return trace.WriteObsLog(w, s.bundle)
+}
+
+// NewCalibrator wraps the system's predictor in an
+// observe→predict→calibrate loop: stream observations through
+// Calibrator.Calibrate (or replay a log with Calibrator.Replay) and it
+// folds each into per-(device, op) sufficient statistics, detects
+// drift, and refits drifted models copy-on-write. The system's own
+// predictor is never mutated; adopt the recalibrated one with
+// AdoptCalibrated, or bind a CompiledBox for lock-free hot-swap.
+func (s *System) NewCalibrator(pol CalibrationPolicy) (*Calibrator, error) {
+	return internal.NewCalibrator(s.pred, pol)
+}
+
+// AdoptCalibrated installs the calibrator's latest recalibrated
+// predictor as this system's serving predictor and drops the compiled
+// cache (its tables were built from the old models). Not safe
+// concurrently with predictions — serving loops should publish through
+// a CompiledBox via Calibrator.BindBox instead.
+func (s *System) AdoptCalibrated(c *Calibrator) {
+	s.compiledMu.Lock()
+	defer s.compiledMu.Unlock()
+	s.pred = c.Predictor()
+	s.compiled = nil
 }
 
 // HeavyOps returns the operation types Ceer classified as heavy (the

@@ -9,8 +9,18 @@
 //	ceer recommend -model inception-v3 [-models models.json]
 //	    [-objective cost|time] [-hourly-budget X] [-total-budget X]
 //	    [-market] [-samples N] [-batch N]
+//	ceer calibrate -obs observations.jsonl [-models models.json]
+//	    [-out recalibrated.json] [-window N] [-mape X] [-sign-run N]
+//	    [-refit-every N]
 //	ceer zoo
 //	ceer devices
+//
+// calibrate replays a JSONL observation log (written by `ceer train
+// -obs-log` or a serving process) through the observe→predict→calibrate
+// loop: each observation updates the matching op model's sufficient
+// statistics, drifted models are refit in place, and the run ends with
+// a deterministic drift/refit report (optionally writing the
+// recalibrated models with -out).
 //
 // Without -models, predict/recommend train a fresh predictor in memory
 // (a few seconds). Every subcommand accepts -extra-devices to also
@@ -49,6 +59,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "recommend":
 		err = cmdRecommend(os.Args[2:])
+	case "calibrate":
+		err = cmdCalibrate(os.Args[2:])
 	case "zoo":
 		err = cmdZoo()
 	case "devices", "-list-devices", "--list-devices":
@@ -68,7 +80,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  ceer train -out models.json [-seed N] [-iters N] [-workers N]
+  ceer train -out models.json [-seed N] [-iters N] [-workers N] [-obs-log FILE]
              [-timeout D] [-retries N] [-fault-spec FILE] [-checkpoint FILE]
   ceer predict -model NAME [-models FILE] [-config 2xP3] [-samples N] [-batch N]
                [-market] [-explain] [-explain-nodes N] [-workers N]
@@ -77,8 +89,16 @@ func usage() {
                  [-hourly-budget X] [-total-budget X] [-memory] [-market]
                  [-samples N] [-batch N] [-workers N]
                  [-timeout D] [-retries N] [-fault-spec FILE]
+  ceer calibrate -obs FILE [-models FILE] [-out FILE] [-window N] [-mape X]
+                 [-sign-run N] [-refit-every N] [-min-refit-obs N]
+                 [-fault-spec FILE] [-seed N] [-workers N]
   ceer zoo
   ceer devices [-extra-devices]     (also: ceer -list-devices)
+
+calibrate replays a JSONL observation log (ceer train -obs-log) against
+the models: drifted op models are detected over a residual window and
+refit from accumulated sufficient statistics; the drift/refit report is
+printed and -out writes the recalibrated models.
 
 -workers bounds the measurement campaign's parallelism (0 = GOMAXPROCS,
 1 = serial); any value trains an identical predictor.
@@ -231,6 +251,7 @@ func cmdTrain(args []string) (err error) {
 	iters := fs.Int("iters", 0, "profiling iterations per (CNN, GPU); 0 = default")
 	workers := fs.Int("workers", 0, "parallel measurement workers; 0 = GOMAXPROCS, 1 = serial")
 	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	obsLog := fs.String("obs-log", "", "also write the campaign's observation stream (JSONL) to this file")
 	res := addResilienceFlags(fs)
 	checkpoint := fs.String("checkpoint", "", "journal campaign progress to this file and resume from it")
 	prof := addProfileFlags(fs)
@@ -267,8 +288,120 @@ func cmdTrain(args []string) (err error) {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	if *obsLog != "" {
+		lf, err := os.Create(*obsLog)
+		if err != nil {
+			return err
+		}
+		if err := sys.WriteObsLog(lf); err != nil {
+			_ = lf.Close() // best-effort; the write error is what matters
+			return err
+		}
+		if err := lf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("observation log written to %s\n", *obsLog)
+	}
 	fmt.Printf("trained on %s; %d heavy op types; models written to %s\n",
 		strings.Join(ceer.TrainingModels(), ", "), len(sys.HeavyOps()), *out)
+	return nil
+}
+
+// cmdCalibrate replays a JSONL observation log through the
+// observe→predict→calibrate loop and prints the drift/refit report.
+func cmdCalibrate(args []string) (err error) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	obsPath := fs.String("obs", "", "JSONL observation log to replay (required)")
+	modelsPath := fs.String("models", "", "trained models file (from `ceer train`)")
+	out := fs.String("out", "", "write the recalibrated models to this file")
+	window := fs.Int("window", 0, "drift residual window size (0 = default)")
+	mape := fs.Float64("mape", 0, "windowed MAPE drift threshold, fraction (0 = default)")
+	signRun := fs.Int("sign-run", 0, "same-sign residual run drift threshold (0 = default)")
+	refitEvery := fs.Int("refit-every", 0, "also refit every N applied observations per cell (0 = drift-triggered only)")
+	minRefitObs := fs.Int("min-refit-obs", 0, "minimum accumulated observations before a refit (raised to the parameter count)")
+	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	res := addResilienceFlags(fs)
+	prof := addProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer deferStop(stop, &err)
+	if *extra {
+		a10g.Register()
+	}
+	if *obsPath == "" {
+		return fmt.Errorf("calibrate: -obs is required")
+	}
+	ctx, cancel := res.context()
+	defer cancel()
+	sys, err := loadOrTrain(ctx, *modelsPath, res, *seed, *workers)
+	if err != nil {
+		return err
+	}
+
+	pol := ceer.DefaultCalibrationPolicy()
+	if *window > 0 {
+		pol.Drift.Window = *window
+	}
+	if *mape > 0 {
+		pol.Drift.MAPEThreshold = *mape
+	}
+	if *signRun > 0 {
+		pol.Drift.SignRun = *signRun
+	}
+	pol.RefitEvery = *refitEvery
+	pol.MinRefitObs = *minRefitObs
+	cal, err := sys.NewCalibrator(pol)
+	if err != nil {
+		return err
+	}
+
+	// -fault-spec here injects into the replay itself (stage
+	// "calibrate"): transient faults drop observations, a preemption
+	// aborts the replay.
+	var inj *ceer.FaultInjector
+	if *res.faultSpec != "" {
+		spec, err := ceer.LoadFaultSpec(*res.faultSpec)
+		if err != nil {
+			return err
+		}
+		if inj, err = ceer.NewFaultInjector(spec); err != nil {
+			return err
+		}
+	}
+	obsFile, err := os.Open(*obsPath)
+	if err != nil {
+		return err
+	}
+	//lint:ignore errdrop read-side close; there are no buffered writes to lose
+	defer obsFile.Close()
+	if err := cal.Replay(obsFile, inj); err != nil {
+		return err
+	}
+	if err := cal.Report().Render(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		sys.AdoptCalibrated(cal)
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := sys.Save(f); err != nil {
+			_ = f.Close() // best-effort; the save error is what matters
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recalibrated models written to %s\n", *out)
+	}
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"ceer/internal/dataset"
 	"ceer/internal/faults"
 	"ceer/internal/gpu"
+	"ceer/internal/trace"
 	"ceer/internal/zoo"
 )
 
@@ -376,6 +377,65 @@ func TestCheckpointCorruption(t *testing.T) {
 	pl.CheckpointPath = headerless
 	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err == nil {
 		t.Error("a headerless journal must be rejected")
+	}
+}
+
+// TestChaosCalibrationStream extends the chaos determinism contract to
+// the observe→calibrate loop: a campaign's observation log and a
+// fault-injected calibration replay over it (transient drops
+// mid-stream) degrade gracefully and produce byte-identical logs,
+// reports, and recalibrated predictors at 1 and 8 workers.
+func TestChaosCalibrationStream(t *testing.T) {
+	pol := DefaultCalibrationPolicy()
+	pol.Drift.Window = 8
+	pol.Drift.SignRun = 4
+	pol.RefitEvery = 32
+	spec := &faults.Spec{Seed: 42, TransientRate: 0.10}
+	run := func(workers int) (obsLog, report, predJSON []byte, dropped int) {
+		pl := testPipeline(workers)
+		res, err := pl.Campaign(context.Background(), zoo.Build, campaignNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := Train(res.Bundle, res.CommObs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log bytes.Buffer
+		if err := trace.WriteObsLog(&log, res.Bundle); err != nil {
+			t.Fatal(err)
+		}
+		cal, err := NewCalibrator(pred, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cal.Replay(bytes.NewReader(log.Bytes()), mustInjector(t, spec)); err != nil {
+			t.Fatalf("transient faults must degrade gracefully, not abort: %v", err)
+		}
+		rep := cal.Report()
+		var text bytes.Buffer
+		if err := rep.Render(&text); err != nil {
+			t.Fatal(err)
+		}
+		return log.Bytes(), text.Bytes(), savedBytes(t, cal.Predictor()), rep.Dropped
+	}
+	sLog, sRep, sPred, sDropped := run(1)
+	pLog, pRep, pPred, pDropped := run(8)
+
+	if sDropped == 0 {
+		t.Error("a 10% transient rate should drop at least one observation")
+	}
+	if sDropped != pDropped {
+		t.Errorf("dropped count differs across worker counts: %d vs %d", sDropped, pDropped)
+	}
+	if !bytes.Equal(sLog, pLog) {
+		t.Error("observation log differs between 1 and 8 workers")
+	}
+	if !bytes.Equal(sRep, pRep) {
+		t.Error("calibration report differs between 1 and 8 workers")
+	}
+	if !bytes.Equal(sPred, pPred) {
+		t.Error("recalibrated predictor JSON differs between 1 and 8 workers")
 	}
 }
 

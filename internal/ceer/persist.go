@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"ceer/internal/gpu"
 	"ceer/internal/ops"
@@ -14,8 +15,34 @@ import (
 
 // persistVersion guards the on-disk format. Version 2 keys op and comm
 // models by stable device ID strings (version 1 used AWS family codes
-// resolved through the then-closed model enum).
-const persistVersion = 2
+// resolved through the then-closed model enum); version 3 carries each
+// op model's training-time sufficient statistics alongside its
+// coefficients, so calibration can continue a loaded fit incrementally.
+const persistVersion = 3
+
+// supportedVersions lists the formats load accepts, ascending. Version
+// 2 files load cleanly — their op models simply lack statistics, and
+// the calibrator seeds empty accumulators from the model shapes.
+var supportedVersions = []int{2, persistVersion}
+
+// versionSupported reports whether load understands the version.
+func versionSupported(v int) bool {
+	for _, s := range supportedVersions {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// supportedVersionList renders supportedVersions for error messages.
+func supportedVersionList() string {
+	parts := make([]string, len(supportedVersions))
+	for i, v := range supportedVersions {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}
 
 // PersistError is the typed failure of loading a serialized predictor:
 // it carries the source path (empty when loading from a stream) and
@@ -78,6 +105,9 @@ type opModelJSON struct {
 	OpType   ops.Type       `json:"op"`
 	TrainObs int            `json:"train_obs"`
 	Model    *regress.Model `json:"model"`
+	// Stats is the chosen model's sufficient-statistics state (v3;
+	// absent in v2 files and on models that never carried statistics).
+	Stats *regress.SuffStatsState `json:"stats,omitempty"`
 }
 
 type commModelJSON struct {
@@ -115,12 +145,17 @@ func (p *Predictor) Save(w io.Writer) error {
 	sortTypes(out.LightTypes)
 	sortTypes(out.CPUTypes)
 	for _, om := range p.OpModels() {
-		out.OpModels = append(out.OpModels, opModelJSON{
+		oj := opModelJSON{
 			Device:   string(om.GPU),
 			OpType:   om.OpType,
 			TrainObs: om.TrainObs,
 			Model:    om.Model(),
-		})
+		}
+		if om.Stats != nil {
+			st := om.Stats.State()
+			oj.Stats = &st
+		}
+		out.OpModels = append(out.OpModels, oj)
 	}
 	commIDs := make([]gpu.ID, 0, len(p.commModels))
 	for m := range p.commModels {
@@ -176,8 +211,9 @@ func load(r io.Reader, path string) (*Predictor, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return fail(0, "decoding predictor: %w", err)
 	}
-	if in.Version != persistVersion {
-		return fail(in.Version, "unsupported predictor version %d (want %d)", in.Version, persistVersion)
+	if !versionSupported(in.Version) {
+		return fail(in.Version, "unsupported predictor version %d (supported: %s)",
+			in.Version, supportedVersionList())
 	}
 	if in.LightMedian <= 0 || in.CPUMedian <= 0 {
 		return fail(in.Version, "serialized medians must be positive")
@@ -214,12 +250,23 @@ func load(r io.Reader, path string) (*Predictor, error) {
 		if p.opModels[m] == nil {
 			p.opModels[m] = make(map[ops.Type]*OpModel)
 		}
-		p.opModels[m][om.OpType] = &OpModel{
+		loaded := &OpModel{
 			GPU:       m,
 			OpType:    om.OpType,
 			TrainObs:  om.TrainObs,
 			Selection: &regress.Selection{Chosen: om.Model},
 		}
+		if om.Stats != nil {
+			st, err := regress.RestoreSuffStats(*om.Stats)
+			if err != nil {
+				return fail(in.Version, "op model %s/%s statistics: %w", om.Device, om.OpType, err)
+			}
+			if err := st.CompatibleWith(om.Model); err != nil {
+				return fail(in.Version, "op model %s/%s statistics: %w", om.Device, om.OpType, err)
+			}
+			loaded.Stats = st
+		}
+		p.opModels[m][om.OpType] = loaded
 	}
 	for _, cm := range in.CommModels {
 		m := gpu.ID(cm.Device)

@@ -3,6 +3,7 @@ package ceer
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -230,6 +231,125 @@ func TestLoadFilePersistError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), corrupt) {
 		t.Errorf("message %q should name the file", err.Error())
+	}
+}
+
+// TestLoadVersionTable pins the version gate: every unsupported
+// version is rejected with a message naming the supported list, and
+// every supported version decodes.
+func TestLoadVersionTable(t *testing.T) {
+	minimal := func(v int) string {
+		return fmt.Sprintf(`{"version": %d, "light_median": 1e-6, "cpu_median": 1e-5}`, v)
+	}
+	for _, v := range []int{1, 4, 99} {
+		t.Run(fmt.Sprintf("unsupported-v%d", v), func(t *testing.T) {
+			_, err := Load(strings.NewReader(minimal(v)))
+			if err == nil {
+				t.Fatalf("version %d should be rejected", v)
+			}
+			for _, want := range []string{
+				fmt.Sprintf("unsupported predictor version %d", v),
+				"supported: 2, 3",
+			} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err.Error(), want)
+				}
+			}
+			var pe *PersistError
+			if !errors.As(err, &pe) || pe.Version != v {
+				t.Errorf("err = %T version %d, want *PersistError carrying %d", err, pe.Version, v)
+			}
+		})
+	}
+	for _, v := range supportedVersions {
+		t.Run(fmt.Sprintf("supported-v%d", v), func(t *testing.T) {
+			if _, err := Load(strings.NewReader(minimal(v))); err != nil {
+				t.Errorf("version %d should load: %v", v, err)
+			}
+		})
+	}
+}
+
+// TestV2UpgradeRoundTrip is the forward-compatibility journey: a v2
+// file (the pre-statistics golden) loads under the v3 code with empty
+// statistics, predicts identically to the v3 golden, and re-saves as a
+// v3 container without inventing statistics.
+func TestV2UpgradeRoundTrip(t *testing.T) {
+	v2, err := LoadFile(filepath.Join("testdata", "predictor_seed1_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := LoadFile(filepath.Join("testdata", "predictor_seed1_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, om := range v2.OpModels() {
+		if om.Stats != nil {
+			t.Fatalf("v2 load invented statistics for %s/%s", om.GPU, om.OpType)
+		}
+	}
+	withStats := 0
+	for _, om := range v3.OpModels() {
+		if om.Stats != nil {
+			withStats++
+		}
+	}
+	if withStats == 0 {
+		t.Fatal("v3 load restored no statistics")
+	}
+
+	// Same campaign, same coefficients: the upgrade is prediction-invisible.
+	g := zoo.MustBuild("inception-v3", 32)
+	for _, m := range gpu.All() {
+		a, err := v2.PredictIteration(g, m, 2, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := v3.PredictIteration(g, m, 2, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqExact(a.PerIterSeconds, b.PerIterSeconds) {
+			t.Errorf("%s: v2 predicts %v, v3 predicts %v", m, a.PerIterSeconds, b.PerIterSeconds)
+		}
+	}
+
+	// Re-saving writes the current container version; absent statistics
+	// stay absent (omitempty, never fabricated).
+	var up bytes.Buffer
+	if err := v2.Save(&up); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(up.String(), `"version": 3`) {
+		t.Error("re-saved v2 predictor should carry version 3")
+	}
+	if strings.Contains(up.String(), `"stats"`) {
+		t.Error("upgrading a v2 file must not fabricate statistics")
+	}
+	back, err := Load(bytes.NewReader(up.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range gpu.All() {
+		a, err := v2.PredictIteration(g, m, 1, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.PredictIteration(g, m, 1, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqExact(a.PerIterSeconds, b.PerIterSeconds) {
+			t.Errorf("%s: upgraded round-trip changed prediction: %v vs %v", m, a.PerIterSeconds, b.PerIterSeconds)
+		}
+	}
+	// The upgraded container is itself byte-stable.
+	var again bytes.Buffer
+	if err := back.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Bytes(), again.Bytes()) {
+		t.Error("upgraded container is not byte-stable across a save/load cycle")
 	}
 }
 

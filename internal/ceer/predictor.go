@@ -25,6 +25,11 @@ type OpModel struct {
 	Selection *regress.Selection
 	// TrainObs is the number of (instance) observations used.
 	TrainObs int
+	// Stats holds the chosen model's training-time sufficient
+	// statistics, the seed for incremental recalibration (nil on
+	// predictors loaded from pre-v3 files; the calibrator seeds an
+	// empty accumulator from the model shape instead).
+	Stats *regress.SuffStats
 }
 
 // Model returns the chosen regression model.
@@ -112,33 +117,49 @@ func TrainWithDegree(bundle *trace.Bundle, commObs []CommObs, degree int) (*Pred
 		commModels: make(map[gpu.ID]map[int]*CommModel),
 	}
 
-	// Heavy-op regressions, one per (GPU, type).
+	// Heavy-op regressions, one per (GPU, type), with rows collected
+	// from the bundle's observation stream — the same incremental path
+	// live calibration replays. The stream's deterministic order
+	// (profiles in bundle order, series in node order) is exactly the
+	// row order the materialized loop used, so the fits are
+	// bit-identical to the historical batch path.
+	type cellRows struct {
+		xs [][]float64
+		ys []float64
+	}
+	rows := make(map[gpu.ID]map[ops.Type]*cellRows)
+	if err := bundle.Observations(func(o trace.Obs) error {
+		if !class.Heavy[o.Op] {
+			return nil
+		}
+		byType := rows[o.GPU]
+		if byType == nil {
+			byType = make(map[ops.Type]*cellRows)
+			rows[o.GPU] = byType
+		}
+		c := byType[o.Op]
+		if c == nil {
+			c = &cellRows{}
+			byType[o.Op] = c
+		}
+		c.xs = append(c.xs, o.Features)
+		c.ys = append(c.ys, o.Seconds)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for _, m := range gpu.All() {
-		profiles := bundle.ForGPU(m)
-		if len(profiles) == 0 {
+		byType := rows[m]
+		if len(byType) == 0 {
 			continue
 		}
-		byType := make(map[ops.Type][]*trace.Series)
-		for _, prof := range profiles {
-			for _, s := range prof.Series {
-				if class.Heavy[s.OpType] {
-					byType[s.OpType] = append(byType[s.OpType], s)
-				}
-			}
-		}
 		p.opModels[m] = make(map[ops.Type]*OpModel, len(byType))
-		for t, series := range byType {
-			xs := make([][]float64, len(series))
-			ys := make([]float64, len(series))
-			for i, s := range series {
-				xs[i] = s.Features
-				ys[i] = s.Agg.Mean()
-			}
-			sel, err := fitOpModel(xs, ys, degree)
+		for t, c := range byType {
+			sel, st, err := fitOpModel(c.xs, c.ys, degree)
 			if err != nil {
 				return nil, fmt.Errorf("ceer: fitting %s on %s: %w", t, m.Family(), err)
 			}
-			p.opModels[m][t] = &OpModel{GPU: m, OpType: t, Selection: sel, TrainObs: len(series)}
+			p.opModels[m][t] = &OpModel{GPU: m, OpType: t, Selection: sel, TrainObs: len(c.ys), Stats: st}
 		}
 	}
 
@@ -224,8 +245,26 @@ func (p *Predictor) DegradedDevices() []gpu.ID {
 	return out
 }
 
-// fitOpModel fits one heavy-op model, honoring a forced degree.
-func fitOpModel(xs [][]float64, ys []float64, degree int) (*regress.Selection, error) {
+// fitOpModel fits one heavy-op model, honoring a forced degree, and
+// accumulates the chosen model's sufficient statistics so calibration
+// can continue the fit incrementally from its exact training state.
+func fitOpModel(xs [][]float64, ys []float64, degree int) (*regress.Selection, *regress.SuffStats, error) {
+	sel, err := selectOpModel(xs, ys, degree)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := regress.StatsForModel(sel.Chosen)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range xs {
+		st.Add(xs[i], ys[i])
+	}
+	return sel, st, nil
+}
+
+// selectOpModel picks the model per the forced-degree rules.
+func selectOpModel(xs [][]float64, ys []float64, degree int) (*regress.Selection, error) {
 	switch degree {
 	case 0:
 		return regress.SelectDegree(xs, ys)

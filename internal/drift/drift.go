@@ -1,0 +1,103 @@
+// Package drift decides, deterministically, whether a fitted model
+// still describes the observations streaming past it. It reads the
+// windowed residual statistics a regress.SuffStats accumulates —
+// windowed MAPE and the longest same-sign residual run — and compares
+// them against fixed thresholds. Two complementary signals: MAPE
+// catches models that became loudly wrong (a 2× device slowdown blows
+// straight through any reasonable threshold), while the sign-run
+// statistic catches quiet systematic bias (a model consistently 8%
+// low has a modest MAPE but residuals that never change sign, which
+// i.i.d. noise makes exponentially unlikely).
+//
+// Everything here is a pure function of the accumulator state and the
+// policy — no clocks, no randomness — so a replayed observation log
+// produces the identical sequence of verdicts every time.
+package drift
+
+import (
+	"fmt"
+
+	"ceer/internal/regress"
+)
+
+// Policy fixes the drift thresholds. The zero value is not usable;
+// start from DefaultPolicy.
+type Policy struct {
+	// Window is the residual window size drift is judged over. A
+	// verdict needs a full window; until then Drifted is always false
+	// (cold models must not thrash).
+	Window int
+	// MAPEThreshold flags drift when the windowed mean absolute
+	// relative residual exceeds it (fraction, e.g. 0.25 = 25%).
+	MAPEThreshold float64
+	// SignRun flags drift when at least this many consecutive window
+	// residuals share a sign.
+	SignRun int
+}
+
+// DefaultPolicy returns the standard thresholds: judged over 24
+// observations, flagged at 25% windowed MAPE — comfortably above the
+// paper's per-op fit errors, far below a real slowdown — or 12
+// same-signed residuals in a row (p ≈ 2⁻¹¹ under symmetric noise).
+func DefaultPolicy() Policy {
+	return Policy{Window: 24, MAPEThreshold: 0.25, SignRun: 12}
+}
+
+// Validate rejects unusable policies.
+func (p Policy) Validate() error {
+	if p.Window <= 0 {
+		return fmt.Errorf("drift: policy window %d must be positive", p.Window)
+	}
+	if p.MAPEThreshold <= 0 {
+		return fmt.Errorf("drift: policy MAPE threshold %v must be positive", p.MAPEThreshold)
+	}
+	if p.SignRun <= 1 {
+		return fmt.Errorf("drift: policy sign run %d must exceed 1", p.SignRun)
+	}
+	if p.SignRun > p.Window {
+		return fmt.Errorf("drift: policy sign run %d exceeds window %d", p.SignRun, p.Window)
+	}
+	return nil
+}
+
+// Verdict is the outcome of one drift evaluation.
+type Verdict struct {
+	// WindowFill is how many residuals the window held.
+	WindowFill int `json:"window_fill"`
+	// MAPE is the windowed mean absolute relative residual.
+	MAPE float64 `json:"mape"`
+	// MaxSignRun is the longest same-sign residual run in the window.
+	MaxSignRun int `json:"max_sign_run"`
+	// Drifted reports whether either statistic crossed its threshold
+	// over a full window.
+	Drifted bool `json:"drifted"`
+	// Reason names the tripped statistic ("mape", "sign-run", or both
+	// as "mape+sign-run"); empty when not drifted.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Evaluate judges the accumulator's residual window against the
+// policy. The accumulator's window capacity must already be the
+// policy's Window (the calibration loop sets it when it adopts a
+// model).
+func Evaluate(p Policy, s *regress.SuffStats) Verdict {
+	v := Verdict{
+		WindowFill: s.WindowFill(),
+		MAPE:       s.WindowMAPE(),
+		MaxSignRun: s.WindowMaxSignRun(),
+	}
+	if v.WindowFill < p.Window {
+		return v
+	}
+	mape := v.MAPE > p.MAPEThreshold
+	run := v.MaxSignRun >= p.SignRun
+	switch {
+	case mape && run:
+		v.Drifted, v.Reason = true, "mape+sign-run"
+	case mape:
+		v.Drifted, v.Reason = true, "mape"
+	case run:
+		v.Drifted, v.Reason = true, "sign-run"
+	}
+	return v
+}

@@ -32,6 +32,8 @@ var AnalyzerDeterminism = &Analyzer{
 		"internal/graph",
 		"internal/experiments",
 		"internal/par",
+		"internal/regress",
+		"internal/drift",
 	},
 	Run: runDeterminism,
 }

@@ -1,0 +1,38 @@
+// Package drift exercises the determinism analyzer on the drift
+// detection path: verdicts must be a pure function of the residual
+// window, so thresholds cannot come from the environment and windows
+// cannot be sampled from the global rand source.
+package drift
+
+import (
+	"math/rand"
+	"os"
+)
+
+// BadThreshold lets an env var tune the drift threshold.
+func BadThreshold() string {
+	return os.Getenv("CEER_DRIFT_MAPE") // want `os\.Getenv reads the process environment`
+}
+
+// BadSample subsamples residuals via the process-global source.
+func BadSample(resid []float64) float64 {
+	return resid[rand.Intn(len(resid))] // want `rand\.Intn draws from the global rand source`
+}
+
+// CleanSample draws from an explicitly seeded stream instead.
+func CleanSample(resid []float64, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return resid[r.Intn(len(resid))]
+}
+
+// CleanWindow is pure arithmetic over the window: always legal.
+func CleanWindow(resid []float64) float64 {
+	var sum float64
+	for _, r := range resid {
+		if r < 0 {
+			r = -r
+		}
+		sum += r
+	}
+	return sum / float64(len(resid))
+}

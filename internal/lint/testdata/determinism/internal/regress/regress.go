@@ -1,0 +1,46 @@
+// Package regress exercises the determinism analyzer on the
+// sufficient-statistics fitting path: accumulators and solvers must
+// produce byte-identical coefficients on every run, so nothing here
+// may read the clock, the environment, or the global rand source.
+package regress
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadFitStamp timestamps a fit with the wall clock.
+func BadFitStamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// BadJitter perturbs coefficients from the process-global source.
+func BadJitter(coef []float64) {
+	for i := range coef {
+		coef[i] += rand.NormFloat64() * 1e-9 // want `rand\.NormFloat64 draws from the global rand source`
+	}
+}
+
+// BadCellOrder feeds per-cell coefficients out in map order.
+func BadCellOrder(cells map[string][]float64) [][]float64 {
+	var out [][]float64
+	for _, c := range cells {
+		out = append(out, c) // want `append to out inside map iteration without a later sort`
+	}
+	return out
+}
+
+// CleanCellOrder sorts the keys first: the canonical idiom.
+func CleanCellOrder(cells map[string][]float64) [][]float64 {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, cells[k])
+	}
+	return out
+}

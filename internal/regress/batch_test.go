@@ -2,6 +2,7 @@ package regress
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"ceer/internal/rng"
@@ -92,6 +93,19 @@ func TestPredictBatchEmpty(t *testing.T) {
 	m.PredictBatch(nil, nil) // must not panic
 }
 
+// TestPredictBatchSingleRow pins the one-row degenerate case against
+// Predict, for both degrees.
+func TestPredictBatchSingleRow(t *testing.T) {
+	for _, degree := range []int{1, 2} {
+		m, queries := fitRandom(t, uint64(40+degree), 3, degree, 1)
+		dst := make([]float64, 1)
+		m.PredictBatch(dst, queries[0])
+		if want := m.Predict(queries[0]); !eqExact(dst[0], want) {
+			t.Errorf("degree=%d: single-row PredictBatch = %v, Predict = %v", degree, dst[0], want)
+		}
+	}
+}
+
 // TestPredictBatchShapePanic pins the shape contract: a feature matrix
 // that does not factor into len(dst) rows panics, like Predict does on
 // arity mismatch.
@@ -107,4 +121,62 @@ func TestPredictBatchShapePanic(t *testing.T) {
 		}
 	}()
 	m.PredictBatch(make([]float64, 3), make([]float64, 5))
+}
+
+// TestPredictBatchWidthMismatch pins the other mis-shape direction: an
+// empty destination with leftover features is a contract violation, not
+// a silent no-op.
+func TestPredictBatchWidthMismatch(t *testing.T) {
+	m, _ := fitRandom(t, 5, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictBatch accepted features with no destination rows")
+		}
+	}()
+	m.PredictBatch(nil, make([]float64, 2))
+}
+
+// TestPredictBatchConcurrentBitIdentity hammers one shared model from
+// many goroutines, each comparing PredictBatch against per-row
+// Predict/PredictScalar bit for bit. Under -race this additionally pins
+// that batch evaluation of a shared (immutable) model is data-race
+// free — the property the compiled-table hot-swap path relies on.
+func TestPredictBatchConcurrentBitIdentity(t *testing.T) {
+	for _, nf := range []int{1, 3} {
+		m, queries := fitRandom(t, uint64(60+nf), nf, 2, 32)
+		feats := make([]float64, 0, len(queries)*nf)
+		for _, q := range queries {
+			feats = append(feats, q...)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]float64, len(queries))
+				for iter := 0; iter < 50; iter++ {
+					m.PredictBatch(dst, feats)
+					for i, q := range queries {
+						want := m.Predict(q)
+						if nf == 1 {
+							want = m.PredictScalar(q[0])
+						}
+						if !eqExact(dst[i], want) {
+							select {
+							case errs <- "concurrent PredictBatch diverged from scalar path":
+							default:
+							}
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Errorf("nf=%d: %s", nf, msg)
+		}
+	}
 }

@@ -63,25 +63,36 @@ func Expand(x []float64, degree int) []float64 {
 
 // Fit trains a polynomial model of the given degree on the observations
 // (xs[i], ys[i]). All feature vectors must share one length; at least
-// len(expanded)+1 observations are required.
+// len(expanded)+1 observations are required. Fit is a thin wrapper over
+// the SuffStats accumulator (see FitStats).
 func Fit(xs [][]float64, ys []float64, degree int) (*Model, error) {
+	m, _, err := FitStats(xs, ys, degree)
+	return m, err
+}
+
+// FitStats trains like Fit and additionally returns the sufficient
+// statistics the fit accumulated, so callers that keep calibrating the
+// model with live observations (rank-1 Add updates followed by Solve)
+// continue from the exact training-time state instead of restarting
+// from scratch.
+func FitStats(xs [][]float64, ys []float64, degree int) (*Model, *SuffStats, error) {
 	if len(xs) != len(ys) {
-		return nil, fmt.Errorf("regress: %d feature rows but %d targets", len(xs), len(ys))
+		return nil, nil, fmt.Errorf("regress: %d feature rows but %d targets", len(xs), len(ys))
 	}
 	if len(xs) == 0 {
-		return nil, errors.New("regress: empty training set")
+		return nil, nil, errors.New("regress: empty training set")
 	}
 	nf := len(xs[0])
 	if nf == 0 {
-		return nil, errors.New("regress: zero-length feature vectors")
+		return nil, nil, errors.New("regress: zero-length feature vectors")
 	}
 	for i, x := range xs {
 		if len(x) != nf {
-			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(x), nf)
+			return nil, nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(x), nf)
 		}
 	}
 	if degree != 1 && degree != 2 {
-		return nil, fmt.Errorf("regress: unsupported degree %d", degree)
+		return nil, nil, fmt.Errorf("regress: unsupported degree %d", degree)
 	}
 
 	// Normalize each raw feature by its maximum absolute value so the
@@ -100,64 +111,26 @@ func Fit(xs [][]float64, ys []float64, degree int) (*Model, error) {
 		scale[j] = maxAbs
 	}
 
-	expanded := make([][]float64, len(xs))
-	scaled := make([]float64, nf)
-	for i, x := range xs {
-		for j := range x {
-			scaled[j] = x[j] / scale[j]
-		}
-		expanded[i] = Expand(scaled, degree)
-	}
-	p := len(expanded[0]) + 1 // +1 intercept
-	if len(xs) < p {
-		return nil, fmt.Errorf("regress: %d observations insufficient for %d parameters", len(xs), p)
-	}
-
-	// Build normal equations A β = b with A = XᵀX, b = Xᵀy, where X has a
-	// leading column of ones.
-	a := make([][]float64, p)
-	for i := range a {
-		a[i] = make([]float64, p)
-	}
-	b := make([]float64, p)
-	row := make([]float64, p)
-	for i, ex := range expanded {
-		row[0] = 1
-		copy(row[1:], ex)
-		for r := 0; r < p; r++ {
-			for c := r; c < p; c++ {
-				a[r][c] += row[r] * row[c]
-			}
-			b[r] += row[r] * ys[i]
-		}
-	}
-	for r := 1; r < p; r++ {
-		for c := 0; c < r; c++ {
-			a[r][c] = a[c][r]
-		}
-	}
-
-	coef, err := solve(a, b)
+	s, err := NewSuffStats(nf, degree, scale)
 	if err != nil {
-		// Ridge fallback: add a small diagonal penalty scaled to the
-		// matrix magnitude.
-		lambda := 0.0
-		for i := 0; i < p; i++ {
-			lambda += a[i][i]
-		}
-		lambda = lambda / float64(p) * 1e-8
-		for i := 0; i < p; i++ {
-			a[i][i] += lambda
-		}
-		coef, err = solve(a, b)
-		if err != nil {
-			return nil, err
-		}
+		return nil, nil, err
+	}
+	if len(xs) < s.p {
+		return nil, nil, fmt.Errorf("regress: %d observations insufficient for %d parameters", len(xs), s.p)
+	}
+	for i, x := range xs {
+		s.Add(x, ys[i])
 	}
 
-	m := &Model{Degree: degree, NumFeatures: nf, Coef: coef, N: len(xs), scale: scale}
+	m, err := s.Solve()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Solve computes R² in moment form; on the batch path the training
+	// rows are in hand, so recompute it from the residuals directly —
+	// the historical definition, preserved bit for bit.
 	m.R2 = rSquared(ys, m.predictAll(xs))
-	return m, nil
+	return m, s, nil
 }
 
 // solve performs Gaussian elimination with partial pivoting on a copy-free

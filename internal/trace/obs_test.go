@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"ceer/internal/gpu"
+	"ceer/internal/graph"
+	"ceer/internal/ops"
+)
+
+// obsProfile builds a small profile with two series for stream tests.
+func obsProfile(cnn string, m gpu.ID) *Profile {
+	mk := func(node int, t ops.Type, feats []float64, samples ...float64) *Series {
+		agg := NewAgg(len(samples))
+		for _, s := range samples {
+			agg.Add(s)
+		}
+		meta, _ := ops.Lookup(t)
+		return &Series{CNN: cnn, GPU: m, Node: graph.NodeID(node), OpType: t,
+			Class: meta.Class, Features: feats, Agg: agg}
+	}
+	total := NewAgg(0)
+	total.Add(0.5)
+	total.Add(0.6)
+	return &Profile{
+		CNN: cnn, GPU: m, Iterations: 2, Params: 1000, BatchSize: 32,
+		Series: []*Series{
+			mk(0, "Conv2D", []float64{1, 2, 3}, 0.30, 0.40),
+			mk(1, "MatMul", []float64{4, 5}, 0.10, 0.20),
+		},
+		IterTotal: total,
+	}
+}
+
+// TestBundleObservations pins the stream contract: profiles in bundle
+// order, series in node order, each carrying the series mean.
+func TestBundleObservations(t *testing.T) {
+	b := &Bundle{}
+	b.Add(obsProfile("cnn-a", gpu.V100))
+	b.Add(obsProfile("cnn-b", gpu.K80))
+	var got []Obs
+	if err := b.Observations(func(o Obs) error { got = append(got, o); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("streamed %d observations, want 4", len(got))
+	}
+	want := []struct {
+		cnn string
+		m   gpu.ID
+		op  ops.Type
+		sec float64
+	}{
+		{"cnn-a", gpu.V100, "Conv2D", 0.35},
+		{"cnn-a", gpu.V100, "MatMul", 0.15},
+		{"cnn-b", gpu.K80, "Conv2D", 0.35},
+		{"cnn-b", gpu.K80, "MatMul", 0.15},
+	}
+	for i, w := range want {
+		o := got[i]
+		if o.CNN != w.cnn || o.GPU != w.m || o.Op != w.op || !approxObs(o.Seconds, w.sec) {
+			t.Errorf("obs[%d] = %+v, want %+v", i, o, w)
+		}
+	}
+	// Emission stops at the first emit error.
+	calls := 0
+	err := b.Observations(func(Obs) error { calls++; return io.ErrClosedPipe })
+	if err != io.ErrClosedPipe || calls != 1 {
+		t.Errorf("error propagation: err=%v calls=%d", err, calls)
+	}
+}
+
+func approxObs(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+
+// TestObsLogRoundTrip pins the JSONL codec: write → read reproduces
+// the stream, and the bytes are deterministic.
+func TestObsLogRoundTrip(t *testing.T) {
+	b := &Bundle{}
+	b.Add(obsProfile("cnn-a", gpu.V100))
+	var buf1, buf2 bytes.Buffer
+	if err := WriteObsLog(&buf1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObsLog(&buf2, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("observation log is not byte-deterministic")
+	}
+	got, err := ReadObsLog(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Obs
+	if err := b.Observations(func(o Obs) error { want = append(want, o); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d observations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].CNN != want[i].CNN || got[i].GPU != want[i].GPU ||
+			got[i].Node != want[i].Node || got[i].Op != want[i].Op ||
+			math.Float64bits(got[i].Seconds) != math.Float64bits(want[i].Seconds) {
+			t.Errorf("obs[%d] round-trip mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestObsReaderErrors pins line-numbered failures for malformed logs.
+func TestObsReaderErrors(t *testing.T) {
+	good := `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":0.5}`
+	cases := []struct {
+		name string
+		log  string
+		want string
+	}{
+		{"bad json", good + "\n{broken\n", "line 2"},
+		{"unknown field", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":1,"extra":1}`, "line 1"},
+		{"unregistered device", `{"cnn":"a","gpu":"nope","node":0,"op":"Conv2D","features":[1],"seconds":1}`, "unregistered device"},
+		{"unknown op", `{"cnn":"a","gpu":"v100","node":0,"op":"Nope","features":[1],"seconds":1}`, "unknown op type"},
+		{"no features", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[],"seconds":1}`, "no features"},
+		{"negative seconds", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":-1}`, "invalid seconds"},
+	}
+	for _, tc := range cases {
+		_, err := ReadObsLog(strings.NewReader(tc.log))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Blank lines are tolerated.
+	got, err := ReadObsLog(strings.NewReader("\n" + good + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank-line log: got %d obs, err %v", len(got), err)
+	}
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1+ verification gate (see README "Verification"): formatting,
 # vet, build, the full test suite, a race-detector pass over the whole
-# module, the ceer-lint static-analysis suite, the chaos determinism
-# gate, and a bench smoke run.
+# module, the ceer-lint static-analysis suite, the calibration golden
+# gate, the chaos determinism gate, and a bench smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +33,16 @@ echo "== ceer-lint"
 # gate; intentional exceptions carry //lint:ignore directives with a
 # reason, in the source, where reviewers can see them.
 go run ./cmd/ceer-lint
+
+echo "== calibration golden gate"
+# The observe→predict→calibrate replay over the committed observation
+# fixture must render its drift/refit report byte-identically to
+# internal/ceer/testdata/calib_report_golden.txt, and two replays of
+# the same log must agree byte-for-byte. Regenerate after intentional
+# report changes with:
+#   go test ./internal/ceer -run TestCalibrateGoldenReport -update-calib-golden
+go test ./internal/ceer -count=1 \
+    -run 'TestCalibrateGoldenReport|TestCalibrateDeterministicReplay' >/dev/null
 
 echo "== chaos determinism gate"
 # Campaigns under the canned fault spec must be byte-reproducible at
