@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-predict race lint chaos check
+.PHONY: build test bench bench-predict bench-serve serve-smoke race lint chaos check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,21 @@ bench:
 # scripts/bench.sh for BENCH_COUNT/BENCH_TIME/BENCH_OUT overrides).
 bench-predict:
 	./scripts/bench.sh
+
+# Serve-daemon benches: the zero-alloc handler paths plus the
+# deterministic load-generator runs (closed and open loop, recording
+# p50/p99/p999 latency and req/s); regenerates BENCH_serve.json in
+# place (the in-place run skips the gate — `make check` gates against
+# the committed file).
+bench-serve:
+	BENCH_PKG=./internal/serve BENCH_REGEX=Serve \
+	    BENCH_OUT=BENCH_serve.json BENCH_BASELINE=BENCH_serve.json \
+	    ./scripts/bench.sh
+
+# End-to-end daemon smoke: ephemeral port, all five endpoints, CLI
+# byte-equivalence, hot reload, graceful drain (scripts/serve-smoke.sh).
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Race-detector pass over the packages exercising the parallel
 # measurement campaign (internal/par is covered transitively and has
@@ -35,7 +50,7 @@ chaos:
 	./scripts/chaos.sh
 
 # The tier-1+ gate: gofmt + vet + build + full tests + module-wide
-# race pass + ceer-lint + chaos determinism + bench smoke
-# (scripts/check.sh).
+# race pass + ceer-lint + chaos determinism + bench smoke + serve
+# bench gate + serve daemon smoke (scripts/check.sh).
 check:
 	./scripts/check.sh

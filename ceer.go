@@ -66,8 +66,16 @@ type (
 	// Prediction is a training-time and cost prediction for one
 	// configuration.
 	Prediction = internal.Prediction
+	// IterPrediction decomposes a predicted per-iteration training time.
+	IterPrediction = internal.IterPrediction
 	// Recommendation is the outcome of a recommender run.
 	Recommendation = internal.Recommendation
+	// Candidate pairs a configuration with its prediction, feasibility,
+	// and objective score inside a Recommendation.
+	Candidate = internal.Candidate
+	// Explanation attributes a predicted iteration to operation types
+	// (see Predictor.ExplainIteration).
+	Explanation = internal.Explanation
 	// Objective scores (training seconds, cost USD); lower is better.
 	Objective = internal.Objective
 	// Constraint filters candidate configurations (budget caps).

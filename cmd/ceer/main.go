@@ -61,6 +61,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "calibrate":
 		err = cmdCalibrate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "zoo":
 		err = cmdZoo()
 	case "devices", "-list-devices", "--list-devices":
@@ -92,6 +94,8 @@ func usage() {
   ceer calibrate -obs FILE [-models FILE] [-out FILE] [-window N] [-mape X]
                  [-sign-run N] [-refit-every N] [-min-refit-obs N]
                  [-fault-spec FILE] [-seed N] [-workers N]
+  ceer serve [-models FILE] [-addr HOST:PORT] [-batch N] [-maxk N] [-rate X]
+             [-burst N] [-max-inflight N] [-request-timeout D] [-warmup]
   ceer zoo
   ceer devices [-extra-devices]     (also: ceer -list-devices)
 
@@ -427,6 +431,7 @@ func cmdPredict(args []string) (err error) {
 	samples := fs.Int64("samples", ceer.ImageNet.Samples, "dataset size in samples")
 	batch := fs.Int64("batch", 32, "per-GPU batch size")
 	market := fs.Bool("market", false, "use market-ratio prices instead of On-Demand")
+	jsonOut := fs.Bool("json", false, "emit the serving daemon's /v1/predict JSON document instead of the table")
 	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
 	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
 	explain := fs.Bool("explain", false, "attribute the prediction to operation types")
@@ -453,6 +458,9 @@ func cmdPredict(args []string) (err error) {
 	sys, err := loadOrTrain(ctx, *modelsPath, res, *seed, *workers)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return servePredictJSON(sys, *model, *configStr, *samples, *batch, *market)
 	}
 	g, err := ceer.BuildModelCached(*model, *batch)
 	if err != nil {

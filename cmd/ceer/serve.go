@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceer"
+	"ceer/internal/devices/a10g"
+	"ceer/internal/serve"
+)
+
+// cmdServe runs the prediction daemon (internal/serve): the trained
+// system's predict/recommend/explain paths as JSON endpoints over the
+// compiled serving tables, with admission control, structured metrics,
+// and SIGHUP / POST /admin/reload model hot-swap.
+func cmdServe(args []string) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelsPath := fs.String("models", "", "trained models file; enables hot reload (SIGHUP or POST /admin/reload)")
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address (port 0 picks an ephemeral port)")
+	batch := fs.Int64("batch", 32, "per-GPU batch size the serving tables are compiled at")
+	maxK := fs.Int("maxk", 4, "max GPUs per family in candidate sweeps")
+	rate := fs.Float64("rate", 0, "admitted requests/second over /v1/* (token bucket; 0 = unlimited)")
+	burst := fs.Int("burst", 0, "token-bucket burst depth in requests (0 = ~1s of rate)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent /v1/* requests; excess sheds 429 (0 = unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request compute budget; over-budget answers 504 (0 = none)")
+	warmup := fs.Bool("warmup", false, "pre-compile tables, pre-fault the arena, and warm every hot endpoint before binding the listener")
+	seed := fs.Uint64("seed", 1, "training seed when no -models file is given")
+	workers := fs.Int("workers", 0, "parallel measurement workers when training in memory; 0 = GOMAXPROCS")
+	extra := fs.Bool("extra-devices", false, "also register the built-in non-paper devices")
+	res := addResilienceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *extra {
+		a10g.Register()
+	}
+	ctx, cancel := res.context()
+	defer cancel()
+	sys, err := loadOrTrain(ctx, *modelsPath, res, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(sys, serve.Options{
+		Batch:          *batch,
+		MaxK:           *maxK,
+		ModelPath:      *modelsPath,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		Warmup:         *warmup,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Bind after warmup so the first accepted request is already warm.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ceer serve: listening on %s (batch %d, maxk %d)\n", ln.Addr(), *batch, *maxK)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				gen, rerr := srv.Reload()
+				if rerr != nil {
+					fmt.Fprintln(os.Stderr, "ceer serve: reload failed:", rerr)
+					continue
+				}
+				fmt.Printf("ceer serve: reloaded %s (generation %d)\n", *modelsPath, gen)
+				continue
+			}
+			fmt.Printf("ceer serve: %s received, draining...\n", sig)
+			shCtx, shCancel := context.WithTimeout(context.Background(), 15*time.Second)
+			if serr := srv.Shutdown(shCtx); serr != nil {
+				fmt.Fprintln(os.Stderr, "ceer serve: shutdown:", serr)
+			}
+			shCancel()
+			return
+		}
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("ceer serve: drained, bye")
+	return nil
+}
+
+// servePredictJSON is `ceer predict -json`: it renders the prediction
+// through the daemon's own handler and encoder (serve.Server.DoLocal),
+// so the CLI's JSON output is byte-identical to the daemon's
+// /v1/predict response for the same query — the equivalence the serve
+// smoke test in scripts/serve-smoke.sh pins with cmp.
+func servePredictJSON(sys *ceer.System, model, configStr string, samples, batch int64, market bool) error {
+	srv, err := serve.New(sys, serve.Options{Batch: batch})
+	if err != nil {
+		return err
+	}
+	q := fmt.Sprintf("model=%s&batch=%d&samples=%d", model, batch, samples)
+	if market {
+		q += "&pricing=market"
+	}
+	if configStr != "" {
+		q += "&config=" + configStr
+	}
+	status, body := srv.DoLocal(http.MethodGet, "/v1/predict", q)
+	if status != http.StatusOK {
+		return fmt.Errorf("predict: %s", string(body))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}

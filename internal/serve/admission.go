@@ -1,0 +1,74 @@
+package serve
+
+import "sync/atomic"
+
+// nanoTokens is the token bucket's internal unit: one admission token =
+// 1e9 nano-tokens, so refill arithmetic stays in integers (one
+// nano-token per nanosecond at rate 1 req/s) and the bucket state fits
+// a single atomic word.
+const nanoTokens = 1_000_000_000
+
+// tokenBucket is a lock-free token-bucket admission controller. take is
+// wait-free for readers: a CAS on the refill timestamp elects at most
+// one caller to credit the elapsed time, then a CAS loop debits one
+// token. Driven by the server Clock, its admit/shed sequence is a pure
+// function of the request arrival times — the determinism the admission
+// tests pin under a virtual clock and seeded Poisson arrivals.
+type tokenBucket struct {
+	// ratePerSec is tokens credited per second (equivalently,
+	// nano-tokens per nanosecond). Immutable after construction.
+	ratePerSec float64
+	// burst is the bucket capacity in nano-tokens.
+	burst int64
+
+	tokens atomic.Int64 // current level, nano-tokens
+	last   atomic.Int64 // Clock nanos of the last refill
+}
+
+// newTokenBucket returns a full bucket refilling at ratePerSec with the
+// given burst depth (whole tokens), anchored at now.
+func newTokenBucket(ratePerSec float64, burst int, now int64) *tokenBucket {
+	tb := &tokenBucket{ratePerSec: ratePerSec, burst: int64(burst) * nanoTokens}
+	tb.tokens.Store(tb.burst)
+	tb.last.Store(now)
+	return tb
+}
+
+// reset refills the bucket to its burst capacity and re-anchors the
+// refill timestamp (used after warmup so synthetic traffic does not
+// shed the first real request).
+func (tb *tokenBucket) reset(now int64) {
+	tb.tokens.Store(tb.burst)
+	tb.last.Store(now)
+}
+
+// take debits one token at the given Clock time, refilling for the
+// elapsed interval first. It reports whether the request is admitted.
+//
+//hot:path
+func (tb *tokenBucket) take(now int64) bool {
+	last := tb.last.Load()
+	if now > last && tb.last.CompareAndSwap(last, now) {
+		// This caller won the refill for (last, now]; credit it.
+		credit := int64(float64(now-last) * tb.ratePerSec)
+		for {
+			cur := tb.tokens.Load()
+			next := cur + credit
+			if next > tb.burst {
+				next = tb.burst
+			}
+			if tb.tokens.CompareAndSwap(cur, next) {
+				break
+			}
+		}
+	}
+	for {
+		cur := tb.tokens.Load()
+		if cur < nanoTokens {
+			return false
+		}
+		if tb.tokens.CompareAndSwap(cur, cur-nanoTokens) {
+			return true
+		}
+	}
+}

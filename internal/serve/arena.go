@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+
+	"ceer"
+)
+
+// scratch is one request's worth of reusable state: the response
+// buffer, the parsed query, the RecommendInto target (candidate slice
+// reused across requests), and pre-bound budget constraints. Scratches
+// live in a typed sync.Pool — steady state never allocates one, and a
+// warmed scratch's buffer never regrows (responses are bounded by the
+// fixed candidate set).
+type scratch struct {
+	buf []byte
+	q   query
+	rec ceer.Recommendation
+
+	// consHourly/consTotal are closures bound once, at scratch
+	// construction, over this scratch's query fields — constructing a
+	// ceer.MaxHourlyBudget per request would allocate a closure on the
+	// hot path. consSel is the per-request selection (an array slice, so
+	// assembling the active set is index assignment, not append).
+	consHourly ceer.Constraint
+	consTotal  ceer.Constraint
+	consSel    [2]ceer.Constraint
+}
+
+// newScratch builds a scratch with its constraint closures pre-bound
+// and a response buffer sized for a full-candidate response.
+func newScratch() *scratch {
+	s := &scratch{buf: make([]byte, 0, 8192)}
+	s.consHourly = func(p ceer.Prediction) bool { return p.HourlyUSD <= s.q.hourlyBudget }
+	s.consTotal = func(p ceer.Prediction) bool { return p.CostUSD <= s.q.totalBudget }
+	return s
+}
+
+// constraints assembles the active constraint set for the current
+// query into consSel and returns it as a slice (len 0..2).
+//
+//hot:path
+func (s *scratch) constraints() []ceer.Constraint {
+	n := 0
+	if s.q.hasHourly {
+		s.consSel[n] = s.consHourly
+		n++
+	}
+	if s.q.hasTotal {
+		s.consSel[n] = s.consTotal
+		n++
+	}
+	return s.consSel[:n]
+}
+
+// arena is the typed sync.Pool of scratches.
+type arena struct {
+	pool sync.Pool
+}
+
+func newArena() *arena {
+	a := &arena{}
+	a.pool.New = func() any { return newScratch() }
+	return a
+}
+
+//hot:path
+func (a *arena) get() *scratch {
+	return a.pool.Get().(*scratch)
+}
+
+//hot:path
+func (a *arena) put(s *scratch) {
+	a.pool.Put(s)
+}
+
+// prefault warms the arena: it instantiates n scratches, grows their
+// buffers and candidate slices to steady-state capacity, and returns
+// them to the pool, so even a cold pool hit after warmup serves without
+// growing anything.
+func (a *arena) prefault(n, candidates int) {
+	scs := make([]*scratch, n)
+	for i := range scs {
+		s := a.get()
+		if cap(s.rec.Candidates) < candidates {
+			s.rec.Candidates = make([]ceer.Candidate, 0, candidates)
+		}
+		scs[i] = s
+	}
+	for _, s := range scs {
+		a.put(s)
+	}
+}

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"ceer"
+)
+
+// contentTypeJSON is the shared Content-Type header value; assigned by
+// key so reply never canonicalizes or allocates. Handlers must never
+// mutate it.
+var contentTypeJSON = []string{"application/json"}
+
+// reply writes a response and records its metrics. Unmarked (header
+// maps are banned in //hot:path functions) but allocation-free: the
+// header value slice is shared and the body is the caller's scratch.
+func (s *Server) reply(w http.ResponseWriter, ep, status int, body []byte, start int64) {
+	h := w.Header()
+	h["Content-Type"] = contentTypeJSON
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		// The client is gone; all we can do is count it.
+		s.met.eps[ep].writeErrors.Add(1)
+	}
+	s.met.observe(ep, status, s.clock.Nanos()-start)
+}
+
+// respondError writes an ErrorResponse-shaped body into an arena
+// scratch, so refusals (404s, shed 429s, 504s) are as allocation-free
+// as successes — load shedding that allocated under overload would
+// defeat its purpose. A handler may already hold a scratch when this
+// runs; the pool simply lends a second one.
+func (s *Server) respondError(w http.ResponseWriter, ep, status int, msg string, start int64) {
+	sc := s.arena.get()
+	b := append(sc.buf[:0], `{"error":`...)
+	b = appendJSONString(b, msg)
+	b = append(b, '}', '\n')
+	sc.buf = b
+	s.reply(w, ep, status, sc.buf, start)
+	s.arena.put(sc)
+}
+
+// appendPredictionFields appends a PredictionJSON's fields (no braces),
+// in exact struct-tag order.
+func appendPredictionFields(b []byte, m *candMeta, p *ceer.Prediction) []byte {
+	b = appendKey(b, true, "config")
+	b = appendJSONString(b, m.config)
+	b = appendKey(b, false, "instance")
+	b = appendJSONString(b, m.instance)
+	b = appendKey(b, false, "gpu")
+	b = appendJSONString(b, m.gpu)
+	b = appendKey(b, false, "k")
+	b = appendJSONInt(b, int64(m.k))
+	b = appendKey(b, false, "hourly_usd")
+	b = appendJSONFloat(b, p.HourlyUSD)
+	b = appendKey(b, false, "iterations")
+	b = appendJSONInt(b, p.Iterations)
+	b = appendKey(b, false, "heavy_s")
+	b = appendJSONFloat(b, p.Iter.HeavySeconds)
+	b = appendKey(b, false, "light_s")
+	b = appendJSONFloat(b, p.Iter.LightSeconds)
+	b = appendKey(b, false, "cpu_s")
+	b = appendJSONFloat(b, p.Iter.CPUSeconds)
+	b = appendKey(b, false, "comm_s")
+	b = appendJSONFloat(b, p.Iter.CommSeconds)
+	b = appendKey(b, false, "iter_s")
+	b = appendJSONFloat(b, p.Iter.PerIterSeconds)
+	b = appendKey(b, false, "total_s")
+	b = appendJSONFloat(b, p.TotalSeconds)
+	b = appendKey(b, false, "cost_usd")
+	b = appendJSONFloat(b, p.CostUSD)
+	if len(p.Iter.UnseenHeavy) > 0 {
+		b = appendKey(b, false, "unseen_heavy")
+		b = append(b, '[')
+		for i, t := range p.Iter.UnseenHeavy {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, string(t))
+		}
+		b = append(b, ']')
+	}
+	return b
+}
+
+// appendCandidate appends a CandidateJSON object (prediction fields
+// inlined first, mirroring the embedded struct).
+func appendCandidate(b []byte, m *candMeta, c *ceer.Candidate) []byte {
+	b = append(b, '{')
+	b = appendPredictionFields(b, m, &c.Prediction)
+	b = appendKey(b, false, "feasible")
+	b = appendJSONBool(b, c.Feasible)
+	b = appendKey(b, false, "score")
+	b = appendJSONFloat(b, c.Score)
+	if c.Degraded != "" {
+		b = appendKey(b, false, "degraded")
+		b = appendJSONString(b, c.Degraded)
+	}
+	return append(b, '}')
+}
+
+// renderPredict fills sc.buf with the /v1/predict document for the
+// candidate set. Returns (200, "") or an error status and message.
+// Requests at the compiled batch size gather from the hot tables; other
+// batch sizes fall back to the folded predictor (cold, may allocate).
+func (s *Server) renderPredict(sc *scratch, me *modelEntry, cands []ceer.InstanceConfig, metas []candMeta) (int, string) {
+	q := &sc.q
+	ds := ceer.Dataset{Name: "request", Samples: q.samples}
+	pricing := ceer.OnDemand
+	if q.market {
+		pricing = ceer.MarketRatio
+	}
+	comp := s.box.Load()
+	g := me.g
+	var cold *ceer.System
+	if q.batch != s.batch {
+		cold = s.sys.Load()
+		cg, err := ceer.BuildModelCached(q.model, q.batch)
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		g = cg
+	}
+
+	b := sc.buf[:0]
+	b = append(b, '{')
+	b = appendKey(b, true, "cnn")
+	b = appendJSONString(b, q.model)
+	b = appendKey(b, false, "batch")
+	b = appendJSONInt(b, q.batch)
+	b = appendKey(b, false, "samples")
+	b = appendJSONInt(b, q.samples)
+	b = appendKey(b, false, "pricing")
+	b = appendJSONString(b, q.pricing)
+	b = appendKey(b, false, "predictions")
+	b = append(b, '[')
+	for i := range cands {
+		var p ceer.Prediction
+		var err error
+		if cold != nil {
+			p, err = cold.PredictTraining(g, cands[i], ds, pricing)
+		} else {
+			p, err = comp.PredictTraining(g, cands[i], ds, pricing)
+		}
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '{')
+		b = appendPredictionFields(b, &metas[i], &p)
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}', '\n')
+	sc.buf = b
+	return http.StatusOK, ""
+}
+
+// renderRecommend fills sc.buf with the /v1/recommend document:
+// RecommendInto writes into the scratch's reused candidate slice, then
+// the document is appended candidate by candidate (metas parallel the
+// candidate order).
+func (s *Server) renderRecommend(sc *scratch, me *modelEntry, cands []ceer.InstanceConfig, metas []candMeta) (int, string) {
+	q := &sc.q
+	ds := ceer.Dataset{Name: "request", Samples: q.samples}
+	pricing := ceer.OnDemand
+	if q.market {
+		pricing = ceer.MarketRatio
+	}
+	obj := ceer.MinimizeCost
+	if q.objective == "time" {
+		obj = ceer.MinimizeTime
+	}
+	comp := s.box.Load()
+	if q.batch != s.batch {
+		// Cold fallback for non-compiled batch sizes.
+		cold := s.sys.Load()
+		cg, err := ceer.BuildModelCached(q.model, q.batch)
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		rec, err := cold.Recommend(cg, ds, pricing, cands, obj, sc.constraints()...)
+		if err != nil {
+			return http.StatusBadRequest, err.Error()
+		}
+		sc.rec = rec
+	} else if err := comp.RecommendInto(&sc.rec, me.g, ds, pricing, cands, obj, sc.constraints()...); err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+
+	rec := &sc.rec
+	bi := -1
+	for i := range rec.Candidates {
+		if rec.Candidates[i].Cfg == rec.Best.Cfg {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return http.StatusInternalServerError, "recommendation lost its best candidate"
+	}
+	b := sc.buf[:0]
+	b = append(b, '{')
+	b = appendKey(b, true, "cnn")
+	b = appendJSONString(b, q.model)
+	b = appendKey(b, false, "objective")
+	b = appendJSONString(b, q.objective)
+	b = appendKey(b, false, "batch")
+	b = appendJSONInt(b, q.batch)
+	b = appendKey(b, false, "samples")
+	b = appendJSONInt(b, q.samples)
+	b = appendKey(b, false, "pricing")
+	b = appendJSONString(b, q.pricing)
+	b = appendKey(b, false, "best")
+	b = appendCandidate(b, &metas[bi], &rec.Best)
+	b = appendKey(b, false, "candidates")
+	b = append(b, '[')
+	for i := range rec.Candidates {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendCandidate(b, &metas[i], &rec.Candidates[i])
+	}
+	b = append(b, ']', '}', '\n')
+	sc.buf = b
+	return http.StatusOK, ""
+}
+
+// renderHealthz fills sc.buf with the /healthz document.
+func (s *Server) renderHealthz(sc *scratch) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	b := sc.buf[:0]
+	b = append(b, '{')
+	b = appendKey(b, true, "status")
+	b = appendJSONString(b, status)
+	b = appendKey(b, false, "generation")
+	b = appendJSONInt(b, int64(s.gen.Load()))
+	b = appendKey(b, false, "models")
+	b = appendJSONInt(b, int64(len(s.models)))
+	b = appendKey(b, false, "devices")
+	b = appendJSONInt(b, int64(len(s.metaByK[1])))
+	b = appendKey(b, false, "batch")
+	b = appendJSONInt(b, s.batch)
+	b = appendKey(b, false, "max_k")
+	b = appendJSONInt(b, int64(s.maxK))
+	b = append(b, '}', '\n')
+	sc.buf = b
+}
+
+// handleExplain is the /v1/explain cold path: per-op-type attribution
+// through the folded predictor, marshaled with encoding/json.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, start int64) {
+	var q query
+	if msg := q.reset(s).parse(r.URL.RawQuery, s.maxK); msg != "" {
+		s.respondError(w, epExplain, http.StatusBadRequest, msg, start)
+		return
+	}
+	if q.model == "" || q.gpu == "" {
+		s.respondError(w, epExplain, http.StatusBadRequest, "missing model or gpu parameter", start)
+		return
+	}
+	me := s.findModel(q.model)
+	if me == nil {
+		s.respondError(w, epExplain, http.StatusNotFound, "unknown model", start)
+		return
+	}
+	known := false
+	for i := range s.metaByK[1] {
+		if s.metaByK[1][i].gpu == q.gpu {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.respondError(w, epExplain, http.StatusNotFound, "unknown gpu", start)
+		return
+	}
+	k := q.k
+	if k == 0 {
+		k = 1
+	}
+	comp := s.box.Load()
+	ex, err := comp.Predictor().ExplainIteration(me.g, ceer.GPUModel(q.gpu), k)
+	if err != nil {
+		s.respondError(w, epExplain, http.StatusBadRequest, err.Error(), start)
+		return
+	}
+	resp := ExplainResponse{
+		CNN:       q.model,
+		GPU:       q.gpu,
+		K:         k,
+		HeavyS:    ex.Iter.HeavySeconds,
+		LightS:    ex.Iter.LightSeconds,
+		CPUS:      ex.Iter.CPUSeconds,
+		CommS:     ex.Iter.CommSeconds,
+		IterS:     ex.Iter.PerIterSeconds,
+		CommShare: ex.CommShare,
+	}
+	for _, t := range ex.Iter.UnseenHeavy {
+		resp.UnseenHeavy = append(resp.UnseenHeavy, string(t))
+	}
+	for _, c := range ex.Contributions {
+		resp.Contributions = append(resp.Contributions, ContributionJSON{
+			Op:      string(c.OpType),
+			Class:   c.Class.String(),
+			Count:   c.Count,
+			Seconds: c.Seconds,
+			Share:   c.Share,
+		})
+	}
+	s.replyJSON(w, epExplain, http.StatusOK, resp, start)
+}
+
+// handleMetrics snapshots the atomics into the /metrics document.
+func (s *Server) handleMetrics(w http.ResponseWriter, start int64) {
+	snap := MetricsSnapshot{
+		UptimeSeconds: float64(s.clock.Nanos()-s.startNs) / 1e9,
+		Generation:    s.gen.Load(),
+		Draining:      s.draining.Load(),
+		Endpoints:     s.met.snapshot(),
+	}
+	s.replyJSON(w, epMetrics, http.StatusOK, snap, start)
+}
+
+// handleReload is POST /admin/reload: re-read the model file and swap.
+func (s *Server) handleReload(w http.ResponseWriter, start int64) {
+	gen, err := s.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.opts.ModelPath == "" {
+			status = http.StatusConflict
+		}
+		s.respondError(w, epAdmin, status, err.Error(), start)
+		return
+	}
+	s.replyJSON(w, epAdmin, http.StatusOK, ReloadResponse{Status: "reloaded", Generation: gen}, start)
+}
+
+// replyJSON marshals a cold-path document with encoding/json.
+func (s *Server) replyJSON(w http.ResponseWriter, ep, status int, v any, start int64) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.respondError(w, ep, http.StatusInternalServerError, err.Error(), start)
+		return
+	}
+	s.reply(w, ep, status, append(b, '\n'), start)
+}

@@ -1,0 +1,350 @@
+// Package loadgen is the daemon's deterministic load generator: it
+// synthesizes a request stream under the repository's seeded rng stream
+// discipline, drives a target (in-process http.Handler or live HTTP
+// server) in closed-loop (fixed workers, back-to-back) or open-loop
+// (Poisson arrival schedule) mode, and records per-request outcomes and
+// latencies by request index.
+//
+// Determinism contract: the generated ops, and every request's
+// response (status, body length, body hash), are pure functions of the
+// Spec — independent of worker count or interleaving. Each op derives
+// its own rng stream from (seed, index), so op i is the same whether
+// one worker or sixteen execute the run; only latencies (wall-clock
+// measurements) vary. TestLoadgenWorkerInvariance pins this.
+package loadgen
+
+import (
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceer/internal/rng"
+)
+
+// Op is one generated request.
+type Op struct {
+	Method   string
+	Path     string
+	RawQuery string
+}
+
+// Spec parameterizes a generated request stream.
+type Spec struct {
+	// Seed roots every derived stream.
+	Seed uint64
+	// Requests is the stream length.
+	Requests int
+	// Models are the CNN names to draw from (required).
+	Models []string
+	// Configs are optional `config=` values for predict ops; when one
+	// is drawn the predict targets a single configuration, otherwise
+	// the full candidate sweep. ~half the predicts draw a config when
+	// the list is non-empty.
+	Configs []string
+	// PredictShare is the fraction of predict ops (default 0.65; the
+	// rest are recommends).
+	PredictShare float64
+	// MarketShare is the fraction of ops priced at market ratios
+	// (default 0.2).
+	MarketShare float64
+}
+
+// streamSalt labels the loadgen's derivation domain so its streams are
+// independent of the simulator's (same discipline as internal/sim).
+const streamSalt = 0x10adc0de
+
+// Generate synthesizes the op stream. Op i is derived from (Seed, i)
+// alone, so any subset or reordering of executions leaves every op
+// unchanged.
+func Generate(spec Spec) []Op {
+	if spec.Requests <= 0 || len(spec.Models) == 0 {
+		return nil
+	}
+	predictShare := spec.PredictShare
+	if predictShare == 0 {
+		predictShare = 0.65
+	}
+	marketShare := spec.MarketShare
+	if marketShare == 0 {
+		marketShare = 0.2
+	}
+	root := rng.New(spec.Seed).Derive(streamSalt)
+	ops := make([]Op, spec.Requests)
+	for i := range ops {
+		r := root.Derive(uint64(i))
+		model := spec.Models[r.Intn(len(spec.Models))]
+		q := "model=" + model
+		if r.Float64() < marketShare {
+			q += "&pricing=market"
+		}
+		if r.Float64() < predictShare {
+			if len(spec.Configs) > 0 && r.Float64() < 0.5 {
+				q += "&config=" + spec.Configs[r.Intn(len(spec.Configs))]
+			}
+			ops[i] = Op{Method: http.MethodGet, Path: "/v1/predict", RawQuery: q}
+		} else {
+			obj := "cost"
+			if r.Float64() < 0.5 {
+				obj = "time"
+			}
+			ops[i] = Op{Method: http.MethodGet, Path: "/v1/recommend", RawQuery: q + "&objective=" + obj}
+		}
+	}
+	return ops
+}
+
+// Prepare builds one reusable *http.Request per op, so executing a
+// request allocates nothing beyond what the target itself does.
+func Prepare(ops []Op) []*http.Request {
+	reqs := make([]*http.Request, len(ops))
+	for i, op := range ops {
+		reqs[i] = &http.Request{
+			Method: op.Method,
+			URL:    &url.URL{Path: op.Path, RawQuery: op.RawQuery},
+		}
+	}
+	return reqs
+}
+
+// Outcome is a request's deterministic result: status code, body
+// length, and FNV-64a body hash (the equality witness for the
+// worker-invariance contract without retaining bodies).
+type Outcome struct {
+	Status   int
+	BodyLen  int
+	BodyHash uint64
+}
+
+// Target executes one prepared request.
+type Target interface {
+	Do(i int, req *http.Request) Outcome
+}
+
+// hashWriter is a ResponseWriter that hashes the body instead of
+// storing it.
+type hashWriter struct {
+	h      http.Header
+	status int
+	n      int
+	sum    uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (w *hashWriter) reset() {
+	w.status = http.StatusOK
+	w.n = 0
+	w.sum = fnvOffset
+}
+
+func (w *hashWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *hashWriter) WriteHeader(status int) { w.status = status }
+func (w *hashWriter) Write(p []byte) (int, error) {
+	sum := w.sum
+	for _, c := range p {
+		sum = (sum ^ uint64(c)) * fnvPrime
+	}
+	w.sum = sum
+	w.n += len(p)
+	return len(p), nil
+}
+
+// HandlerTarget drives an http.Handler in-process (no sockets): the
+// daemon's raw-Handler benchmark mode. Writers are pooled per worker.
+type HandlerTarget struct {
+	h    http.Handler
+	pool sync.Pool
+}
+
+// NewHandlerTarget wraps a handler (e.g. serve.Server).
+func NewHandlerTarget(h http.Handler) *HandlerTarget {
+	t := &HandlerTarget{h: h}
+	t.pool.New = func() any { return &hashWriter{} }
+	return t
+}
+
+func (t *HandlerTarget) Do(_ int, req *http.Request) Outcome {
+	w := t.pool.Get().(*hashWriter)
+	w.reset()
+	t.h.ServeHTTP(w, req)
+	out := Outcome{Status: w.status, BodyLen: w.n, BodyHash: w.sum}
+	t.pool.Put(w)
+	return out
+}
+
+// HTTPTarget drives a live server (httptest or a real listener) over
+// TCP with a shared http.Client.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+func (t *HTTPTarget) Do(_ int, req *http.Request) Outcome {
+	c := t.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Get(t.Base + req.URL.Path + "?" + req.URL.RawQuery)
+	if err != nil {
+		return Outcome{Status: 0}
+	}
+	h := fnv.New64a()
+	n, _ := io.Copy(h, resp.Body) // hash is the only consumer; copy errors surface as a short BodyLen
+	if err := resp.Body.Close(); err != nil {
+		return Outcome{Status: 0}
+	}
+	return Outcome{Status: resp.StatusCode, BodyLen: int(n), BodyHash: h.Sum64()}
+}
+
+// Result is one run's record: per-request outcomes and latencies by
+// request index, plus the run's wall-clock span.
+type Result struct {
+	Outcomes []Outcome
+	LatNanos []int64
+	Elapsed  time.Duration
+}
+
+// Throughput returns completed requests per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Outcomes)) / r.Elapsed.Seconds()
+}
+
+// Percentiles returns the p50/p99/p999 latencies in microseconds
+// (nearest-rank over a sorted copy).
+func (r *Result) Percentiles() (p50, p99, p999 float64) {
+	if len(r.LatNanos) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]int64(nil), r.LatNanos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return float64(sorted[rank]) / 1e3
+	}
+	return at(0.50), at(0.99), at(0.999)
+}
+
+// Shed counts 429 outcomes.
+func (r *Result) Shed() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Status == http.StatusTooManyRequests {
+			n++
+		}
+	}
+	return n
+}
+
+// RunClosed executes the prepared requests closed-loop: `workers`
+// goroutines pull the next unexecuted index from a shared counter and
+// issue back-to-back. Outcomes land at their request's index, so the
+// result stream is worker-count invariant.
+func RunClosed(t Target, reqs []*http.Request, workers int) *Result {
+	if workers < 1 {
+		workers = 1
+	}
+	res := &Result{
+		Outcomes: make([]Outcome, len(reqs)),
+		LatNanos: make([]int64, len(reqs)),
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	startAll := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				t0 := time.Now()
+				res.Outcomes[i] = t.Do(i, reqs[i])
+				res.LatNanos[i] = time.Since(t0).Nanoseconds()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(startAll)
+	return res
+}
+
+// PoissonArrivals returns a cumulative Poisson arrival schedule
+// (nanosecond offsets from run start) at the given rate, derived
+// deterministically from the seed.
+func PoissonArrivals(seed uint64, ratePerSec float64, n int) []int64 {
+	r := rng.New(seed).Derive(streamSalt + 1)
+	out := make([]int64, n)
+	var t float64
+	for i := range out {
+		u := r.Float64()
+		// Inverse-CDF exponential interarrival; 1-u is in (0, 1].
+		t += -math.Log(1-u) / ratePerSec * 1e9
+		out[i] = int64(t)
+	}
+	return out
+}
+
+// RunOpen executes the prepared requests open-loop against the arrival
+// schedule: a dispatcher releases request i at arrivals[i] (relative to
+// run start) regardless of completions, and `workers` goroutines drain
+// the release queue. Latency for request i is measured from its
+// scheduled arrival, so queueing delay under overload is included
+// (open-loop latency semantics). Outcomes are still index-addressed and
+// worker-count invariant.
+func RunOpen(t Target, reqs []*http.Request, arrivals []int64, workers int) *Result {
+	if workers < 1 {
+		workers = 1
+	}
+	res := &Result{
+		Outcomes: make([]Outcome, len(reqs)),
+		LatNanos: make([]int64, len(reqs)),
+	}
+	ch := make(chan int, len(reqs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				res.Outcomes[i] = t.Do(i, reqs[i])
+				res.LatNanos[i] = time.Since(start).Nanoseconds() - arrivals[i]
+			}
+		}()
+	}
+	for i := range reqs {
+		if d := time.Duration(arrivals[i]) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}

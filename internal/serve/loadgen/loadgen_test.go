@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testSpec = Spec{
+	Seed:     3,
+	Requests: 300,
+	Models:   []string{"alexnet", "resnet-50", "vgg-16"},
+	Configs:  []string{"1xP2", "2xP3"},
+}
+
+// TestGenerateDeterminism: the op stream is a pure function of the
+// Spec, and op i depends only on (Seed, i).
+func TestGenerateDeterminism(t *testing.T) {
+	a, b := Generate(testSpec), Generate(testSpec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Generate calls with the same spec diverge")
+	}
+	shorter := testSpec
+	shorter.Requests = 50
+	c := Generate(shorter)
+	if !reflect.DeepEqual(a[:50], c) {
+		t.Error("op i depends on stream length; want per-index derivation")
+	}
+	other := testSpec
+	other.Seed = 4
+	if reflect.DeepEqual(a, Generate(other)) {
+		t.Error("different seeds produced identical streams")
+	}
+
+	predicts, recommends, markets := 0, 0, 0
+	for _, op := range a {
+		switch op.Path {
+		case "/v1/predict":
+			predicts++
+		case "/v1/recommend":
+			recommends++
+		default:
+			t.Fatalf("unexpected path %q", op.Path)
+		}
+		if strings.Contains(op.RawQuery, "pricing=market") {
+			markets++
+		}
+		if !strings.Contains(op.RawQuery, "model=") {
+			t.Fatalf("op without model: %+v", op)
+		}
+	}
+	if predicts == 0 || recommends == 0 || markets == 0 {
+		t.Errorf("degenerate mix: %d predicts, %d recommends, %d market", predicts, recommends, markets)
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(9, 1000, 500)
+	b := PoissonArrivals(9, 1000, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different schedules")
+	}
+	var prev int64 = -1
+	for i, at := range a {
+		if at <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %d after %d", i, at, prev)
+		}
+		prev = at
+	}
+	// Mean interarrival should be ~1ms at 1000/s; accept a wide band.
+	mean := float64(a[len(a)-1]) / float64(len(a))
+	if mean < 0.5e6 || mean > 2e6 {
+		t.Errorf("mean interarrival %.0fns implausible for 1000/s", mean)
+	}
+	if reflect.DeepEqual(a, PoissonArrivals(10, 1000, 500)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// echoHandler answers with a body derived deterministically from the
+// request (path+query), so outcome hashes detect any index/request
+// mismatch introduced by concurrency.
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := r.URL.Path + "?" + r.URL.RawQuery
+		if strings.Contains(r.URL.RawQuery, "pricing=market") {
+			w.WriteHeader(http.StatusTeapot) // distinguishable status
+		}
+		if _, err := w.Write([]byte(body)); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestWorkerInvariance is the determinism contract: closed- and
+// open-loop runs produce identical per-index outcomes (status, body
+// length, body hash) for 1 worker and for many.
+func TestWorkerInvariance(t *testing.T) {
+	ops := Generate(testSpec)
+	target := NewHandlerTarget(echoHandler())
+
+	run1 := RunClosed(target, Prepare(ops), 1)
+	run4 := RunClosed(target, Prepare(ops), 4)
+	if !reflect.DeepEqual(run1.Outcomes, run4.Outcomes) {
+		t.Fatal("closed-loop outcomes differ between 1 and 4 workers")
+	}
+
+	arrivals := PoissonArrivals(testSpec.Seed, 200_000, len(ops))
+	open1 := RunOpen(target, Prepare(ops), arrivals, 1)
+	open4 := RunOpen(target, Prepare(ops), arrivals, 4)
+	if !reflect.DeepEqual(open1.Outcomes, open4.Outcomes) {
+		t.Fatal("open-loop outcomes differ between 1 and 4 workers")
+	}
+	if !reflect.DeepEqual(run1.Outcomes, open1.Outcomes) {
+		t.Fatal("closed vs open outcomes differ for the same ops")
+	}
+
+	if len(run1.LatNanos) != len(ops) {
+		t.Fatalf("latency records: %d, want %d", len(run1.LatNanos), len(ops))
+	}
+	if run1.Throughput() <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+// TestHTTPTarget runs the generated stream against a live HTTP server
+// and checks outcomes match the in-process handler target byte for
+// byte (status aside, the hash covers the body).
+func TestHTTPTarget(t *testing.T) {
+	h := echoHandler()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	ops := Generate(Spec{Seed: 5, Requests: 40, Models: []string{"alexnet"}})
+	local := RunClosed(NewHandlerTarget(h), Prepare(ops), 2)
+	remote := RunClosed(&HTTPTarget{Base: ts.URL, Client: ts.Client()}, Prepare(ops), 2)
+	if !reflect.DeepEqual(local.Outcomes, remote.Outcomes) {
+		t.Fatal("HTTP target outcomes diverge from in-process target")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := &Result{LatNanos: make([]int64, 1000)}
+	for i := range r.LatNanos {
+		r.LatNanos[i] = int64((i + 1) * 1000) // 1..1000 µs
+	}
+	p50, p99, p999 := r.Percentiles()
+	if !eqExact(p50, 500) || !eqExact(p99, 990) || !eqExact(p999, 999) {
+		t.Errorf("percentiles = %v %v %v, want 500 990 999", p50, p99, p999)
+	}
+
+	empty := &Result{}
+	if a, b, c := empty.Percentiles(); a != 0 || b != 0 || c != 0 {
+		t.Error("empty result should report zeros")
+	}
+}
+
+func TestShedCount(t *testing.T) {
+	r := &Result{Outcomes: []Outcome{{Status: 200}, {Status: 429}, {Status: 429}, {Status: 503}}}
+	if n := r.Shed(); n != 2 {
+		t.Errorf("Shed() = %d, want 2", n)
+	}
+}
+
+// eqExact compares floats exactly: nearest-rank percentiles over
+// integer-nanosecond inputs are integer-exact by construction.
+func eqExact(a, b float64) bool { return a == b }

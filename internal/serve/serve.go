@@ -1,0 +1,325 @@
+// Package serve is the prediction daemon: a stdlib net/http server
+// exposing the trained system's predict / recommend / explain paths as
+// JSON endpoints over the compiled serving tables (see DESIGN.md §13).
+//
+// The request hot path is allocation-free in steady state: requests
+// resolve through an atomic CompiledBox (lock-free reads), per-request
+// scratch comes from a typed sync.Pool arena, queries are parsed by
+// substring scanning (no net/url allocation), and responses are
+// serialized by the append encoder in jsonenc.go/encode.go. Admission
+// is a lock-free token bucket plus a queue-depth cap, both driven by an
+// injectable Clock so shedding behaviour is deterministic under test.
+// Model hot-swap (SIGHUP, /admin/reload, or Calibrator.BindBox on
+// Server.Box) atomically replaces the compiled tables; in-flight
+// requests finish on the tables they loaded at entry.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceer"
+)
+
+// Options configures a Server. The zero value serves the default zoo
+// batch with no admission limits.
+type Options struct {
+	// Batch is the per-GPU batch size the zoo tables are compiled at
+	// (0 = the paper default, 32). Requests for other batch sizes fall
+	// back to the uncompiled folded predictor (cold path).
+	Batch int64
+	// MaxK bounds candidate GPU counts per family (0 = 4, the paper's
+	// sweep).
+	MaxK int
+	// ModelPath, when non-empty, is the persist-v3 model file Reload
+	// (and SIGHUP / POST /admin/reload) re-reads for hot-swap.
+	ModelPath string
+	// RatePerSec caps sustained admitted request rate over the /v1/*
+	// endpoints via a token bucket (0 = unlimited).
+	RatePerSec float64
+	// Burst is the token-bucket depth in requests (0 = max(1, ⌈rate⌉)).
+	Burst int
+	// MaxInFlight caps concurrent /v1/* requests; excess sheds with 429
+	// (0 = unlimited).
+	MaxInFlight int
+	// RequestTimeout is the per-request compute budget; a request over
+	// budget answers 504 (0 = none).
+	RequestTimeout time.Duration
+	// Warmup pre-compiles the tables, pre-faults the arena, and runs
+	// synthetic requests through every hot endpoint before the server
+	// accepts traffic, so the first real request is already on the
+	// zero-allocation warm path.
+	Warmup bool
+	// Clock overrides the time source (tests; nil = monotonic clock).
+	Clock Clock
+}
+
+// modelEntry pairs a zoo model with its cached graph. Entries live in a
+// slice scanned linearly — 12 string compares beat a map lookup at this
+// size and keep the resolver legal under the hotpath analyzer.
+type modelEntry struct {
+	name string
+	g    *ceer.Graph
+}
+
+// candMeta precomputes every string the encoder needs for one candidate
+// configuration. Config.String, InstanceName, and ID.Family allocate or
+// take the registry lock, so they run once at construction, never per
+// request.
+type candMeta struct {
+	config   string // "2xP3"
+	instance string // "p3.8xlarge"
+	gpu      string // "v100"
+	family   string // "P3"
+	k        int
+}
+
+// Server is the daemon. Create with New, expose via Handler or Serve,
+// stop with Shutdown.
+type Server struct {
+	batch  int64
+	maxK   int
+	opts   Options
+	clock  Clock
+	budget int64 // RequestTimeout in nanos (0 = none)
+
+	// box holds the compiled serving tables; swaps go through Store via
+	// Reload/Install (or a Calibrator bound to Box()). sys is the System
+	// behind the current tables, for the cold non-default-batch path.
+	box ceer.CompiledBox
+	gen atomic.Uint64
+	sys atomic.Pointer[ceer.System]
+
+	models []modelEntry
+	// candsByK[k] / metaByK[k] list every candidate configuration with
+	// 1..k GPUs per family (cloud.Configs order), k = 1..maxK.
+	candsByK [][]ceer.InstanceConfig
+	metaByK  [][]candMeta
+
+	arena    *arena
+	met      metrics
+	bucket   *tokenBucket
+	maxInfl  int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	reloadMu sync.Mutex
+	httpSrv  *http.Server
+	startNs  int64
+
+	// afterAdmit is a test hook invoked after admission, before the
+	// endpoint handler (drain and race tests park requests here).
+	afterAdmit func(ep int)
+}
+
+// New builds a Server over a trained (or loaded) system: compiles the
+// zoo tables at the serving batch size, caches every zoo graph and
+// candidate-configuration string, and (with Options.Warmup) pre-faults
+// the arena and exercises every hot endpoint.
+func New(sys *ceer.System, opts Options) (*Server, error) {
+	s := &Server{opts: opts, batch: opts.Batch, maxK: opts.MaxK, clock: opts.Clock}
+	if s.batch == 0 {
+		s.batch = 32 // the zoo default batch (paper Section III)
+	}
+	if s.maxK <= 0 {
+		s.maxK = 4
+	}
+	if s.clock == nil {
+		s.clock = NewRealClock()
+	}
+	s.budget = opts.RequestTimeout.Nanoseconds()
+	s.startNs = s.clock.Nanos()
+
+	comp, err := sys.Compiled(s.batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling zoo tables: %w", err)
+	}
+	s.box.Store(comp)
+	s.sys.Store(sys)
+
+	names := ceer.Models()
+	s.models = make([]modelEntry, 0, len(names))
+	for _, name := range names {
+		g, err := ceer.BuildModelCached(name, s.batch)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", name, err)
+		}
+		s.models = append(s.models, modelEntry{name: name, g: g})
+	}
+
+	s.candsByK = make([][]ceer.InstanceConfig, s.maxK+1)
+	s.metaByK = make([][]candMeta, s.maxK+1)
+	for k := 1; k <= s.maxK; k++ {
+		cands := ceer.AllConfigs(k)
+		metas := make([]candMeta, len(cands))
+		for i, cfg := range cands {
+			metas[i] = candMeta{
+				config:   cfg.String(),
+				instance: cfg.InstanceName(),
+				gpu:      string(cfg.GPU),
+				family:   cfg.GPU.Family(),
+				k:        cfg.K,
+			}
+		}
+		s.candsByK[k] = cands
+		s.metaByK[k] = metas
+	}
+
+	s.arena = newArena()
+	if opts.RatePerSec > 0 {
+		burst := opts.Burst
+		if burst <= 0 {
+			burst = int(opts.RatePerSec)
+			if float64(burst) < opts.RatePerSec {
+				burst++
+			}
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.bucket = newTokenBucket(opts.RatePerSec, burst, s.clock.Nanos())
+	}
+	s.maxInfl = int64(opts.MaxInFlight)
+
+	if opts.Warmup {
+		s.warmup()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's http.Handler (the Server itself).
+func (s *Server) Handler() http.Handler { return s }
+
+// Generation returns the model generation: 0 at start, +1 per
+// successful Reload/Install.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Box exposes the server's hot-swap point so a calibration loop can
+// publish recalibrated tables directly (Calibrator.BindBox(s.Box(),
+// graphs)); requests pick up the new tables on their next Load.
+func (s *Server) Box() *ceer.CompiledBox { return &s.box }
+
+// Install atomically publishes pre-compiled tables (programmatic
+// hot-swap; Reload is the file-based form). In-flight requests finish
+// on the tables they already loaded.
+func (s *Server) Install(comp *ceer.CompiledSystem) uint64 {
+	s.box.Store(comp)
+	return s.gen.Add(1)
+}
+
+// Reload re-reads Options.ModelPath, recompiles the zoo tables, and
+// atomically swaps them in. Concurrent Reloads serialize; requests are
+// never blocked. Returns the new generation.
+func (s *Server) Reload() (uint64, error) {
+	if s.opts.ModelPath == "" {
+		return 0, errors.New("serve: no model path configured (start with -models to enable reload)")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sys, err := ceer.LoadFile(s.opts.ModelPath)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	comp, err := sys.Compiled(s.batch)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: compiling: %w", err)
+	}
+	s.sys.Store(sys)
+	return s.Install(comp), nil
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s}
+	s.reloadMu.Lock()
+	s.httpSrv = srv
+	s.reloadMu.Unlock()
+	return srv.Serve(ln)
+}
+
+// Shutdown drains the daemon: new /v1/* and /admin requests answer 503
+// immediately, every in-flight request runs to completion on its
+// already-loaded tables, then the listener closes. /healthz keeps
+// answering (status "draining") throughout, so orchestrators can watch
+// the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	s.reloadMu.Lock()
+	srv := s.httpSrv
+	s.reloadMu.Unlock()
+	if srv != nil {
+		return srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// DoLocal runs one request through the handler in-process — no
+// listener, no TCP — and returns the status code and body. It is the
+// warmup driver, the `ceer predict -json` back end (which is how the
+// smoke test byte-compares CLI and daemon output), and a convenient
+// test primitive.
+func (s *Server) DoLocal(method, path, rawQuery string) (int, []byte) {
+	w := &memWriter{}
+	r := &http.Request{Method: method, URL: &url.URL{Path: path, RawQuery: rawQuery}}
+	s.ServeHTTP(w, r)
+	status := w.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return status, w.body
+}
+
+// memWriter is the in-process ResponseWriter behind DoLocal.
+type memWriter struct {
+	h      http.Header
+	status int
+	body   []byte
+}
+
+func (w *memWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *memWriter) WriteHeader(status int) { w.status = status }
+func (w *memWriter) Write(p []byte) (int, error) {
+	w.body = append(w.body, p...)
+	return len(p), nil
+}
+
+// warmup exercises every hot endpoint over every zoo model with
+// synthetic in-process requests, pre-faults the arena, then resets the
+// metrics and refills the admission bucket so warmup traffic is
+// invisible to clients. After warmup the first real request runs the
+// steady-state zero-allocation path (pinned by the first-request test).
+func (s *Server) warmup() {
+	s.arena.prefault(4, len(s.candsByK[s.maxK]))
+	for _, m := range s.models {
+		q := "model=" + m.name
+		s.DoLocal(http.MethodGet, "/v1/predict", q)
+		s.DoLocal(http.MethodGet, "/v1/recommend", q+"&objective=cost")
+		s.DoLocal(http.MethodGet, "/v1/recommend", q+"&objective=time&max_hourly_usd=1e9")
+	}
+	s.DoLocal(http.MethodGet, "/healthz", "")
+	s.met.reset()
+	if s.bucket != nil {
+		s.bucket.reset(s.clock.Nanos())
+	}
+}

@@ -8,6 +8,10 @@
 # Environment overrides:
 #   BENCH_COUNT     repetitions per bench (default 3; smoke runs use 1)
 #   BENCH_TIME      -benchtime value (default 100x; e.g. 2s, 500x)
+#   BENCH_PKG       package to benchmark (default .; the serve daemon
+#                   suite uses ./internal/serve)
+#   BENCH_REGEX     -bench selector (default: the predict/recommend
+#                   serving-path benches)
 #   BENCH_OUT       output JSON path (default BENCH_predict.json)
 #   BENCH_BASELINE  committed baseline to gate against (default
 #                   BENCH_predict.json; the gate is skipped when the
@@ -19,14 +23,16 @@ cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-100x}"
+PKG="${BENCH_PKG:-.}"
+REGEX="${BENCH_REGEX:-PredictIteration(Folded|Unfolded|Compiled)|CompileZoo|RecommendSweep}"
 OUT="${BENCH_OUT:-BENCH_predict.json}"
 BASELINE="${BENCH_BASELINE:-BENCH_predict.json}"
 GATE="${BENCH_GATE:-1}"
 
-echo "== serving-path benches (count=${COUNT}, benchtime=${TIME})"
+echo "== serving-path benches (pkg=${PKG}, count=${COUNT}, benchtime=${TIME})"
 raw=$(go test -run '^$' \
-    -bench 'PredictIteration(Folded|Unfolded|Compiled)|CompileZoo|RecommendSweep' \
-    -benchmem -count "${COUNT}" -benchtime "${TIME}" . | tee /dev/stderr)
+    -bench "${REGEX}" \
+    -benchmem -count "${COUNT}" -benchtime "${TIME}" "${PKG}" | tee /dev/stderr)
 
 # Fold the repeated runs into one JSON document: ns/op and custom
 # metrics are averaged across -count repetitions, B/op and allocs/op

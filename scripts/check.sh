@@ -57,4 +57,21 @@ echo "== serving-path bench regression gate"
 # (see scripts/bench.sh).
 BENCH_COUNT=2 BENCH_TIME=500x BENCH_OUT="$(mktemp)" ./scripts/bench.sh >/dev/null
 
+echo "== serve daemon bench regression gate"
+# The daemon's hot-path benches gated against the committed
+# BENCH_serve.json. Only the two zero-alloc handler benches gate here
+# (the loadgen benches measure wall-clock percentiles and are recorded,
+# not gated, by `make bench-serve`). Any allocs/op above the committed
+# baseline of 0 fails — the zero-allocation contract of DESIGN.md §13.
+BENCH_COUNT=2 BENCH_TIME=500x BENCH_PKG=./internal/serve \
+    BENCH_REGEX='ServePredict$|ServeRecommend$|ServeEncodePredict$' \
+    BENCH_BASELINE=BENCH_serve.json BENCH_OUT="$(mktemp)" \
+    ./scripts/bench.sh >/dev/null
+
+echo "== serve daemon smoke"
+# Boots `ceer serve` on an ephemeral port, hits all five endpoints,
+# byte-compares the daemon's /v1/predict body against `ceer predict
+# -json`, hot-reloads, and drains (scripts/serve-smoke.sh).
+./scripts/serve-smoke.sh >/dev/null
+
 echo "check: OK"
