@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-predict bench-serve serve-smoke race lint chaos check
+.PHONY: build test bench bench-predict bench-serve serve-smoke race lint lint-escape chaos check
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,16 @@ race:
 
 # The ceer-lint static-analysis suite (internal/lint): device
 # genericity, determinism, context threading, error hygiene, float
-# comparisons.
+# comparisons, and the hot-path proofs (allocfree, atomics, hotpath,
+# poolpair).
 lint:
 	$(GO) run ./cmd/ceer-lint
+
+# Compiler escape-analysis cross-check of the hot-path allocation
+# proof: go build -gcflags=-m piped through ceer-lint -escape-log
+# (scripts/lint-escape.sh; CEER_SKIP_ESCAPE=1 skips).
+lint-escape:
+	./scripts/lint-escape.sh
 
 # Chaos gate: train twice under the canned fault spec
 # (scripts/chaos-spec.json) at different worker counts and byte-diff
@@ -50,7 +57,8 @@ chaos:
 	./scripts/chaos.sh
 
 # The tier-1+ gate: gofmt + vet + build + full tests + module-wide
-# race pass + ceer-lint + chaos determinism + bench smoke + serve
-# bench gate + serve daemon smoke (scripts/check.sh).
+# race pass + ceer-lint + escape cross-check + chaos determinism +
+# bench smoke + serve bench gate + serve daemon smoke
+# (scripts/check.sh).
 check:
 	./scripts/check.sh

@@ -280,8 +280,8 @@ func (c *CompiledPredictor) assemble(gi, di, k int, v Variant, s opSums) (IterPr
 	}
 	if v == Full || v == HeavyOnly {
 		if k < 1 || k > c.maxK || !c.hasComm[di*(c.maxK+1)+k] {
-			return IterPrediction{}, fmt.Errorf("ceer: no communication model for %s k=%d",
-				c.devices[di].Family(), k)
+			//lint:ignore allocfree error construction on the failure exit only; the success path never reaches it
+			return IterPrediction{}, fmt.Errorf("ceer: no communication model for %s k=%d", c.devices[di].Family(), k)
 		}
 		out.CommSeconds = c.comm[(gi*c.nd+di)*(c.maxK+1)+k]
 	}
@@ -303,10 +303,12 @@ func (c *CompiledPredictor) assemble(gi, di, k int, v Variant, s opSums) (IterPr
 func (c *CompiledPredictor) PredictIteration(g *graph.Graph, m gpu.ID, k int, v Variant) (IterPrediction, error) {
 	gi := c.fold.GraphIndex(g)
 	if gi < 0 {
+		//lint:ignore allocfree error construction on the failure exit only; the success path never reaches it
 		return IterPrediction{}, fmt.Errorf("ceer: graph %q: %w", g.Name, ErrNotCompiled)
 	}
 	di := c.deviceIndex(m)
 	if di < 0 {
+		//lint:ignore allocfree error construction on the failure exit only; the success path never reaches it
 		return IterPrediction{}, fmt.Errorf("ceer: device %s: %w", m, ErrNotCompiled)
 	}
 	return c.assemble(gi, di, k, v, c.classSums(gi, di))

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAtomics enforces atomic-access discipline module-wide: any
+// variable or struct field that is ever passed to a sync/atomic
+// function must be accessed through sync/atomic everywhere — one plain
+// read racing an atomic writer is the classic metrics/token-bucket
+// footgun, invisible until the race detector happens to interleave it.
+// It also checks the 32-bit alignment contract: a 64-bit field used
+// with the function-style atomics must sit at an 8-byte-aligned offset
+// (under 32-bit struct layout), or atomic.Add/Load panic on 386/arm.
+// The typed atomic.Int64/Uint64 wrappers are exempt from the alignment
+// check — the runtime aligns them — which is one more reason the
+// serving path uses them exclusively. Test files are not checked.
+var AnalyzerAtomics = &Analyzer{
+	Name: "atomics",
+	Doc: "flags plain access to variables that are accessed with " +
+		"sync/atomic elsewhere, and misaligned 64-bit atomic fields",
+	RunModule: runAtomics,
+}
+
+// atomicTarget is one variable the module accesses atomically
+// somewhere. Objects are keyed by their defining position: the loader
+// type-checks shared ASTs, so Pos survives the double type-check that
+// breaks object identity (see ModulePass).
+type atomicTarget struct {
+	name string
+	// where is the first atomic call site, for the diagnostic.
+	where token.Position
+}
+
+func runAtomics(p *ModulePass) {
+	targets := make(map[token.Pos]*atomicTarget)
+	// sanctioned records the positions of the &x arguments inside
+	// atomic calls themselves, so pass 2 can tell a sanctioned access
+	// from a plain one.
+	sanctioned := make(map[token.Pos]bool)
+	aligned := make(map[token.Pos]bool) // 64-bit fields already checked
+
+	// Pass 1: collect every object passed to a sync/atomic function.
+	p.eachNonTestFile(func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := atomicCallee(pkg.Info, call)
+			if f == nil || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			ref := ast.Unparen(ue.X)
+			obj := referent(pkg.Info, ref)
+			if obj == nil {
+				return true
+			}
+			if targets[obj.Pos()] == nil {
+				targets[obj.Pos()] = &atomicTarget{
+					name:  obj.Name(),
+					where: p.Fset.Position(call.Pos()),
+				}
+			}
+			sanctioned[ref.Pos()] = true
+			if sel, ok := ref.(*ast.SelectorExpr); ok && is64BitAtomic(f) && !aligned[obj.Pos()] {
+				aligned[obj.Pos()] = true
+				checkAlignment(p, pkg.Info, sel, obj)
+			}
+			return true
+		})
+	})
+	if len(targets) == 0 {
+		return
+	}
+
+	// Pass 2: flag every other access of a collected object.
+	p.eachNonTestFile(func(pkg *Package, file *ast.File) {
+		writes := make(map[token.Pos]bool)
+		handledSel := make(map[token.Pos]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writes[ast.Unparen(lhs).Pos()] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(n.X).Pos()] = true
+			case *ast.SelectorExpr:
+				handledSel[n.Sel.Pos()] = true
+				obj := referent(pkg.Info, n)
+				flagPlain(p, targets, sanctioned, writes, n, obj)
+			case *ast.Ident:
+				if handledSel[n.Pos()] {
+					return true
+				}
+				obj, _ := pkg.Info.Uses[n].(*types.Var)
+				if obj != nil && !obj.IsField() {
+					flagPlain(p, targets, sanctioned, writes, n, obj)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// flagPlain reports a non-atomic access of an atomically used object.
+func flagPlain(p *ModulePass, targets map[token.Pos]*atomicTarget, sanctioned, writes map[token.Pos]bool, n ast.Expr, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	t := targets[obj.Pos()]
+	if t == nil || sanctioned[n.Pos()] || n.Pos() == obj.Pos() {
+		return
+	}
+	kind := "read"
+	if writes[n.Pos()] {
+		kind = "write"
+	}
+	p.Reportf(n.Pos(),
+		"plain %s of %s, which is accessed with sync/atomic (at %s:%d); every access must go through sync/atomic",
+		kind, t.name, t.where.Filename[lastSlash(t.where.Filename)+1:], t.where.Line)
+}
+
+// atomicCallee returns the callee when call is a package-level
+// sync/atomic function taking a pointer target (AddUint64, LoadInt32,
+// CompareAndSwapPointer, ...), nil otherwise. Methods on the typed
+// atomic wrappers have a receiver and fall out naturally.
+func atomicCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	kind, obj := resolveCall(info, call)
+	if kind != calleeStatic {
+		return nil
+	}
+	f := obj.(*types.Func)
+	if f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() != nil || sig.Params().Len() == 0 {
+		return nil
+	}
+	if _, ok := sig.Params().At(0).Type().(*types.Pointer); !ok {
+		return nil
+	}
+	return f
+}
+
+// is64BitAtomic reports whether f operates on a 64-bit word.
+func is64BitAtomic(f *types.Func) bool {
+	name := f.Name()
+	return len(name) > 2 && name[len(name)-2:] == "64"
+}
+
+// referent resolves the object a plain identifier or field selector
+// denotes, or nil for anything more exotic.
+func referent(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() != types.FieldVal {
+				return nil
+			}
+			return sel.Obj()
+		}
+		// Package-qualified variable (pkg.Counter).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkAlignment verifies the 32-bit layout contract for a 64-bit
+// atomically accessed struct field: under GOARCH=386 sizes its offset
+// must be a multiple of 8, assuming (conservatively, like the runtime
+// guarantees for allocated structs) that the struct itself starts
+// aligned. The finding is reported at the field declaration.
+func checkAlignment(p *ModulePass, info *types.Info, sel *ast.SelectorExpr, obj types.Object) {
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return
+	}
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	sizes := types.SizesFor("gc", "386")
+	var offset int64
+	for _, fieldIdx := range selection.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offset += sizes.Offsetsof(fields)[fieldIdx]
+		t = st.Field(fieldIdx).Type()
+	}
+	if offset%8 != 0 {
+		p.Reportf(obj.Pos(),
+			"64-bit atomic field %s sits at offset %d under 32-bit layout; it must be 8-byte aligned (move it first or use the typed atomic wrappers)",
+			obj.Name(), offset)
+	}
+}
+
+// eachNonTestFile applies fn to every non-test file of every
+// non-external-test unit, in the deterministic load order.
+func (p *ModulePass) eachNonTestFile(fn func(pkg *Package, file *ast.File)) {
+	for _, pkg := range p.Pkgs {
+		if pkg.ExternalTest {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if p.IsTestFile(file) {
+				continue
+			}
+			fn(pkg, file)
+		}
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}

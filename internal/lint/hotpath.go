@@ -61,12 +61,28 @@ func isHotPath(fn *ast.FuncDecl) bool {
 }
 
 // checkHotBody walks one marked function body (including nested
-// function literals) and reports banned constructs.
+// function literals) and reports banned constructs. Direct tracks
+// selectors in call position — ast.Inspect visits a CallExpr before
+// its Fun child — so a banned sync method reached as a bare selector
+// is a method value: creating one both allocates and smuggles the lock
+// acquisition past the call check.
 func checkHotBody(pass *Pass, name string, body *ast.BlockStmt) {
+	direct := make(map[*ast.SelectorExpr]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				direct[sel] = true
+			}
 			checkHotCall(pass, name, n)
+		case *ast.SelectorExpr:
+			if !direct[n] {
+				if fn := bannedSyncMethod(pass, n); fn != nil {
+					pass.Reportf(n.Pos(),
+						"method value of sync %s captured in //hot:path function %s; the hot path must be lock-free",
+						fn.Name(), name)
+				}
+			}
 		case *ast.IndexExpr:
 			if t := pass.Info.TypeOf(n.X); t != nil {
 				if _, ok := t.Underlying().(*types.Map); ok {
@@ -90,12 +106,22 @@ func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
 				name)
 		}
 	case *ast.SelectorExpr:
-		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !mutexAcquire[fn.Name()] {
+		fn := bannedSyncMethod(pass, fun)
+		if fn == nil {
 			return
 		}
 		pass.Reportf(call.Pos(),
 			"sync %s acquired in //hot:path function %s; the hot path must be lock-free",
 			fn.Name(), name)
 	}
+}
+
+// bannedSyncMethod resolves sel to a sync lock-acquisition method, or
+// nil.
+func bannedSyncMethod(pass *Pass, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !mutexAcquire[fn.Name()] {
+		return nil
+	}
+	return fn
 }

@@ -54,10 +54,15 @@ type Analyzer struct {
 	Doc string
 	// Scope restricts the analyzer to packages whose import path equals
 	// or ends with one of these suffixes (matched at a path-segment
-	// boundary). Nil means every package.
+	// boundary). Nil means every package. Module analyzers ignore Scope.
 	Scope []string
-	// Run inspects one unit.
+	// Run inspects one unit. Exactly one of Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once. Whole-program
+	// analyzers (the hot-path call-graph family) need every unit in one
+	// pass: a finding in package a can be caused by a directive in
+	// package b.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one unit through one analyzer.
@@ -73,6 +78,33 @@ type Pass struct {
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// ModulePass carries every analysis unit through one module-wide
+// analyzer. Cross-package identity caveat: each package is
+// type-checked twice (once for importers, once as its own unit), so
+// *types.Object values do NOT compare equal across units. Module
+// analyzers key functions by path strings (see funcKey) and objects by
+// token.Pos, both of which are stable because every check shares the
+// same parsed files and FileSet.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs holds every unit sorted by import path, external test units
+	// last within a path.
+	Pkgs []*Package
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// IsTestFile reports whether the node lives in a _test.go file.
+func (p *ModulePass) IsTestFile(n ast.Node) bool {
+	return strings.HasSuffix(p.Fset.Position(n.Pos()).Filename, "_test.go")
 }
 
 // Filename returns the name of the file a node belongs to.
@@ -129,14 +161,41 @@ func runUnits(root string, fset *token.FileSet, pkgs []*Package, analyzers []*An
 		}
 		return filepath.ToSlash(abs)
 	}
+	// Merge every unit's ignore directives before any analyzer runs:
+	// module-wide analyzers report across package boundaries, so a
+	// finding must be matched against the directives of the file it
+	// lands in, not of the unit that happened to trigger the walk. Each
+	// source file belongs to exactly one unit, so merging is a disjoint
+	// union.
+	ignores := &ignoreSet{byFileLine: make(map[string]map[int]map[string]bool)}
 	for _, pkg := range pkgs {
-		ignores, bad := collectIgnores(fset, pkg, known)
+		unitIgnores, bad := collectIgnores(fset, pkg, known)
+		for file, lines := range unitIgnores.byFileLine {
+			ignores.byFileLine[file] = lines
+		}
 		for _, d := range bad {
 			d.File = relFile(d.File)
 			diags = append(diags, d)
 		}
+	}
+	reporterFor := func(a *Analyzer) func(token.Pos, string) {
+		return func(pos token.Pos, msg string) {
+			p := fset.Position(pos)
+			if ignores.suppressed(a.Name, p.Filename, p.Line) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				File:     relFile(p.Filename),
+				Line:     p.Line,
+				Col:      p.Column,
+				Analyzer: a.Name,
+				Message:  msg,
+			})
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !inScope(a.Scope, pkg.Path) {
+			if a.Run == nil || !inScope(a.Scope, pkg.Path) {
 				continue
 			}
 			pass := &Pass{
@@ -144,23 +203,37 @@ func runUnits(root string, fset *token.FileSet, pkgs []*Package, analyzers []*An
 				Fset:     fset,
 				Pkg:      pkg,
 				Info:     pkg.Info,
-				report: func(pos token.Pos, msg string) {
-					p := fset.Position(pos)
-					if ignores.suppressed(a.Name, p.Filename, p.Line) {
-						return
-					}
-					diags = append(diags, Diagnostic{
-						File:     relFile(p.Filename),
-						Line:     p.Line,
-						Col:      p.Column,
-						Analyzer: a.Name,
-						Message:  msg,
-					})
-				},
+				report:   reporterFor(a),
 			}
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     pkgs,
+			report:   reporterFor(a),
+		})
+	}
+	sortDiagnostics(diags)
+	// Nested constructs (e.g. a map range inside a map range) can make
+	// two walks report the identical finding; keep one.
+	uniq := diags[:0]
+	for _, d := range diags {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq
+}
+
+// sortDiagnostics orders findings by (file, line, col, analyzer,
+// message) — the stable order every output mode shares.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -177,25 +250,19 @@ func runUnits(root string, fset *token.FileSet, pkgs []*Package, analyzers []*An
 		}
 		return a.Message < b.Message
 	})
-	// Nested constructs (e.g. a map range inside a map range) can make
-	// two walks report the identical finding; keep one.
-	uniq := diags[:0]
-	for _, d := range diags {
-		if len(uniq) == 0 || uniq[len(uniq)-1] != d {
-			uniq = append(uniq, d)
-		}
-	}
-	return uniq
 }
 
 // Analyzers is the full default suite, in reporting-name order.
 var Analyzers = []*Analyzer{
+	AnalyzerAllocFree,
+	AnalyzerAtomics,
 	AnalyzerCtxFlow,
 	AnalyzerDeviceGeneric,
 	AnalyzerDeterminism,
 	AnalyzerErrDrop,
 	AnalyzerFloatCmp,
 	AnalyzerHotPath,
+	AnalyzerPoolPair,
 }
 
 // ByName returns the subset of the default suite matching the given

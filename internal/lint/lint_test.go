@@ -2,8 +2,10 @@ package lint_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ceer/internal/lint"
@@ -88,5 +90,88 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := lint.ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) did not fail")
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "allocfree"), lint.AnalyzerAllocFree)
+}
+
+func TestAtomics(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "atomics"), lint.AnalyzerAtomics)
+}
+
+func TestPoolPair(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "poolpair"), lint.AnalyzerPoolPair)
+}
+
+// TestSARIFGolden pins the -sarif encoding byte for byte, like
+// TestJSONGolden does for -json; the two modes share diagnostics and
+// ordering, so only the envelope differs.
+func TestSARIFGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	diags, err := lint.Run(lint.Config{Dir: dir}, lint.Analyzers)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("golden tree produced no diagnostics; the fixture is broken")
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "want.sarif"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("SARIF output drifted from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCrossCheckEscapes feeds a hand-written -gcflags=-m log into the
+// escape cross-check: a hit inside a hot-reachable helper must
+// surface, hits inside an exempt boundary, an unreachable function,
+// or under a lint:ignore must not. Line numbers are recovered from
+// the fixture source so edits don't silently rot the log.
+func TestCrossCheckEscapes(t *testing.T) {
+	dir := filepath.Join("testdata", "escape")
+	src, err := os.ReadFile(filepath.Join(dir, "hot", "hot.go"))
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	// The four &node{...} returns appear in a fixed order: alloc,
+	// Exempted, Cold, ignored.
+	var lines []int
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "&node{v:") {
+			lines = append(lines, i+1)
+		}
+	}
+	if len(lines) != 4 {
+		t.Fatalf("fixture has %d &node returns, want 4", len(lines))
+	}
+	log := fmt.Sprintf(`# example.com/escape/hot
+hot/hot.go:16:13: leaking param: n
+hot/hot.go:%d:9: &node{...} escapes to heap
+hot/hot.go:%d:9: &node{...} escapes to heap
+hot/hot.go:%d:9: &node{...} escapes to heap
+hot/hot.go:%d:9: &node{...} escapes to heap
+not a diagnostic line
+`, lines[0], lines[1], lines[2], lines[3])
+	diags, err := lint.CrossCheckEscapes(lint.Config{Dir: dir}, strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("CrossCheckEscapes: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allocfree" || d.File != "hot/hot.go" || d.Line != lines[0] {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if !strings.Contains(d.Message, "compiler escape analysis") || !strings.Contains(d.Message, "alloc") {
+		t.Errorf("unexpected message: %s", d.Message)
 	}
 }

@@ -1,0 +1,572 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerPoolPair enforces sync.Pool lifecycle discipline
+// (DESIGN.md §13's arena contract): a value obtained from a pool Get —
+// directly or through a wrapper like arena.get — must reach exactly
+// one Put on every path out of the function (a deferred Put or
+// exhaustive explicit Puts), must not be Put twice, and must not
+// escape the request scope (stored into a non-local, returned, sent on
+// a channel, captured by a closure, or handed to a goroutine). Getter
+// and putter wrappers (a function that returns a pool Get, a function
+// that Puts its parameter) are recognized module-wide and excluded
+// from the lifecycle analysis of their own bodies. The flow analysis
+// is branch-sensitive but loop-approximate: a value obtained inside a
+// loop body must be Put inside that body. Test files are not checked.
+var AnalyzerPoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc: "checks sync.Pool Get/Put pairing on all return paths, " +
+		"double Puts, and pool values escaping request scope",
+	RunModule: runPoolPair,
+}
+
+func runPoolPair(p *ModulePass) {
+	pools := collectPoolWrappers(p)
+	p.eachNonTestFile(func(pkg *Package, file *ast.File) {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+				key := funcKey(obj)
+				if pools.getters[key] || pools.putters[key] {
+					continue // the wrapper IS the lifecycle primitive
+				}
+			}
+			analyzePoolUse(p, pkg, fn.Body, pools)
+		}
+	})
+}
+
+// poolWrappers records module functions that wrap pool Get/Put.
+type poolWrappers struct {
+	getters map[string]bool
+	putters map[string]bool
+}
+
+// collectPoolWrappers classifies, module-wide, the functions whose
+// body is just a pool Get (return a.pool.Get().(*T)) or a pool Put of
+// a parameter. One wrapper level is recognized — the arena idiom.
+func collectPoolWrappers(p *ModulePass) *poolWrappers {
+	pools := &poolWrappers{getters: make(map[string]bool), putters: make(map[string]bool)}
+	p.eachNonTestFile(func(pkg *Package, file *ast.File) {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := make(map[types.Object]bool)
+			if fn.Type.Params != nil {
+				for _, field := range fn.Type.Params.List {
+					for _, name := range field.Names {
+						if po := pkg.Info.Defs[name]; po != nil {
+							params[po] = true
+						}
+					}
+				}
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ReturnStmt:
+					if len(n.Results) == 1 {
+						if call, ok := unwrapToCall(n.Results[0]); ok && isPoolMethod(pkg.Info, call, "Get") {
+							pools.getters[funcKey(obj)] = true
+						}
+					}
+				case *ast.CallExpr:
+					if isPoolMethod(pkg.Info, n, "Put") && len(n.Args) == 1 {
+						if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && params[pkg.Info.Uses[id]] {
+							pools.putters[funcKey(obj)] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	})
+	return pools
+}
+
+// unwrapToCall strips parens and type assertions around a call.
+func unwrapToCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isPoolMethod reports whether call is (*sync.Pool).Get or Put.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	kind, obj := resolveCall(info, call)
+	if kind != calleeStatic {
+		return false
+	}
+	f := obj.(*types.Func)
+	if f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// analyzePoolUse finds every pool-derived local in one body and runs
+// the lifecycle walker over it.
+func analyzePoolUse(p *ModulePass, pkg *Package, body *ast.BlockStmt, pools *poolWrappers) {
+	bound := make(map[token.Pos]bool) // get-call positions bound to a variable
+	var targets []*poolTracker
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			call, ok := unwrapToCall(n.Rhs[0])
+			if !ok || !isGetCall(pkg.Info, call, pools) {
+				return true
+			}
+			bound[call.Pos()] = true
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj != nil && !trackedObj(targets, obj) {
+				targets = append(targets, &poolTracker{
+					p: p, pkg: pkg, pools: pools, obj: obj, getPos: call.Pos(),
+				})
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && len(n.Names) == 1 {
+				if call, ok := unwrapToCall(n.Values[0]); ok && isGetCall(pkg.Info, call, pools) {
+					bound[call.Pos()] = true
+					if obj := pkg.Info.Defs[n.Names[0]]; obj != nil && !trackedObj(targets, obj) {
+						targets = append(targets, &poolTracker{
+							p: p, pkg: pkg, pools: pools, obj: obj, getPos: call.Pos(),
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	// A Get whose result is not bound to a local cannot be tracked.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isGetCall(pkg.Info, call, pools) && !bound[call.Pos()] {
+			p.Reportf(call.Pos(),
+				"pool Get result is not bound to a local variable; its Put lifecycle is unprovable")
+		}
+		return true
+	})
+	for _, t := range targets {
+		t.checkClosures(body)
+		end, terminated := t.stmts(body.List, poolState{})
+		if !terminated {
+			t.atExit(end, t.getPos)
+		}
+	}
+}
+
+func trackedObj(targets []*poolTracker, obj types.Object) bool {
+	for _, t := range targets {
+		if t.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isGetCall matches a direct (*sync.Pool).Get or a known getter
+// wrapper; isPutOf matches Put the same way and returns the argument.
+func isGetCall(info *types.Info, call *ast.CallExpr, pools *poolWrappers) bool {
+	if isPoolMethod(info, call, "Get") {
+		return true
+	}
+	kind, obj := resolveCall(info, call)
+	return kind == calleeStatic && pools.getters[funcKey(obj.(*types.Func))]
+}
+
+func isPutCall(info *types.Info, call *ast.CallExpr, pools *poolWrappers) (ast.Expr, bool) {
+	if isPoolMethod(info, call, "Put") && len(call.Args) == 1 {
+		return call.Args[0], true
+	}
+	kind, obj := resolveCall(info, call)
+	if kind == calleeStatic && pools.putters[funcKey(obj.(*types.Func))] && len(call.Args) >= 1 {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// triState is the walker's three-valued liveness lattice.
+type triState uint8
+
+const (
+	stNo triState = iota
+	stMaybe
+	stYes
+)
+
+func mergeTri(a, b triState) triState {
+	if a == b {
+		return a
+	}
+	return stMaybe
+}
+
+// poolState tracks one pool value through the statement walk: live is
+// "holds an un-Put value", deferred is "a deferred Put covers function
+// exit from here on".
+type poolState struct {
+	live     triState
+	deferred triState
+}
+
+func (s poolState) merge(o poolState) poolState {
+	return poolState{live: mergeTri(s.live, o.live), deferred: mergeTri(s.deferred, o.deferred)}
+}
+
+// poolTracker walks one function body for one pool-derived variable.
+type poolTracker struct {
+	p      *ModulePass
+	pkg    *Package
+	pools  *poolWrappers
+	obj    types.Object
+	getPos token.Pos
+}
+
+func (t *poolTracker) info() *types.Info { return t.pkg.Info }
+
+// isVar reports whether e is exactly the tracked variable.
+func (t *poolTracker) isVar(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := t.info().Uses[id]
+	if obj == nil {
+		obj = t.info().Defs[id]
+	}
+	return obj == t.obj
+}
+
+// stmts walks a statement list, returning the out state and whether
+// every path through the list terminated (returned or branched).
+func (t *poolTracker) stmts(list []ast.Stmt, st poolState) (poolState, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = t.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (t *poolTracker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return t.assign(s, st), false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						if call, ok := unwrapToCall(v); ok && isGetCall(t.info(), call, t.pools) &&
+							i < len(vs.Names) && t.info().Defs[vs.Names[i]] == t.obj {
+							st = t.get(call.Pos(), st)
+						}
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return t.call(call, st), false
+		}
+		return st, false
+	case *ast.DeferStmt:
+		if arg, ok := isPutCall(t.info(), s.Call, t.pools); ok && t.isVar(arg) {
+			if st.deferred != stNo {
+				t.p.Reportf(s.Pos(), "second deferred Put of %s (double Put)", t.obj.Name())
+			}
+			st.deferred = stYes
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		escaped := false
+		for _, res := range s.Results {
+			if t.isVar(res) {
+				escaped = true
+				t.p.Reportf(res.Pos(),
+					"pool-derived %s is returned; it must not outlive the request scope",
+					t.obj.Name())
+			}
+		}
+		if !escaped {
+			// Returning the value already got its report; an un-Put
+			// complaint on the same line would be noise.
+			t.atExit(st, s.Pos())
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return t.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		thenSt, thenTerm := t.stmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = t.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		}
+		return thenSt.merge(elseSt), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return t.branches(s, st)
+	case *ast.ForStmt:
+		return t.loop(s.Body, st), false
+	case *ast.RangeStmt:
+		return t.loop(s.Body, st), false
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate as path-terminating; the
+		// enclosing loop/switch already re-walks from the entry state.
+		return st, true
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			if t.isVar(arg) {
+				t.p.Reportf(arg.Pos(),
+					"pool-derived %s is passed to a goroutine; it must not escape the request scope",
+					t.obj.Name())
+			}
+		}
+		return st, false
+	case *ast.SendStmt:
+		if t.isVar(s.Value) {
+			t.p.Reportf(s.Value.Pos(),
+				"pool-derived %s is sent on a channel; it must not escape the request scope",
+				t.obj.Name())
+		}
+		return st, false
+	}
+	return st, false
+}
+
+// branches merges the clause bodies of a switch/type-switch/select.
+func (t *poolTracker) branches(s ast.Stmt, st poolState) (poolState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out poolState
+	outSet, allTerm := false, true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		cs, cterm := t.stmts(stmts, st)
+		if cterm {
+			continue
+		}
+		allTerm = false
+		if !outSet {
+			out, outSet = cs, true
+		} else {
+			out = out.merge(cs)
+		}
+	}
+	if !hasDefault {
+		// No default: the zero-clause path falls through untouched.
+		allTerm = false
+		if !outSet {
+			out, outSet = st, true
+		} else {
+			out = out.merge(st)
+		}
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if !outSet {
+		out = st
+	}
+	return out, false
+}
+
+// loop walks a loop body once from the entry state. A value obtained
+// inside the body must be put inside it — liveness must not leak into
+// the next iteration.
+func (t *poolTracker) loop(body *ast.BlockStmt, st poolState) poolState {
+	end, _ := t.stmts(body.List, st)
+	if st.live == stNo && end.live != stNo && end.deferred == stNo {
+		t.p.Reportf(t.getPos,
+			"pool Get of %s inside a loop body is not Put before the iteration ends",
+			t.obj.Name())
+	}
+	return st
+}
+
+// assign handles Gets, escapes-by-store, and aliasing.
+func (t *poolTracker) assign(s *ast.AssignStmt, st poolState) poolState {
+	if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+		if call, ok := unwrapToCall(s.Rhs[0]); ok && isGetCall(t.info(), call, t.pools) {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				obj := t.info().Defs[id]
+				if obj == nil {
+					obj = t.info().Uses[id]
+				}
+				if obj == t.obj {
+					return t.get(call.Pos(), st)
+				}
+			}
+			return st
+		}
+	}
+	for i, rhs := range s.Rhs {
+		if !t.isVar(rhs) {
+			continue
+		}
+		if i >= len(s.Lhs) {
+			break
+		}
+		if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue // a blank discard keeps nothing alive
+			}
+			obj := t.info().Defs[id]
+			if obj == nil {
+				obj = t.info().Uses[id]
+			}
+			if v, isVar := obj.(*types.Var); isVar && !v.IsField() && v.Parent() != v.Pkg().Scope() {
+				continue // local alias; conservative, but aliases are rare and reviewed
+			}
+		}
+		t.p.Reportf(rhs.Pos(),
+			"pool-derived %s is stored outside the request scope; it must stay local until Put",
+			t.obj.Name())
+	}
+	return st
+}
+
+// get transitions on a pool Get of the tracked variable.
+func (t *poolTracker) get(pos token.Pos, st poolState) poolState {
+	if st.live != stNo && st.deferred == stNo {
+		t.p.Reportf(pos, "pool Get overwrites %s while it still holds an un-Put value", t.obj.Name())
+	}
+	st.live = stYes
+	return st
+}
+
+// call transitions on an expression-statement call (the Put site).
+func (t *poolTracker) call(call *ast.CallExpr, st poolState) poolState {
+	arg, ok := isPutCall(t.info(), call, t.pools)
+	if !ok || !t.isVar(arg) {
+		return st
+	}
+	switch {
+	case st.deferred != stNo:
+		t.p.Reportf(call.Pos(), "Put of %s is already deferred (double Put)", t.obj.Name())
+	case st.live == stNo:
+		t.p.Reportf(call.Pos(), "double Put of %s", t.obj.Name())
+	case st.live == stMaybe:
+		t.p.Reportf(call.Pos(), "Put of %s, which is live on only some paths here", t.obj.Name())
+	}
+	st.live = stNo
+	return st
+}
+
+// atExit reports an un-Put value at a return or the function end.
+func (t *poolTracker) atExit(st poolState, pos token.Pos) {
+	if st.deferred == stYes {
+		return
+	}
+	if st.deferred == stMaybe && st.live != stNo {
+		t.p.Reportf(pos, "Put of %s is deferred on only some paths to this exit", t.obj.Name())
+		return
+	}
+	switch st.live {
+	case stYes:
+		t.p.Reportf(pos, "pool-derived %s is not Put on this return path", t.obj.Name())
+	case stMaybe:
+		t.p.Reportf(pos, "pool-derived %s is Put on only some paths to this exit", t.obj.Name())
+	}
+}
+
+// checkClosures flags closures capturing the tracked variable.
+func (t *poolTracker) checkClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && t.info().Uses[id] == t.obj {
+				t.p.Reportf(id.Pos(),
+					"pool-derived %s is captured by a closure; it must not escape the request scope",
+					t.obj.Name())
+				return false
+			}
+			return true
+		})
+		return false
+	})
+}

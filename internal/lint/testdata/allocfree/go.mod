@@ -1,0 +1,3 @@
+module example.com/allocfree
+
+go 1.22

@@ -1,0 +1,33 @@
+package hot
+
+import "fmt"
+
+type ticker interface{ tick() int }
+
+func takeAny(v any)             {}
+func sum(vs ...int) int         { return len(vs) }
+func sink(dst []float64) int    { return len(dst) }
+func pair(a float64, b any) int { return 0 }
+
+// badBoxing exercises boxing at call sites, assignments, and returns.
+//
+//hot:path
+func badBoxing(v float64) any {
+	takeAny(v) // want `argument 1 is boxed into interface`
+	sum(1, 2)  // want `variadic call allocates its argument slice`
+	pair(v, v) // want `argument 2 is boxed into interface`
+	sink(nil)  // clean: nil and concrete params don't box
+	var x any
+	x = v // want `assignment boxes float64 into interface`
+	_ = x
+	return v // want `return boxes float64 into interface`
+}
+
+// badCalls exercises the unprovable-call and denylist reports.
+//
+//hot:path
+func badCalls(t ticker, f func() int, name string) error {
+	t.tick()                          // want `dynamic call tick through an interface is unprovable`
+	f()                               // want `call through a function value is unprovable`
+	return fmt.Errorf("bad %s", name) // want `fmt.Errorf formats through interfaces and allocates`
+}

@@ -1,0 +1,52 @@
+package hot
+
+import "example.com/allocfree/inner"
+
+// helper allocates. It is unmarked: the transitive walk must find it
+// through the root below.
+func helper(n int) []int {
+	return make([]int, n) // want `make allocates in helper .reachable from //hot:path transRoot.`
+}
+
+// transRoot is clean in isolation; the finding belongs to the callee.
+// The suppression on the call line is deliberately useless: a
+// //lint:ignore on the root's call site must NOT silence the callee's
+// finding, which is at a different position.
+//
+//hot:path
+func transRoot(n int) []int {
+	//lint:ignore allocfree suppressions are line-scoped and must not leak to callees
+	return helper(n)
+}
+
+// crossRoot proves the walk crosses package boundaries.
+//
+//hot:path
+func crossRoot(xs []int) []int {
+	return inner.Grow(xs, 1)
+}
+
+// quiet carries a justified allocation: the suppression sits on the
+// allocating line itself, so it works even though the finding was
+// produced by a module-wide analyzer walking from another package's
+// root.
+func quiet(n int) []int {
+	//lint:ignore allocfree fixture: amortized growth, justified
+	return make([]int, n)
+}
+
+// quietRoot stays silent end to end.
+//
+//hot:path
+func quietRoot(n int) []int {
+	return quiet(n)
+}
+
+// badDirective exercises the malformed-directive path for this
+// analyzer's name.
+//
+//hot:path
+func badDirective(n int) []int {
+	//lint:ignore allocfree,typo bogus reason // want `unknown analyzer`
+	return make([]int, n) // want `make allocates in //hot:path function badDirective`
+}

@@ -1,0 +1,8 @@
+// Package inner proves the allocfree walk crosses package boundaries:
+// the root lives in package hot, the allocation here.
+package inner
+
+// Grow allocates; reached from hot.crossRoot.
+func Grow(xs []int, v int) []int {
+	return append(xs, v) // want `append may grow its backing array in Grow .reachable from //hot:path crossRoot.`
+}

@@ -1,0 +1,3 @@
+module example.com/atomics
+
+go 1.22

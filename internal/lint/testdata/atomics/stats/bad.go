@@ -1,0 +1,58 @@
+// Package stats exercises the atomics analyzer: anything touched by
+// sync/atomic anywhere must be touched by it everywhere, and 64-bit
+// function-style atomics need 8-byte alignment under 32-bit layout.
+package stats
+
+import "sync/atomic"
+
+// counters puts a 32-bit field first, so the 64-bit atomic word lands
+// on a 4-byte boundary under GOARCH=386.
+type counters struct {
+	flag uint32
+	hits uint64 // want `64-bit atomic field hits sits at offset 4 under 32-bit layout`
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// load is sanctioned: the access goes through sync/atomic.
+func (c *counters) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) peek() uint64 {
+	return c.hits // want `plain read of hits`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `plain write of hits`
+}
+
+// total is a package-level counter mixed between atomic and plain use.
+var total uint64
+
+func addTotal(n uint64) {
+	atomic.AddUint64(&total, n)
+}
+
+func readTotal() uint64 {
+	return total // want `plain read of total`
+}
+
+func bumpTotal() {
+	total++ // want `plain write of total`
+}
+
+// suppressed documents a reviewed exception.
+func suppressedRead(c *counters) uint64 {
+	//lint:ignore atomics snapshot under external lock, reviewed
+	return c.hits
+}
+
+// badDirective exercises the malformed-directive path for this
+// analyzer's name.
+func badDirective(c *counters) uint64 {
+	//lint:ignore atomics,typo bogus reason // want `unknown analyzer`
+	return c.hits // want `plain read of hits`
+}

@@ -1,0 +1,3 @@
+module example.com/escape
+
+go 1.22

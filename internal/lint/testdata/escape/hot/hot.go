@@ -1,0 +1,39 @@
+// Package hot is the escape-log cross-check fixture. The test feeds
+// CrossCheckEscapes a hand-written `go build -gcflags=-m` log whose
+// line numbers point into this file, so keep the layout stable (the
+// test names lines by function, not by magic numbers).
+package hot
+
+type node struct{ v int }
+
+// Root reaches alloc and ignored through helper.
+//
+//hot:path
+func Root(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	return alloc(n).v + ignored(n).v
+}
+
+func alloc(n int) *node {
+	return &node{v: n}
+}
+
+// Exempted is a vetted boundary: compiler hits inside it are skipped.
+//
+//hot:exempt vetted cold boundary
+func Exempted() *node {
+	return &node{v: 1}
+}
+
+// Cold is unreachable from any root: hits inside it are skipped.
+func Cold() *node {
+	return &node{v: 2}
+}
+
+func ignored(n int) *node {
+	//lint:ignore allocfree fixture: justified allocation, applies to compiler hits too
+	return &node{v: n}
+}

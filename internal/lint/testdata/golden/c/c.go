@@ -1,0 +1,14 @@
+// Package c seeds one malformed-directive diagnostic: a reasonless
+// //lint:ignore cannot be exercised by inline want comments (the
+// comment text would merge into the directive), so the golden trees
+// pin it instead.
+package c
+
+// Hot allocates under a reasonless suppression, which must be
+// reported as malformed rather than honored.
+//
+//hot:path
+func Hot() []int {
+	//lint:ignore allocfree
+	return make([]int, 4)
+}

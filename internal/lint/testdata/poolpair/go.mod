@@ -1,0 +1,3 @@
+module example.com/poolpair
+
+go 1.22

@@ -1,0 +1,65 @@
+// Package pool exercises the poolpair analyzer: every Get must reach
+// exactly one Put on every path out, and the value must not escape
+// the request scope.
+package pool
+
+import "sync"
+
+type buf struct{ b [64]byte }
+
+var scratch = sync.Pool{New: func() any { return new(buf) }}
+
+// leaky misses the Put on the early return.
+func leaky(cond bool) int {
+	b := scratch.Get().(*buf)
+	if cond {
+		return 1 // want `pool-derived b is not Put on this return path`
+	}
+	scratch.Put(b)
+	return 0
+}
+
+// double puts twice on the same path.
+func double() {
+	b := scratch.Get().(*buf)
+	scratch.Put(b)
+	scratch.Put(b) // want `double Put of b`
+}
+
+// deferredDouble puts explicitly under an armed deferred Put.
+func deferredDouble() {
+	b := scratch.Get().(*buf)
+	defer scratch.Put(b)
+	scratch.Put(b) // want `Put of b is already deferred`
+}
+
+// partial puts on only one branch; the finding lands on the Get so it
+// names the value whose lifecycle is broken.
+func partial(cond bool) {
+	b := scratch.Get().(*buf) // want `pool-derived b is Put on only some paths to this exit`
+	if cond {
+		scratch.Put(b)
+	}
+}
+
+// overwrite drops the first value by re-Getting into the same name.
+func overwrite() {
+	b := scratch.Get().(*buf)
+	b = scratch.Get().(*buf) // want `pool Get overwrites b while it still holds an un-Put value`
+	scratch.Put(b)
+}
+
+// inLoop gets per iteration without putting back.
+func inLoop(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		b := scratch.Get().(*buf) // want `pool Get of b inside a loop body is not Put before the iteration ends`
+		total += len(b.b)
+	}
+	_ = total
+}
+
+// unbound discards the Get result, so no Put can ever match it.
+func unbound() {
+	scratch.Get() // want `pool Get result is not bound to a local variable`
+}

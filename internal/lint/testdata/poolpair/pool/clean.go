@@ -1,0 +1,66 @@
+package pool
+
+import "sync"
+
+// arena is the wrapper idiom from the serving path: get/put are the
+// lifecycle primitives, so their own bodies are exempt from pairing.
+type arena struct{ pool sync.Pool }
+
+func (a *arena) get() *buf  { return a.pool.Get().(*buf) }
+func (a *arena) put(b *buf) { a.pool.Put(b) }
+
+// cleanDefer is the canonical request shape.
+func cleanDefer() int {
+	b := scratch.Get().(*buf)
+	defer scratch.Put(b)
+	return len(b.b)
+}
+
+// cleanLinear puts explicitly on every path.
+func cleanLinear(cond bool) int {
+	b := scratch.Get().(*buf)
+	if cond {
+		scratch.Put(b)
+		return 1
+	}
+	scratch.Put(b)
+	return 0
+}
+
+// cleanWrapped pairs through the arena wrappers.
+func (a *arena) cleanWrapped() int {
+	b := a.get()
+	defer a.put(b)
+	return len(b.b)
+}
+
+// leakyWrapped proves wrapper calls count as real Gets.
+func (a *arena) leakyWrapped(cond bool) int {
+	b := a.get()
+	if cond {
+		return 0 // want `pool-derived b is not Put on this return path`
+	}
+	a.put(b)
+	return 1
+}
+
+// cleanSwitch puts in every case including default.
+func cleanSwitch(mode int) {
+	b := scratch.Get().(*buf)
+	switch mode {
+	case 0:
+		scratch.Put(b)
+	default:
+		scratch.Put(b)
+	}
+}
+
+// cleanSuppressed documents a reviewed ownership transfer. The
+// analyzer cannot prove the transfer, so both of its findings — the
+// store and the resulting un-Put value — carry a justification.
+func cleanSuppressed() {
+	//lint:ignore poolpair ownership transfers to the sink registry, which Puts it
+	b := scratch.Get().(*buf)
+	//lint:ignore poolpair ownership transfers to the sink registry, which Puts it
+	sink = b
+}

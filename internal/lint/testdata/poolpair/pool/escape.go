@@ -1,0 +1,52 @@
+package pool
+
+var sink *buf
+
+// escapeStore parks the pool value in a package variable.
+func escapeStore() {
+	b := scratch.Get().(*buf)
+	sink = b // want `pool-derived b is stored outside the request scope`
+	scratch.Put(b)
+}
+
+// escapeReturn hands the pool value to the caller.
+func escapeReturn() *buf {
+	b := scratch.Get().(*buf)
+	return b // want `pool-derived b is returned`
+}
+
+// escapeGo hands the pool value to a goroutine.
+func escapeGo() {
+	b := scratch.Get().(*buf)
+	go consume(b) // want `pool-derived b is passed to a goroutine`
+	scratch.Put(b)
+}
+
+// escapeChan sends the pool value on a channel.
+func escapeChan(ch chan *buf) {
+	b := scratch.Get().(*buf)
+	ch <- b // want `pool-derived b is sent on a channel`
+	scratch.Put(b)
+}
+
+// escapeClosure captures the pool value; the walker cannot see the
+// Put inside the literal, so the Get is also reported un-Put.
+func escapeClosure() {
+	b := scratch.Get().(*buf) // want `pool-derived b is not Put on this return path`
+	f := func() {
+		scratch.Put(b) // want `pool-derived b is captured by a closure`
+	}
+	f()
+}
+
+func consume(b *buf) {}
+
+// badDirective exercises the malformed-directive path for this
+// analyzer's name.
+func badDirective() {
+	//lint:ignore poolpair,typo bogus reason // want `unknown analyzer`
+	b := scratch.Get().(*buf) // want `pool-derived b is Put on only some paths to this exit`
+	if len(b.b) > 0 {
+		scratch.Put(b)
+	}
+}

@@ -81,10 +81,12 @@ func (a *arena) put(s *scratch) {
 func (a *arena) prefault(n, candidates int) {
 	scs := make([]*scratch, n)
 	for i := range scs {
+		//lint:ignore poolpair warmup holds all n scratches at once so Get returns distinct ones; the second loop Puts every one back
 		s := a.get()
 		if cap(s.rec.Candidates) < candidates {
 			s.rec.Candidates = make([]ceer.Candidate, 0, candidates)
 		}
+		//lint:ignore poolpair parked in the local warmup slice, returned to the pool by the loop below
 		scs[i] = s
 	}
 	for _, s := range scs {

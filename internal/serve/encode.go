@@ -15,6 +15,8 @@ var contentTypeJSON = []string{"application/json"}
 // reply writes a response and records its metrics. Unmarked (header
 // maps are banned in //hot:path functions) but allocation-free: the
 // header value slice is shared and the body is the caller's scratch.
+//
+//hot:exempt header-map write and ResponseWriter interface calls; allocation behaviour pinned by the serve benches
 func (s *Server) reply(w http.ResponseWriter, ep, status int, body []byte, start int64) {
 	h := w.Header()
 	h["Content-Type"] = contentTypeJSON
@@ -31,6 +33,8 @@ func (s *Server) reply(w http.ResponseWriter, ep, status int, body []byte, start
 // as successes — load shedding that allocated under overload would
 // defeat its purpose. A handler may already hold a scratch when this
 // runs; the pool simply lends a second one.
+//
+//hot:exempt amortized append encoding into arena scratch; pinned by BenchmarkRespondError 0 allocs/op
 func (s *Server) respondError(w http.ResponseWriter, ep, status int, msg string, start int64) {
 	sc := s.arena.get()
 	b := append(sc.buf[:0], `{"error":`...)
@@ -104,6 +108,8 @@ func appendCandidate(b []byte, m *candMeta, c *ceer.Candidate) []byte {
 // candidate set. Returns (200, "") or an error status and message.
 // Requests at the compiled batch size gather from the hot tables; other
 // batch sizes fall back to the folded predictor (cold, may allocate).
+//
+//hot:exempt amortized append encoding plus an explicit cold fallback branch; hot-table math is proven via the //hot:path marks on the compiled predictor itself
 func (s *Server) renderPredict(sc *scratch, me *modelEntry, cands []ceer.InstanceConfig, metas []candMeta) (int, string) {
 	q := &sc.q
 	ds := ceer.Dataset{Name: "request", Samples: q.samples}
@@ -162,6 +168,8 @@ func (s *Server) renderPredict(sc *scratch, me *modelEntry, cands []ceer.Instanc
 // RecommendInto writes into the scratch's reused candidate slice, then
 // the document is appended candidate by candidate (metas parallel the
 // candidate order).
+//
+//hot:exempt amortized append encoding plus an explicit cold fallback branch; hot-table math is proven via the //hot:path marks on the compiled predictor itself
 func (s *Server) renderRecommend(sc *scratch, me *modelEntry, cands []ceer.InstanceConfig, metas []candMeta) (int, string) {
 	q := &sc.q
 	ds := ceer.Dataset{Name: "request", Samples: q.samples}
@@ -229,6 +237,8 @@ func (s *Server) renderRecommend(sc *scratch, me *modelEntry, cands []ceer.Insta
 }
 
 // renderHealthz fills sc.buf with the /healthz document.
+//
+//hot:exempt amortized append encoding into arena scratch; pinned by the healthz bench gate
 func (s *Server) renderHealthz(sc *scratch) {
 	status := "ok"
 	if s.draining.Load() {
@@ -254,6 +264,8 @@ func (s *Server) renderHealthz(sc *scratch) {
 
 // handleExplain is the /v1/explain cold path: per-op-type attribution
 // through the folded predictor, marshaled with encoding/json.
+//
+//hot:exempt cold diagnostic endpoint; allocates by design
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, start int64) {
 	var q query
 	if msg := q.reset(s).parse(r.URL.RawQuery, s.maxK); msg != "" {
@@ -317,6 +329,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, start int
 }
 
 // handleMetrics snapshots the atomics into the /metrics document.
+//
+//hot:exempt cold diagnostic endpoint; allocates by design
 func (s *Server) handleMetrics(w http.ResponseWriter, start int64) {
 	snap := MetricsSnapshot{
 		UptimeSeconds: float64(s.clock.Nanos()-s.startNs) / 1e9,
@@ -328,6 +342,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, start int64) {
 }
 
 // handleReload is POST /admin/reload: re-read the model file and swap.
+//
+//hot:exempt cold admin endpoint; reload allocates a whole new generation by design
 func (s *Server) handleReload(w http.ResponseWriter, start int64) {
 	gen, err := s.Reload()
 	if err != nil {

@@ -38,6 +38,7 @@ func endpointOf(path string) int {
 //
 //hot:path
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore allocfree Clock is an interface for virtual-time tests; both implementations (monotonic wrapper, test clock) are allocation-free
 	start := s.clock.Nanos()
 	ep := endpointOf(r.URL.Path)
 	switch ep {
@@ -96,6 +97,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if hook := s.afterAdmit; hook != nil {
+		//lint:ignore allocfree test-only admission hook, nil in production; the race/chaos tests install allocation-free counters
 		hook(ep)
 	}
 	switch ep {
@@ -165,6 +167,7 @@ func (q *query) parse(raw string, maxK int) string {
 			key, val = pair[:i], pair[i+1:]
 		}
 		if strings.IndexByte(val, '%') >= 0 || strings.IndexByte(val, '+') >= 0 {
+			//lint:ignore allocfree rare branch: only percent- or plus-escaped values unescape, and model/gpu names never contain either
 			u, err := url.QueryUnescape(val) // rare: escaped value (allocates)
 			if err != nil {
 				return "malformed query escape"
@@ -276,6 +279,7 @@ func (s *Server) findCand(val string) int {
 //
 //hot:path
 func (s *Server) overBudget(start int64) bool {
+	//lint:ignore allocfree Clock is an interface for virtual-time tests; both implementations are allocation-free
 	return s.budget > 0 && s.clock.Nanos()-start > s.budget
 }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1+ verification gate (see README "Verification"): formatting,
 # vet, build, the full test suite, a race-detector pass over the whole
-# module, the ceer-lint static-analysis suite, the calibration golden
-# gate, the chaos determinism gate, and a bench smoke run.
+# module, the ceer-lint static-analysis suite, the escape-analysis
+# cross-check, the calibration golden gate, the chaos determinism
+# gate, and a bench smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,10 +30,18 @@ go test -race ./...
 echo "== ceer-lint"
 # The AST/type-aware invariant suite (internal/lint): device
 # genericity in core packages, determinism on the result path, error
-# hygiene, and float-comparison discipline. Any diagnostic fails the
-# gate; intentional exceptions carry //lint:ignore directives with a
-# reason, in the source, where reviewers can see them.
+# hygiene, float-comparison discipline, and the hot-path proof layer
+# (allocfree, atomics, hotpath, poolpair over the //hot:path call
+# graph). Any diagnostic fails the gate; intentional exceptions carry
+# //lint:ignore directives with a reason, in the source, where
+# reviewers can see them.
 go run ./cmd/ceer-lint
+
+echo "== lint-escape cross-check"
+# The compiler's escape analysis replayed against the hot-path call
+# graph: any "escapes to heap" inside a //hot:path-reachable function
+# fails (scripts/lint-escape.sh; CEER_SKIP_ESCAPE=1 skips).
+./scripts/lint-escape.sh >/dev/null
 
 echo "== calibration golden gate"
 # The observe→predict→calibrate replay over the committed observation

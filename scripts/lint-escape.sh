@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Escape-analysis cross-check for the hot-path allocation proof (see
+# DESIGN.md §10). ceer-lint's allocfree analyzer proves allocation
+# freedom from the AST up; this script asks the compiler to prove it
+# from the other side: build the serving-path packages with
+# -gcflags=-m and feed the escape diagnostics back through
+# `ceer-lint -escape-log`, which flags any "escapes to heap" /
+# "moved to heap" landing inside a //hot:path-reachable function.
+# //lint:ignore allocfree lines suppress both sides.
+#
+# Set CEER_SKIP_ESCAPE=1 to skip (e.g. on toolchains whose -m output
+# formatting is unvetted).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${CEER_SKIP_ESCAPE:-0}" == "1" ]]; then
+    echo "lint-escape: skipped (CEER_SKIP_ESCAPE=1)"
+    exit 0
+fi
+
+log="$(mktemp)"
+trap 'rm -f "${log}"' EXIT
+
+# -a forces recompilation so the diagnostics are emitted even when the
+# build cache is warm; only the packages on the serving path matter.
+go build -a -gcflags=-m \
+    ./internal/serve ./internal/serve/loadgen ./internal/ceer \
+    ./internal/graph ./internal/gpu 2> "${log}" || {
+    echo "lint-escape: go build -gcflags=-m failed:" >&2
+    cat "${log}" >&2
+    exit 1
+}
+
+go run ./cmd/ceer-lint -escape-log "${log}"
