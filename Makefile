@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-predict bench-serve serve-smoke race lint lint-escape chaos check
+.PHONY: build test bench bench-predict bench-serve serve-smoke race lint lint-escape chaos chaos-serve check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ lint-escape:
 # the resulting model files (scripts/chaos.sh).
 chaos:
 	./scripts/chaos.sh
+
+# Live-daemon chaos suite: a chaosserve-tagged daemon survives kill -9
+# mid-calibration with byte-identical journal replay, boots over torn
+# journals, rejects corrupt reloads under load with zero 5xx, and
+# degrades/heals through injected panics (scripts/chaos-serve.sh).
+chaos-serve:
+	./scripts/chaos-serve.sh
 
 # The tier-1+ gate: gofmt + vet + build + full tests + module-wide
 # race pass + ceer-lint + escape cross-check + chaos determinism +

@@ -126,6 +126,18 @@ type (
 // the uncompiled System methods).
 var ErrNotCompiled = internal.ErrNotCompiled
 
+// Sentinel causes carried inside a PersistError (check with errors.Is)
+// so reload paths can report why a model file was rejected: a stale
+// on-disk format vs a device missing from this process's registry vs
+// plain corruption (neither sentinel matches).
+var (
+	// ErrUnsupportedVersion: the file declares a persist version this
+	// build does not understand.
+	ErrUnsupportedVersion = internal.ErrUnsupportedVersion
+	// ErrUnknownDevice: the file references an unregistered device ID.
+	ErrUnknownDevice = internal.ErrUnknownDevice
+)
+
 // LoadFaultSpec reads a JSON fault specification from a file.
 func LoadFaultSpec(path string) (*FaultSpec, error) { return faults.LoadSpec(path) }
 

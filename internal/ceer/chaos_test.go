@@ -19,6 +19,7 @@ import (
 	"ceer/internal/faults"
 	"ceer/internal/gpu"
 	"ceer/internal/trace"
+	"ceer/internal/trace/corrupt"
 	"ceer/internal/zoo"
 )
 
@@ -377,6 +378,49 @@ func TestCheckpointCorruption(t *testing.T) {
 	pl.CheckpointPath = headerless
 	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err == nil {
 		t.Error("a headerless journal must be rejected")
+	}
+}
+
+// TestCheckpointCorruptionShared drives the shared journal-corruption
+// table (internal/trace/corrupt) through the checkpoint reader: the
+// same mutations the observation-log reader pins, with the same
+// verdicts — a torn final line resumes from the intact prefix, damage
+// anywhere else rejects the journal.
+func TestCheckpointCorruptionShared(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "campaign.ckpt")
+	pl := chaosPolicy(11, 0)
+	pl.CheckpointPath = ckpt
+	if _, err := pl.Campaign(context.Background(), zoo.Build, campaignNames[:1]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corrupt.Cases() {
+		mutated := tc.Mutate(append([]byte{}, data...))
+		path := filepath.Join(dir, tc.Name+".ckpt")
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		run := pl
+		run.CheckpointPath = path
+		res, err := run.Campaign(context.Background(), zoo.Build, campaignNames[:1])
+		switch tc.Want {
+		case corrupt.WantAll, corrupt.WantTorn:
+			if err != nil {
+				t.Errorf("%s: must be tolerated, got %v", tc.Name, err)
+				continue
+			}
+			if res.Coverage.Resumed == 0 {
+				t.Errorf("%s: the intact prefix should still restore cells", tc.Name)
+			}
+		case corrupt.WantErr:
+			if err == nil {
+				t.Errorf("%s: corruption must reject the journal", tc.Name)
+			}
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package ceer
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -43,6 +44,18 @@ func supportedVersionList() string {
 	}
 	return strings.Join(parts, ", ")
 }
+
+// Sentinel causes inside a PersistError, for errors.Is classification
+// by reload paths that must report *why* a model file was rejected
+// (stale format vs unknown hardware vs plain corruption).
+var (
+	// ErrUnsupportedVersion: the file declares a version load does not
+	// understand.
+	ErrUnsupportedVersion = errors.New("unsupported predictor version")
+	// ErrUnknownDevice: the file references a device ID absent from
+	// the loading process's gpu registry.
+	ErrUnknownDevice = errors.New("unregistered device")
+)
 
 // PersistError is the typed failure of loading a serialized predictor:
 // it carries the source path (empty when loading from a stream) and
@@ -212,8 +225,8 @@ func load(r io.Reader, path string) (*Predictor, error) {
 		return fail(0, "decoding predictor: %w", err)
 	}
 	if !versionSupported(in.Version) {
-		return fail(in.Version, "unsupported predictor version %d (supported: %s)",
-			in.Version, supportedVersionList())
+		return fail(in.Version, "%w %d (supported: %s)",
+			ErrUnsupportedVersion, in.Version, supportedVersionList())
 	}
 	if in.LightMedian <= 0 || in.CPUMedian <= 0 {
 		return fail(in.Version, "serialized medians must be positive")
@@ -242,7 +255,7 @@ func load(r io.Reader, path string) (*Predictor, error) {
 	for _, om := range in.OpModels {
 		m := gpu.ID(om.Device)
 		if _, ok := gpu.Lookup(m); !ok {
-			return fail(in.Version, "op model references unregistered device %q", om.Device)
+			return fail(in.Version, "op model references %w %q", ErrUnknownDevice, om.Device)
 		}
 		if om.Model == nil {
 			return fail(in.Version, "op model %s/%s missing regression", om.Device, om.OpType)
@@ -271,7 +284,7 @@ func load(r io.Reader, path string) (*Predictor, error) {
 	for _, cm := range in.CommModels {
 		m := gpu.ID(cm.Device)
 		if _, ok := gpu.Lookup(m); !ok {
-			return fail(in.Version, "comm model references unregistered device %q", cm.Device)
+			return fail(in.Version, "comm model references %w %q", ErrUnknownDevice, cm.Device)
 		}
 		if cm.Model == nil || cm.K < 1 {
 			return fail(in.Version, "malformed comm model %s k=%d", cm.Device, cm.K)
@@ -284,7 +297,7 @@ func load(r io.Reader, path string) (*Predictor, error) {
 	for _, d := range in.Degraded {
 		m := gpu.ID(d.Device)
 		if _, ok := gpu.Lookup(m); !ok {
-			return fail(in.Version, "degraded entry references unregistered device %q", d.Device)
+			return fail(in.Version, "degraded entry references %w %q", ErrUnknownDevice, d.Device)
 		}
 		if d.Reason == "" {
 			return fail(in.Version, "degraded entry for %q lacks a reason", d.Device)

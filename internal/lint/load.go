@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -194,10 +195,42 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	l.parsed[dir] = files
 	return files, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any)
+// against the default build configuration — GOOS, GOARCH, and the
+// compiler, no extra tags — mirroring what `go build` without -tags
+// would compile. Tag-gated files (e.g. the chaosserve fault-injection
+// hooks) are excluded exactly as the compiler excludes them, so their
+// alternates don't collide during type-checking.
+func buildIncluded(f *ast.File) bool {
+	for _, group := range f.Comments {
+		if group.Pos() >= f.Package {
+			break
+		}
+		for _, c := range group.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint is the compiler's problem;
+				// include the file so its error surfaces normally.
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == runtime.Compiler
+			})
+		}
+	}
+	return true
 }
 
 // splitFiles partitions a directory's files into the package's own

@@ -1,0 +1,44 @@
+package hot
+
+// The serving daemon's recover() wrapper pattern: the recovery guard
+// is deferred as a DIRECT method call, which the compiler open-codes —
+// no closure, nothing to allocate on the success path. Deferring a
+// function literal instead would allocate the closure on every
+// request, panic or not.
+
+// onPanic is the recovery boundary. Its body only runs after a panic —
+// off the success path — so its append-rendered error body is a vetted
+// boundary, like render above.
+//
+//hot:exempt recovery boundary: renders the failure body only after a panic, off the success path
+func (c *core) onPanic() {
+	if r := recover(); r != nil {
+		c.hits.Add(1)
+		c.buf = append(c.buf[:0], "panic"...)
+	}
+}
+
+// recoverDirect is the sanctioned shape: a directly deferred method
+// call, open-coded by the compiler.
+//
+//hot:path
+func (c *core) recoverDirect(idx []int) float64 {
+	defer c.onPanic()
+	var sum float64
+	for _, i := range idx {
+		sum += c.vals[i]
+	}
+	return sum
+}
+
+// recoverClosure pays for a closure on every call — the shape the
+// daemon must avoid.
+//
+//hot:path
+func (c *core) recoverClosure() {
+	defer func() { // want `function literal allocates a closure`
+		if recover() != nil {
+			c.hits.Add(1)
+		}
+	}()
+}

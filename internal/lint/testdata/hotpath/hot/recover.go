@@ -1,0 +1,38 @@
+package hot
+
+// The daemon's panic-recovery wrapper: the marked request path defers
+// a DIRECT call to an unmarked guard method, so the guard's
+// append-heavy failure rendering stays outside the marked set (it only
+// runs after a panic). Inlining the guard as a deferred closure drags
+// that rendering INTO the marked set — nested literals inherit the
+// marking — and the analyzer rejects it.
+
+// recoverGuard is deliberately unmarked: it renders the failure body
+// after a panic, off the hot path.
+func (d *daemon) recoverGuard(ep int) {
+	if r := recover(); r != nil {
+		d.counters[ep].Add(1)
+		d.buf = append(d.buf[:0], "panic"...)
+	}
+}
+
+// cleanRecover is the sanctioned shape: deferred direct method call.
+//
+//hot:path
+func (d *daemon) cleanRecover(ep int) {
+	defer d.recoverGuard(ep)
+	d.counters[ep].Add(1)
+}
+
+// badRecoverClosure inlines the guard as a literal, pulling its
+// rendering onto the marked path.
+//
+//hot:path
+func (d *daemon) badRecoverClosure(ep int) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.buf = append(d.buf[:0], "panic"...) // want `append in //hot:path function badRecoverClosure`
+		}
+	}()
+	d.counters[ep].Add(1)
+}

@@ -1,0 +1,40 @@
+package pool
+
+// The serving daemon's recover() wrapper pattern: a deferred guard
+// method recovers handler panics, and the pooled scratch is returned
+// by its own deferred Put — armed after the guard, so LIFO unwinding
+// runs the Put before the guard's recover and no panic path leaks the
+// value. The guard itself contains no Get/Put, so it is
+// lifecycle-neutral to this analyzer.
+
+type guarded struct{ panics int }
+
+// recoverGuard is the deferred recovery boundary.
+func (g *guarded) recoverGuard() {
+	if r := recover(); r != nil {
+		g.panics++
+	}
+}
+
+// recoverClean is the sanctioned handler shape: guard deferred first,
+// Put deferred second, so every exit — normal return or unwinding — is
+// covered.
+func (g *guarded) recoverClean() int {
+	defer g.recoverGuard()
+	b := scratch.Get().(*buf)
+	defer scratch.Put(b)
+	return len(b.b)
+}
+
+// recoverLeaky proves the guard does not count as a Put: with only the
+// explicit Put on the fallthrough path, the early return leaks the
+// value no matter what the deferred guard does.
+func (g *guarded) recoverLeaky(cond bool) int {
+	defer g.recoverGuard()
+	b := scratch.Get().(*buf)
+	if cond {
+		return 0 // want `pool-derived b is not Put on this return path`
+	}
+	scratch.Put(b)
+	return 1
+}

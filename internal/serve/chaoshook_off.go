@@ -1,0 +1,19 @@
+//go:build !chaosserve
+
+package serve
+
+// chaosQueryParam is the production arm of the chaos-injection hook:
+// the chaos parameter does not exist, so parse reports it unknown (400)
+// like any other stray key. The chaosserve build tag swaps this file
+// for chaoshook_on.go.
+//
+//hot:path
+func chaosQueryParam(q *query, key, val string) bool {
+	return false
+}
+
+// chaosMaybePanic is a no-op in production builds; the compiler erases
+// the call.
+//
+//hot:path
+func chaosMaybePanic(q *query) {}

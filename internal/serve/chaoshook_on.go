@@ -1,0 +1,33 @@
+//go:build chaosserve
+
+package serve
+
+// This file exists only under the chaosserve build tag: the chaos
+// suite (scripts/chaos-serve.sh) builds the daemon with -tags chaosserve
+// and injects real handler panics over HTTP via `chaos=panic`, proving
+// the recover() boundary, the 500 accounting, and the breaker's
+// degraded→healthy cycle on a live process. Production binaries never
+// contain this code path — without the tag, chaos is an unknown
+// parameter.
+
+// chaosQueryParam accepts `chaos=panic` and arms the injected panic for
+// this request.
+func chaosQueryParam(q *query, key, val string) bool {
+	if key != "chaos" {
+		return false
+	}
+	if val != "panic" {
+		return false
+	}
+	q.chaosPanic = true
+	return true
+}
+
+// chaosMaybePanic fires the armed panic mid-handler — after the arena
+// scratch is checked out, so the chaos suite also proves panics do not
+// leak scratches.
+func chaosMaybePanic(q *query) {
+	if q.chaosPanic {
+		panic("chaosserve: injected handler panic")
+	}
+}

@@ -1,0 +1,42 @@
+//go:build chaosserve
+
+package serve
+
+// Run with: go test -tags chaosserve ./internal/serve -run TestChaosServe
+// (scripts/chaos-serve.sh builds the daemon with the same tag and
+// drives the identical injection over real HTTP).
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestChaosServeInjectedPanic: under the chaosserve tag, `chaos=panic`
+// fires a real panic mid-handler — after the arena scratch is checked
+// out — and the request must come back as a structured 500 while
+// subsequent requests still produce byte-identical predictions (no
+// leaked or corrupted scratch).
+func TestChaosServeInjectedPanic(t *testing.T) {
+	s := newTestServer(t, Options{PanicThreshold: 1 << 30})
+	_, want := s.DoLocal(http.MethodGet, "/v1/predict", "model=resnet-50")
+
+	for i := 0; i < 32; i++ {
+		status, body := s.DoLocal(http.MethodGet, "/v1/predict", "model=resnet-50&chaos=panic")
+		if status != http.StatusInternalServerError || !strings.Contains(string(body), "panic") {
+			t.Fatalf("injected panic %d: status %d, body %s (want 500 mentioning panic)", i, status, body)
+		}
+		if _, got := s.DoLocal(http.MethodGet, "/v1/predict", "model=resnet-50"); !bytes.Equal(got, want) {
+			t.Fatalf("prediction changed after %d injected panics", i+1)
+		}
+	}
+	if got := s.met.srv.panics.Load(); got != 32 {
+		t.Errorf("panics = %d, want 32", got)
+	}
+
+	// Non-panic chaos values are rejected like any unknown parameter.
+	if status, _ := s.DoLocal(http.MethodGet, "/v1/predict", "model=resnet-50&chaos=nope"); status != http.StatusBadRequest {
+		t.Errorf("chaos=nope: status %d, want 400", status)
+	}
+}

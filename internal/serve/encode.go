@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 
 	"ceer"
@@ -236,18 +237,15 @@ func (s *Server) renderRecommend(sc *scratch, me *modelEntry, cands []ceer.Insta
 	return http.StatusOK, ""
 }
 
-// renderHealthz fills sc.buf with the /healthz document.
+// renderHealthz fills sc.buf with the /healthz document; status is the
+// health state machine value at now.
 //
 //hot:exempt amortized append encoding into arena scratch; pinned by the healthz bench gate
-func (s *Server) renderHealthz(sc *scratch) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
-	}
+func (s *Server) renderHealthz(sc *scratch, now int64) {
 	b := sc.buf[:0]
 	b = append(b, '{')
 	b = appendKey(b, true, "status")
-	b = appendJSONString(b, status)
+	b = appendJSONString(b, s.healthState(now))
 	b = appendKey(b, false, "generation")
 	b = appendJSONInt(b, int64(s.gen.Load()))
 	b = appendKey(b, false, "models")
@@ -258,6 +256,12 @@ func (s *Server) renderHealthz(sc *scratch) {
 	b = appendJSONInt(b, s.batch)
 	b = appendKey(b, false, "max_k")
 	b = appendJSONInt(b, int64(s.maxK))
+	b = appendKey(b, false, "panics")
+	b = appendJSONInt(b, int64(s.met.srv.panics.Load()))
+	b = appendKey(b, false, "reload_rejected")
+	b = appendJSONInt(b, int64(s.met.srv.reloadRejected.Load()))
+	b = appendKey(b, false, "drifted_cells")
+	b = appendJSONInt(b, s.met.srv.driftedCells.Load())
 	b = append(b, '}', '\n')
 	sc.buf = b
 }
@@ -335,23 +339,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, start int64) {
 	snap := MetricsSnapshot{
 		UptimeSeconds: float64(s.clock.Nanos()-s.startNs) / 1e9,
 		Generation:    s.gen.Load(),
+		State:         s.healthState(start),
 		Draining:      s.draining.Load(),
+		Server:        s.met.srv.snapshot(),
 		Endpoints:     s.met.snapshot(),
+	}
+	if c := s.lastReloadCause.Load(); c != nil {
+		snap.Server.LastReloadCause = *c
 	}
 	s.replyJSON(w, epMetrics, http.StatusOK, snap, start)
 }
 
-// handleReload is POST /admin/reload: re-read the model file and swap.
+// handleReload is POST /admin/reload: re-read the model file, validate,
+// and swap — or reject. A rejected swap is 422 with the typed cause (the
+// daemon is healthy and still serving the old generation; the *file* is
+// unprocessable); a daemon with no model path at all is 409.
 //
 //hot:exempt cold admin endpoint; reload allocates a whole new generation by design
 func (s *Server) handleReload(w http.ResponseWriter, start int64) {
 	gen, err := s.Reload()
 	if err != nil {
-		status := http.StatusInternalServerError
-		if s.opts.ModelPath == "" {
-			status = http.StatusConflict
+		var re *ReloadError
+		if errors.As(err, &re) {
+			s.replyJSON(w, epAdmin, http.StatusUnprocessableEntity, ReloadResponse{
+				Status:     "rejected",
+				Generation: s.gen.Load(),
+				Cause:      re.Cause,
+				Error:      re.Err.Error(),
+			}, start)
+			return
 		}
-		s.respondError(w, epAdmin, status, err.Error(), start)
+		s.respondError(w, epAdmin, http.StatusConflict, err.Error(), start)
 		return
 	}
 	s.replyJSON(w, epAdmin, http.StatusOK, ReloadResponse{Status: "reloaded", Generation: gen}, start)

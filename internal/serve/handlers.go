@@ -20,6 +20,8 @@ func endpointOf(path string) int {
 		return epRecommend
 	case "/v1/explain":
 		return epExplain
+	case "/v1/observe":
+		return epObserve
 	case "/healthz":
 		return epHealthz
 	case "/metrics":
@@ -41,6 +43,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	//lint:ignore allocfree Clock is an interface for virtual-time tests; both implementations (monotonic wrapper, test clock) are allocation-free
 	start := s.clock.Nanos()
 	ep := endpointOf(r.URL.Path)
+	// Panic isolation boundary: a directly deferred method call (no
+	// closure), so a panicking handler becomes a structured 500 and a
+	// breaker event instead of killing the daemon. Handlers return
+	// their arena scratches with their own, later defers, which unwind
+	// first — a panic never leaks a scratch.
+	defer s.recoverPanic(w, ep, start)
 	switch ep {
 	case epOther:
 		s.respondError(w, ep, http.StatusNotFound, "unknown path", start)
@@ -71,8 +79,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleReload(w, start)
 		return
 	}
-	// /v1/* from here on.
-	if r.Method != http.MethodGet {
+	// /v1/* from here on. Observe ingests a body; the read-only
+	// endpoints stay GET-only.
+	if ep == epObserve {
+		if r.Method != http.MethodPost {
+			s.respondError(w, ep, http.StatusMethodNotAllowed, "POST only", start)
+			return
+		}
+	} else if r.Method != http.MethodGet {
 		s.respondError(w, ep, http.StatusMethodNotAllowed, "GET only", start)
 		return
 	}
@@ -107,6 +121,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleRecommend(w, r, start)
 	case epExplain:
 		s.handleExplain(w, r, start)
+	case epObserve:
+		s.handleObserve(w, r, start)
 	}
 }
 
@@ -128,6 +144,11 @@ type query struct {
 
 	hourlyBudget float64
 	totalBudget  float64
+
+	// chaosPanic is set only by chaosserve-tagged builds (the chaos
+	// suite's live panic injection); production parse rejects the
+	// parameter and nothing else writes the field.
+	chaosPanic bool
 }
 
 // reset restores a query to the server's defaults.
@@ -143,6 +164,7 @@ func (q *query) reset(s *Server) *query {
 	q.market = false
 	q.hasHourly, q.hasTotal = false, false
 	q.hourlyBudget, q.totalBudget = 0, 0
+	q.chaosPanic = false
 	return q
 }
 
@@ -230,7 +252,9 @@ func (q *query) parse(raw string, maxK int) string {
 			}
 			q.hasTotal = true
 		default:
-			return "unknown parameter"
+			if !chaosQueryParam(q, key, val) {
+				return "unknown parameter"
+			}
 		}
 	}
 	return ""
@@ -313,6 +337,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, start int
 		s.respondError(w, epPredict, http.StatusNotFound, "unknown model", start)
 		return
 	}
+	chaosMaybePanic(&sc.q)
 	cands := s.candsByK[sc.q.maxk]
 	metas := s.metaByK[sc.q.maxk]
 	if sc.q.config != "" {
@@ -361,6 +386,6 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request, start i
 func (s *Server) handleHealthz(w http.ResponseWriter, start int64) {
 	sc := s.arena.get()
 	defer s.arena.put(sc)
-	s.renderHealthz(sc)
+	s.renderHealthz(sc, start)
 	s.reply(w, epHealthz, http.StatusOK, sc.buf, start)
 }

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Health states. /healthz is a real state machine, not a boolean:
+//
+//	starting  — New is still building tables / replaying the journal
+//	healthy   — serving; calibration (when enabled) accepted
+//	degraded  — the panic breaker tripped: /v1/* keeps serving on the
+//	            last good tables, but calibration work is shed (503 on
+//	            /v1/observe) until RecoveryWindow passes panic-free
+//	draining  — Shutdown has begun; in-flight requests finish
+//
+// Degradation is driven by the breaker; drift and reload health are
+// surfaced alongside (drifted_cells, reload_rejected) but self-heal
+// through refits and rollback instead of changing the serving state.
+const (
+	stateStarting = "starting"
+	stateHealthy  = "healthy"
+	stateDegraded = "degraded"
+	stateDraining = "draining"
+)
+
+// panicBreaker trips into the degraded state after threshold recovered
+// panics inside a sliding window, and un-trips once recoveryNs elapse
+// panic-free. All state is atomic — record runs on the (exceptional)
+// request path and must not lock against readers.
+type panicBreaker struct {
+	threshold int64
+	windowNs  int64
+	recoverNs int64
+
+	// recent is the count of panics since the window anchor; anchorNs
+	// the window's start. lastNs is the most recent panic; tripped the
+	// breaker state.
+	recent   atomic.Int64
+	anchorNs atomic.Int64
+	lastNs   atomic.Int64
+	tripped  atomic.Bool
+
+	// trips counts entries into the degraded state (metrics).
+	trips atomic.Uint64
+}
+
+// newPanicBreaker applies the documented defaults (3 panics / 10s
+// window, 30s recovery).
+func newPanicBreaker(threshold int, window, recovery time.Duration) *panicBreaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	if recovery <= 0 {
+		recovery = 30 * time.Second
+	}
+	return &panicBreaker{
+		threshold: int64(threshold),
+		windowNs:  window.Nanoseconds(),
+		recoverNs: recovery.Nanoseconds(),
+	}
+}
+
+// record notes one recovered panic at now and trips the breaker when
+// the window fills. Returns true when this record tripped it.
+func (b *panicBreaker) record(now int64) bool {
+	b.lastNs.Store(now)
+	anchor := b.anchorNs.Load()
+	if anchor == 0 || now-anchor > b.windowNs {
+		// New window: this panic is its first event.
+		b.anchorNs.Store(now)
+		b.recent.Store(1)
+		return false
+	}
+	if b.recent.Add(1) < b.threshold {
+		return false
+	}
+	if b.tripped.CompareAndSwap(false, true) {
+		b.trips.Add(1)
+		return true
+	}
+	return false
+}
+
+// degraded reports (and lazily clears) the breaker state: tripped, and
+// the recovery window has not yet elapsed since the last panic.
+func (b *panicBreaker) degraded(now int64) bool {
+	if !b.tripped.Load() {
+		return false
+	}
+	if now-b.lastNs.Load() >= b.recoverNs {
+		// Recovered: enough panic-free time passed.
+		if b.tripped.CompareAndSwap(true, false) {
+			b.recent.Store(0)
+			b.anchorNs.Store(0)
+		}
+		return false
+	}
+	return true
+}
+
+// healthState derives the /healthz state machine value at now.
+//
+//hot:path
+func (s *Server) healthState(now int64) string {
+	if s.draining.Load() {
+		return stateDraining
+	}
+	if !s.ready.Load() {
+		return stateStarting
+	}
+	if s.breaker.degraded(now) {
+		return stateDegraded
+	}
+	return stateHealthy
+}
+
+// recoverPanic is the per-request panic isolation boundary, installed
+// with `defer s.recoverPanic(w, ep, start)` at the top of ServeHTTP —
+// a directly deferred method call, so it costs no closure on the hot
+// path and recover() observes the handler's panic. Handlers return
+// their arena scratches with their own defers, which run before this
+// one during unwinding, so a panic never leaks a scratch (the poolpair
+// fixtures pin the pattern). The panic becomes a structured 500, feeds
+// the breaker, and — past the threshold — degrades the daemon instead
+// of killing it.
+//
+//hot:exempt panic path; runs only while unwinding a handler panic, never in steady state
+func (s *Server) recoverPanic(w http.ResponseWriter, ep int, start int64) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	s.met.srv.panics.Add(1)
+	now := s.clock.Nanos()
+	if s.breaker.record(now) {
+		s.met.srv.degradedEntries.Add(1)
+	}
+	// The daemon log gets the stack; the client a structured 500.
+	_, _ = fmt.Fprintf(os.Stderr, "ceer serve: panic in %s handler recovered: %v\n%s",
+		endpointNames[ep], p, debug.Stack())
+	s.respondError(w, ep, http.StatusInternalServerError, "internal error: handler panic recovered", start)
+}

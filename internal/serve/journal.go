@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ceer/internal/trace"
+)
+
+// Fsync policies for the observation journal.
+const (
+	// FsyncAlways fsyncs after every appended observation: a kill -9
+	// at any instant loses at most the torn final line — and that
+	// observation was never acknowledged, so replay is exact.
+	FsyncAlways = "always"
+	// FsyncNever leaves flushing to the OS: faster ingestion, and a
+	// hard crash may lose the tail of *acknowledged* observations
+	// (replay still recovers a consistent prefix).
+	FsyncNever = "never"
+)
+
+// obsJournal is the calibration loop's write-ahead log: every accepted
+// observation is encoded, flushed, and (policy permitting) fsynced
+// BEFORE its rank-1 update applies, so the on-disk journal is always
+// at or ahead of the in-memory state and a restart replays to
+// byte-identical predictor state. The format is the plain JSONL
+// observation log (trace.ObsWriter) — `ceer calibrate -obs` reads it
+// directly — and the reader tolerates a torn final line exactly like
+// the campaign checkpoint.
+type obsJournal struct {
+	f    *os.File
+	w    *trace.ObsWriter
+	sync bool
+
+	// appended counts observations written by this process; replayed /
+	// tornLine describe what the existing file contributed at open.
+	appended int
+	replayed int
+	tornLine int
+}
+
+// openObsJournal opens (creating if absent) the journal at path,
+// replays any existing observations through apply, and leaves the file
+// positioned for appending. A torn final line is tolerated and
+// recorded; corruption anywhere else fails the open — a damaged
+// journal must not silently shrink the calibration state.
+func openObsJournal(path, fsync string, apply func(trace.Obs) error) (*obsJournal, error) {
+	switch fsync {
+	case "", FsyncAlways, FsyncNever:
+	default:
+		return nil, fmt.Errorf("serve: unknown fsync policy %q (want %q or %q)", fsync, FsyncAlways, FsyncNever)
+	}
+	j := &obsJournal{sync: fsync != FsyncNever}
+
+	rf, err := os.Open(path)
+	switch {
+	case err == nil:
+		or := trace.NewObsReader(rf)
+		for {
+			o, rerr := or.Read()
+			if rerr == io.EOF {
+				j.tornLine = or.Torn()
+				break
+			}
+			if rerr != nil {
+				_ = rf.Close() // read side; nothing buffered to lose
+				return nil, fmt.Errorf("serve: replaying observation journal %s: %w", path, rerr)
+			}
+			if aerr := apply(o); aerr != nil {
+				_ = rf.Close() // read side; nothing buffered to lose
+				return nil, fmt.Errorf("serve: replaying observation journal %s line %d: %w", path, or.Line(), aerr)
+			}
+			j.replayed++
+		}
+		if cerr := rf.Close(); cerr != nil {
+			return nil, cerr
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh journal.
+	default:
+		return nil, fmt.Errorf("serve: opening observation journal %s: %w", path, err)
+	}
+
+	if j.tornLine > 0 {
+		// Cut the torn fragment before appending: a new record written
+		// after an unterminated tail would concatenate into one corrupt
+		// line and poison the *next* replay.
+		if err := truncateToLine(path, j.tornLine); err != nil {
+			return nil, fmt.Errorf("serve: trimming torn journal tail %s: %w", path, err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening observation journal %s for append: %w", path, err)
+	}
+	j.f = f
+	j.w = trace.NewObsWriter(f)
+	return j, nil
+}
+
+// truncateToLine truncates the file so only physical lines before the
+// 1-based line number remain.
+func truncateToLine(path string, line int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for i := 1; i < line; i++ {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			off = len(data)
+			break
+		}
+		off += nl + 1
+	}
+	return os.Truncate(path, int64(off))
+}
+
+// append writes one observation through to disk (write-ahead: callers
+// apply the update only after this returns nil).
+func (j *obsJournal) append(o trace.Obs) error {
+	if err := j.w.Write(o); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("serve: flushing observation journal: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("serve: fsyncing observation journal: %w", err)
+		}
+	}
+	j.appended++
+	return nil
+}
+
+// close flushes and closes the journal file.
+func (j *obsJournal) close() error {
+	if err := j.w.Flush(); err != nil {
+		_ = j.f.Close() // flush already failed; surface that error
+		return err
+	}
+	return j.f.Close()
+}

@@ -53,6 +53,15 @@ type Spec struct {
 	// MarketShare is the fraction of ops priced at market ratios
 	// (default 0.2).
 	MarketShare float64
+	// ChaosPanicShare is the fraction of predict ops carrying
+	// `chaos=panic` — the chaos suite's deterministic fault schedule
+	// against a daemon built with -tags chaosserve (production builds
+	// answer 400 "unknown parameter"). The chaos draws come from their
+	// own derived sub-stream, so turning the schedule on or off leaves
+	// every other field of every op unchanged, and which ops are faulted
+	// is a pure function of (Seed, index) — worker-count invariant like
+	// everything else.
+	ChaosPanicShare float64
 }
 
 // streamSalt labels the loadgen's derivation domain so its streams are
@@ -75,6 +84,10 @@ func Generate(spec Spec) []Op {
 		marketShare = 0.2
 	}
 	root := rng.New(spec.Seed).Derive(streamSalt)
+	// The fault schedule derives from its own sub-stream (streamSalt+2;
+	// +1 is the Poisson arrival stream) so it never perturbs the op
+	// draws above.
+	chaosRoot := rng.New(spec.Seed).Derive(streamSalt + 2)
 	ops := make([]Op, spec.Requests)
 	for i := range ops {
 		r := root.Derive(uint64(i))
@@ -86,6 +99,9 @@ func Generate(spec Spec) []Op {
 		if r.Float64() < predictShare {
 			if len(spec.Configs) > 0 && r.Float64() < 0.5 {
 				q += "&config=" + spec.Configs[r.Intn(len(spec.Configs))]
+			}
+			if spec.ChaosPanicShare > 0 && chaosRoot.Derive(uint64(i)).Float64() < spec.ChaosPanicShare {
+				q += "&chaos=panic"
 			}
 			ops[i] = Op{Method: http.MethodGet, Path: "/v1/predict", RawQuery: q}
 		} else {

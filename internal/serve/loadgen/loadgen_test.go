@@ -157,6 +157,41 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// TestChaosScheduleIndependentStream: the fault schedule must be a
+// pure function of (Seed, index) on its own derived sub-stream —
+// enabling it marks a deterministic subset of predict ops and leaves
+// every other field of every op exactly as the fault-free stream had
+// it.
+func TestChaosScheduleIndependentStream(t *testing.T) {
+	plain := Generate(testSpec)
+	chaos := testSpec
+	chaos.ChaosPanicShare = 0.3
+	a, b := Generate(chaos), Generate(chaos)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Generate calls with the same chaos spec diverge")
+	}
+	faulted := 0
+	for i, op := range a {
+		stripped := op
+		stripped.RawQuery = strings.TrimSuffix(op.RawQuery, "&chaos=panic")
+		if stripped.RawQuery != op.RawQuery {
+			faulted++
+			if op.Path != "/v1/predict" {
+				t.Fatalf("op %d: chaos=panic on %s; only predicts are faulted", i, op.Path)
+			}
+		}
+		if !reflect.DeepEqual(stripped, plain[i]) {
+			t.Fatalf("op %d changed beyond the chaos marker:\n chaos: %+v\n plain: %+v", i, op, plain[i])
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("ChaosPanicShare=0.3 faulted no ops")
+	}
+	if faulted == len(a) {
+		t.Fatal("every op faulted; want a fraction")
+	}
+}
+
 func TestShedCount(t *testing.T) {
 	r := &Result{Outcomes: []Outcome{{Status: 200}, {Status: 429}, {Status: 429}, {Status: 503}}}
 	if n := r.Shed(); n != 2 {

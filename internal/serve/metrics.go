@@ -13,6 +13,7 @@ const (
 	epPredict = iota
 	epRecommend
 	epExplain
+	epObserve
 	epHealthz
 	epMetrics
 	epAdmin
@@ -21,7 +22,7 @@ const (
 )
 
 var endpointNames = [numEndpoints]string{
-	"predict", "recommend", "explain", "healthz", "metrics", "admin", "other",
+	"predict", "recommend", "explain", "observe", "healthz", "metrics", "admin", "other",
 }
 
 // numBuckets is the latency histogram depth: bucket i counts requests
@@ -45,10 +46,27 @@ type epCounters struct {
 	buckets      [numBuckets]atomic.Uint64
 }
 
+// srvCounters are daemon-lifetime counters (panic isolation, reload
+// validation, calibration). Unlike the per-endpoint blocks they survive
+// the end-of-warmup reset — a panic during warmup is still a panic.
+type srvCounters struct {
+	panics             atomic.Uint64 // handler panics recovered (each one a 500)
+	degradedEntries    atomic.Uint64 // breaker trips into the degraded state
+	reloads            atomic.Uint64 // accepted model-file reloads
+	reloadRejected     atomic.Uint64 // model-file reloads rejected by validation
+	calibObs           atomic.Uint64 // observations journaled and applied
+	calibShed          atomic.Uint64 // observations shed while degraded
+	calibDropped       atomic.Uint64 // malformed/failed tail-mode lines dropped
+	calibSwaps         atomic.Uint64 // calibration refits installed as serving tables
+	calibSwapsRejected atomic.Uint64 // refits rejected by the golden probe
+	driftedCells       atomic.Int64  // gauge: cells currently flagged drifted
+}
+
 // metrics is the daemon's whole metric state: a fixed array of endpoint
-// counter blocks.
+// counter blocks plus the server-lifetime block.
 type metrics struct {
 	eps [numEndpoints]epCounters
+	srv srvCounters
 }
 
 // bucketIndex maps a latency to its power-of-two histogram bucket.
@@ -131,12 +149,47 @@ type EndpointSnapshot struct {
 	Buckets      []LatencyBucket `json:"latency_buckets,omitempty"`
 }
 
+// ServerSnapshot is the JSON form of the daemon-lifetime counters.
+type ServerSnapshot struct {
+	Panics             uint64 `json:"panics"`
+	DegradedEntries    uint64 `json:"degraded_entries"`
+	Reloads            uint64 `json:"reloads"`
+	ReloadRejected     uint64 `json:"reload_rejected"`
+	LastReloadCause    string `json:"last_reload_cause,omitempty"`
+	CalibObs           uint64 `json:"calib_obs"`
+	CalibShed          uint64 `json:"calib_shed"`
+	CalibDropped       uint64 `json:"calib_dropped"`
+	CalibSwaps         uint64 `json:"calib_swaps"`
+	CalibSwapsRejected uint64 `json:"calib_swaps_rejected"`
+	DriftedCells       int64  `json:"drifted_cells"`
+}
+
 // MetricsSnapshot is the /metrics response document.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_s"`
 	Generation    uint64                      `json:"generation"`
+	State         string                      `json:"state"`
 	Draining      bool                        `json:"draining"`
+	Server        ServerSnapshot              `json:"server"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot copies the server-lifetime counters into their JSON form
+// (LastReloadCause is filled by the caller, which owns the atomic
+// pointer).
+func (c *srvCounters) snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		Panics:             c.panics.Load(),
+		DegradedEntries:    c.degradedEntries.Load(),
+		Reloads:            c.reloads.Load(),
+		ReloadRejected:     c.reloadRejected.Load(),
+		CalibObs:           c.calibObs.Load(),
+		CalibShed:          c.calibShed.Load(),
+		CalibDropped:       c.calibDropped.Load(),
+		CalibSwaps:         c.calibSwaps.Load(),
+		CalibSwapsRejected: c.calibSwapsRejected.Load(),
+		DriftedCells:       c.driftedCells.Load(),
+	}
 }
 
 // snapshot copies the counters into their JSON form. Quantiles are

@@ -69,13 +69,22 @@ type RecommendResponse struct {
 
 // HealthzResponse is the /healthz document.
 type HealthzResponse struct {
-	// Status is "ok", or "draining" once Shutdown has begun.
+	// Status is the health state machine value: "starting" while New
+	// builds tables and replays the journal, "healthy" when serving,
+	// "degraded" while the panic breaker is tripped (still serving;
+	// calibration shed), "draining" once Shutdown has begun.
 	Status     string `json:"status"`
 	Generation uint64 `json:"generation"`
 	Models     int    `json:"models"`
 	Devices    int    `json:"devices"`
 	Batch      int64  `json:"batch"`
 	MaxK       int    `json:"max_k"`
+	// Panics counts recovered handler panics; ReloadRejected rejected
+	// model swaps; DriftedCells the calibrator cells currently flagged
+	// drifted (0 without calibration).
+	Panics         uint64 `json:"panics"`
+	ReloadRejected uint64 `json:"reload_rejected"`
+	DriftedCells   int64  `json:"drifted_cells"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -108,8 +117,31 @@ type ExplainResponse struct {
 	Contributions []ContributionJSON `json:"contributions"`
 }
 
-// ReloadResponse is the /admin/reload document.
+// ReloadResponse is the /admin/reload document. Status is "reloaded"
+// (200) or "rejected" (422); a rejection carries the typed cause
+// ("load", "version", "registry", "compile", "probe") and the
+// underlying error, and Generation is the still-serving old generation.
 type ReloadResponse struct {
 	Status     string `json:"status"`
 	Generation uint64 `json:"generation"`
+	Cause      string `json:"cause,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// ObserveResponse is the POST /v1/observe document: what this batch of
+// observations did to the calibrator.
+type ObserveResponse struct {
+	Status string `json:"status"`
+	// Accepted observations were journaled and folded in; Applied of
+	// those updated a trained cell, Skipped matched nothing trainable.
+	Accepted int `json:"accepted"`
+	Applied  int `json:"applied"`
+	Skipped  int `json:"skipped"`
+	// Refits counts refit rounds this batch triggered; Generation is
+	// the serving generation after any validated swap.
+	Refits     int    `json:"refits"`
+	Generation uint64 `json:"generation"`
+	// Journaled reports whether a write-ahead journal is persisting the
+	// stream.
+	Journaled bool `json:"journaled"`
 }

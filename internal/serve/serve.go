@@ -15,9 +15,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
-	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/url"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"ceer"
+	"ceer/internal/retry"
 )
 
 // Options configures a Server. The zero value serves the default zoo
@@ -59,6 +61,27 @@ type Options struct {
 	Warmup bool
 	// Clock overrides the time source (tests; nil = monotonic clock).
 	Clock Clock
+
+	// Calibration enables the in-daemon observe→predict→calibrate loop
+	// behind POST /v1/observe (nil = endpoint answers 404). See
+	// CalibrationOptions for the crash-safety contract.
+	Calibration *CalibrationOptions
+
+	// ReloadTolerance bounds the golden-probe divergence a reload (or
+	// calibration refit) may introduce: every probe prediction of the
+	// incoming tables must be finite, positive, and within this
+	// relative fraction of the outgoing tables' value (0 = 0.5). Swaps
+	// outside tolerance are rejected; the old generation keeps serving.
+	ReloadTolerance float64
+
+	// PanicThreshold trips the breaker into the degraded state after
+	// this many recovered handler panics within PanicWindow (0 = 3).
+	PanicThreshold int
+	// PanicWindow is the breaker's sliding window (0 = 10s).
+	PanicWindow time.Duration
+	// RecoveryWindow is how long after the last recovered panic the
+	// breaker un-trips back to healthy (0 = 30s).
+	RecoveryWindow time.Duration
 }
 
 // modelEntry pairs a zoo model with its cached graph. Entries live in a
@@ -109,10 +132,26 @@ type Server struct {
 	maxInfl  int64
 	inflight atomic.Int64
 	draining atomic.Bool
+	ready    atomic.Bool
+
+	// breaker is the panic circuit breaker behind the health state
+	// machine; tol bounds golden-probe divergence on swaps.
+	breaker *panicBreaker
+	tol     float64
+
+	// calib is the in-daemon calibration loop (nil when disabled).
+	calib *calibLoop
 
 	reloadMu sync.Mutex
 	httpSrv  *http.Server
 	startNs  int64
+	// reloadRetry absorbs mid-write model files: load attempts whose
+	// JSON never decoded (PersistError.Version == 0) retry with
+	// backoff before the reload is rejected.
+	reloadRetry retry.Policy
+	// lastReloadCause names the most recent rejected swap's typed
+	// cause ("" after a success); surfaced by /metrics.
+	lastReloadCause atomic.Pointer[string]
 
 	// afterAdmit is a test hook invoked after admission, before the
 	// endpoint handler (drain and race tests park requests here).
@@ -188,9 +227,29 @@ func New(sys *ceer.System, opts Options) (*Server, error) {
 	}
 	s.maxInfl = int64(opts.MaxInFlight)
 
+	s.tol = opts.ReloadTolerance
+	if s.tol <= 0 {
+		s.tol = 0.5
+	}
+	s.breaker = newPanicBreaker(opts.PanicThreshold, opts.PanicWindow, opts.RecoveryWindow)
+	s.reloadRetry = retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Multiplier:  2,
+		Classify:    classifyReloadFault,
+	}
+
+	if opts.Calibration != nil {
+		if err := s.initCalibration(sys, opts.Calibration); err != nil {
+			return nil, err
+		}
+	}
+
 	if opts.Warmup {
 		s.warmup()
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -214,27 +273,6 @@ func (s *Server) Install(comp *ceer.CompiledSystem) uint64 {
 	return s.gen.Add(1)
 }
 
-// Reload re-reads Options.ModelPath, recompiles the zoo tables, and
-// atomically swaps them in. Concurrent Reloads serialize; requests are
-// never blocked. Returns the new generation.
-func (s *Server) Reload() (uint64, error) {
-	if s.opts.ModelPath == "" {
-		return 0, errors.New("serve: no model path configured (start with -models to enable reload)")
-	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	sys, err := ceer.LoadFile(s.opts.ModelPath)
-	if err != nil {
-		return 0, fmt.Errorf("serve: reload: %w", err)
-	}
-	comp, err := sys.Compiled(s.batch)
-	if err != nil {
-		return 0, fmt.Errorf("serve: reload: compiling: %w", err)
-	}
-	s.sys.Store(sys)
-	return s.Install(comp), nil
-}
-
 // Serve accepts connections on ln until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown.
 func (s *Server) Serve(ln net.Listener) error {
@@ -245,20 +283,52 @@ func (s *Server) Serve(ln net.Listener) error {
 	return srv.Serve(ln)
 }
 
+// DrainError reports a drain that hit its deadline with requests still
+// in flight. The listener is force-closed before it is returned — the
+// daemon does not hang on a stuck request — and the straggler count is
+// carried for the operator log.
+type DrainError struct {
+	// InFlight is the number of requests still running at the deadline.
+	InFlight int64
+	// Err is the context error that ended the wait.
+	Err error
+}
+
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("serve: drain deadline reached with %d requests still in flight: %v", e.InFlight, e.Err)
+}
+
+// Unwrap exposes the deadline cause to errors.Is.
+func (e *DrainError) Unwrap() error { return e.Err }
+
 // Shutdown drains the daemon: new /v1/* and /admin requests answer 503
 // immediately, every in-flight request runs to completion on its
 // already-loaded tables, then the listener closes. /healthz keeps
 // answering (status "draining") throughout, so orchestrators can watch
-// the drain.
+// the drain. If ctx expires first, the listener is force-closed —
+// cutting the stragglers — and a *DrainError carrying their count is
+// returned, so a stuck in-flight request can never wedge shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	for s.inflight.Load() != 0 {
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			n := s.inflight.Load()
+			s.reloadMu.Lock()
+			srv := s.httpSrv
+			s.reloadMu.Unlock()
+			if srv != nil {
+				_ = srv.Close() // cut the stragglers; Serve returns
+			}
+			return &DrainError{InFlight: n, Err: ctx.Err()}
 		default:
 			time.Sleep(200 * time.Microsecond)
 		}
+	}
+	if s.calib != nil {
+		// All in-flight observations are journaled and applied; close
+		// the journal so its final bytes are flushed and fsynced.
+		s.calib.close()
 	}
 	s.reloadMu.Lock()
 	srv := s.httpSrv
@@ -275,8 +345,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // smoke test byte-compares CLI and daemon output), and a convenient
 // test primitive.
 func (s *Server) DoLocal(method, path, rawQuery string) (int, []byte) {
+	return s.DoLocalBody(method, path, rawQuery, nil)
+}
+
+// DoLocalBody is DoLocal with a request body (POST /v1/observe).
+func (s *Server) DoLocalBody(method, path, rawQuery string, body []byte) (int, []byte) {
 	w := &memWriter{}
 	r := &http.Request{Method: method, URL: &url.URL{Path: path, RawQuery: rawQuery}}
+	if body != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
 	s.ServeHTTP(w, r)
 	status := w.status
 	if status == 0 {

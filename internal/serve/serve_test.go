@@ -305,7 +305,7 @@ func TestExplainEndpoint(t *testing.T) {
 func TestHealthzAndMetrics(t *testing.T) {
 	s := newTestServer(t, Options{})
 	h := getJSON(t, s, "/healthz", "", http.StatusOK)
-	if h["status"] != "ok" || !jsonNumExact(h["models"], float64(len(ceer.Models()))) || !jsonNumExact(h["batch"], 32) {
+	if h["status"] != "healthy" || !jsonNumExact(h["models"], float64(len(ceer.Models()))) || !jsonNumExact(h["batch"], 32) {
 		t.Errorf("healthz: %v", h)
 	}
 

@@ -1,0 +1,107 @@
+// Package corrupt is the shared corruption model for the repository's
+// append-only JSONL journals (the campaign checkpoint and the
+// observation log). Both codecs promise the same recovery contract: a
+// torn final line — the footprint of a process killed mid-append — is
+// tolerated, dropping only that record; damage anywhere else is an
+// error. The table here drives both readers' corruption tests, so the
+// contract cannot drift between them.
+package corrupt
+
+import "bytes"
+
+// Outcome classifies what a tolerant journal reader must do with a
+// mutated log.
+type Outcome int
+
+const (
+	// WantAll: the mutation is harmless; every record still reads.
+	WantAll Outcome = iota
+	// WantTorn: only the final record is damaged (torn tail); the
+	// reader must recover the intact prefix and stop cleanly.
+	WantTorn
+	// WantErr: the damage is not a torn tail; the reader must fail.
+	WantErr
+)
+
+// Case is one deterministic journal mutation.
+type Case struct {
+	Name string
+	// Mutate transforms an intact JSONL journal (complete lines, each
+	// newline-terminated, at least three records).
+	Mutate func(data []byte) []byte
+	// Want is the required reader behaviour on the mutated journal.
+	Want Outcome
+}
+
+// lastLineStart returns the offset of the final non-empty line.
+func lastLineStart(data []byte) int {
+	trimmed := bytes.TrimRight(data, "\n")
+	if i := bytes.LastIndexByte(trimmed, '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// Cases returns the shared corruption table. Mutations that model a
+// crash mid-append cut the trailing newline too — a torn line is by
+// definition unterminated.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:   "intact",
+			Mutate: func(data []byte) []byte { return data },
+			Want:   WantAll,
+		},
+		{
+			Name: "blank-interior-lines",
+			Mutate: func(data []byte) []byte {
+				i := lastLineStart(data)
+				out := append([]byte{}, data[:i]...)
+				out = append(out, '\n', '\n')
+				return append(out, data[i:]...)
+			},
+			Want: WantAll,
+		},
+		{
+			Name: "torn-final-line-mid-record",
+			Mutate: func(data []byte) []byte {
+				trimmed := bytes.TrimRight(data, "\n")
+				cut := lastLineStart(data) + (len(trimmed)-lastLineStart(data))/2
+				return append([]byte{}, data[:cut]...)
+			},
+			Want: WantTorn,
+		},
+		{
+			Name: "torn-final-line-one-byte",
+			Mutate: func(data []byte) []byte {
+				i := lastLineStart(data)
+				return append(append([]byte{}, data[:i]...), '{')
+			},
+			Want: WantTorn,
+		},
+		{
+			Name: "torn-extra-fragment-after-intact-log",
+			Mutate: func(data []byte) []byte {
+				return append(append([]byte{}, data...), []byte(`{"half":`)...)
+			},
+			Want: WantTorn,
+		},
+		{
+			Name: "garbage-mid-file",
+			Mutate: func(data []byte) []byte {
+				lines := bytes.SplitN(data, []byte("\n"), 3)
+				return bytes.Join([][]byte{lines[0], []byte(`{broken`), lines[2]}, []byte("\n"))
+			},
+			Want: WantErr,
+		},
+		{
+			Name: "truncated-mid-file-line",
+			Mutate: func(data []byte) []byte {
+				lines := bytes.SplitN(data, []byte("\n"), 3)
+				half := lines[1][:len(lines[1])/2]
+				return bytes.Join([][]byte{lines[0], half, lines[2]}, []byte("\n"))
+			},
+			Want: WantErr,
+		},
+	}
+}

@@ -123,10 +123,20 @@ func (w *ObsWriter) Flush() error { return w.w.Flush() }
 
 // ObsReader decodes a JSONL observation log, validating each record
 // and reporting errors with their 1-based line number. Blank lines are
-// skipped.
+// skipped. Like the campaign checkpoint codec, the reader tolerates a
+// torn final line — the footprint of a process killed mid-append: a
+// record that fails to decode is an error only when another record
+// follows it; a trailing fragment ends the stream cleanly (check Torn
+// when truncation must be surfaced, e.g. for in-memory request bodies
+// that cannot legitimately be torn).
 type ObsReader struct {
 	sc   *bufio.Scanner
-	line int
+	line int // 1-based line of the last record returned
+
+	primed  bool
+	cur     []byte // owned copy of the next non-blank line ("" = EOF)
+	curLine int
+	torn    int // 1-based line of a tolerated torn tail (0 = none)
 }
 
 // NewObsReader wraps r for observation replay.
@@ -136,33 +146,63 @@ func NewObsReader(r io.Reader) *ObsReader {
 	return &ObsReader{sc: sc}
 }
 
-// Read returns the next observation, or io.EOF at the end of the log.
-func (r *ObsReader) Read() (Obs, error) {
+// advance loads the next non-blank line into cur (copied out of the
+// scanner's reused buffer), reporting whether one exists.
+func (r *ObsReader) advance() bool {
 	for r.sc.Scan() {
-		r.line++
+		r.curLine++
 		raw := bytes.TrimSpace(r.sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
-		var o Obs
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&o); err != nil {
-			return Obs{}, fmt.Errorf("trace: observation log line %d: %w", r.line, err)
-		}
-		if err := o.Validate(); err != nil {
-			return Obs{}, fmt.Errorf("trace: observation log line %d: %w", r.line, err)
-		}
-		return o, nil
+		r.cur = append(r.cur[:0], raw...)
+		return true
 	}
-	if err := r.sc.Err(); err != nil {
-		return Obs{}, fmt.Errorf("trace: reading observation log: %w", err)
+	r.cur = nil
+	return false
+}
+
+// Read returns the next observation, or io.EOF at the end of the log.
+func (r *ObsReader) Read() (Obs, error) {
+	if !r.primed {
+		r.primed = true
+		r.advance()
 	}
-	return Obs{}, io.EOF
+	if r.cur == nil {
+		if err := r.sc.Err(); err != nil {
+			return Obs{}, fmt.Errorf("trace: reading observation log: %w", err)
+		}
+		return Obs{}, io.EOF
+	}
+	line := r.curLine
+	var o Obs
+	dec := json.NewDecoder(bytes.NewReader(r.cur))
+	dec.DisallowUnknownFields()
+	decErr := dec.Decode(&o)
+	hasNext := r.advance() // cur is fully consumed by the decoder above
+	if decErr != nil {
+		if !hasNext {
+			// Torn tail from an interrupted append: the intact prefix
+			// is the whole log.
+			r.torn = line
+			return Obs{}, io.EOF
+		}
+		return Obs{}, fmt.Errorf("trace: observation log line %d: %w", line, decErr)
+	}
+	if err := o.Validate(); err != nil {
+		return Obs{}, fmt.Errorf("trace: observation log line %d: %w", line, err)
+	}
+	r.line = line
+	return o, nil
 }
 
 // Line returns the 1-based line number of the last record returned.
 func (r *ObsReader) Line() int { return r.line }
+
+// Torn returns the 1-based line number of a tolerated torn final line,
+// or 0 if the log ended cleanly. Meaningful once Read has returned
+// io.EOF.
+func (r *ObsReader) Torn() int { return r.torn }
 
 // WriteObsLog streams a bundle's observations to w as JSONL.
 func WriteObsLog(w io.Writer, b *Bundle) error {

@@ -10,6 +10,7 @@ import (
 	"ceer/internal/gpu"
 	"ceer/internal/graph"
 	"ceer/internal/ops"
+	"ceer/internal/trace/corrupt"
 )
 
 // obsProfile builds a small profile with two series for stream tests.
@@ -112,6 +113,9 @@ func TestObsLogRoundTrip(t *testing.T) {
 }
 
 // TestObsReaderErrors pins line-numbered failures for malformed logs.
+// Decode failures are fatal only when another record follows (a bad
+// *final* line is a torn tail, tested separately); validation failures
+// are fatal anywhere, including the final line.
 func TestObsReaderErrors(t *testing.T) {
 	good := `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":0.5}`
 	cases := []struct {
@@ -119,8 +123,8 @@ func TestObsReaderErrors(t *testing.T) {
 		log  string
 		want string
 	}{
-		{"bad json", good + "\n{broken\n", "line 2"},
-		{"unknown field", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":1,"extra":1}`, "line 1"},
+		{"bad json mid-log", good + "\n{broken\n" + good + "\n", "line 2"},
+		{"unknown field mid-log", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[1],"seconds":1,"extra":1}` + "\n" + good + "\n", "line 1"},
 		{"unregistered device", `{"cnn":"a","gpu":"nope","node":0,"op":"Conv2D","features":[1],"seconds":1}`, "unregistered device"},
 		{"unknown op", `{"cnn":"a","gpu":"v100","node":0,"op":"Nope","features":[1],"seconds":1}`, "unknown op type"},
 		{"no features", `{"cnn":"a","gpu":"v100","node":0,"op":"Conv2D","features":[],"seconds":1}`, "no features"},
@@ -136,5 +140,69 @@ func TestObsReaderErrors(t *testing.T) {
 	got, err := ReadObsLog(strings.NewReader("\n" + good + "\n\n"))
 	if err != nil || len(got) != 1 {
 		t.Errorf("blank-line log: got %d obs, err %v", len(got), err)
+	}
+}
+
+// readAllTorn drains a reader, returning the records, the terminal
+// error (nil for clean EOF), and the torn-line marker.
+func readAllTorn(r io.Reader) ([]Obs, error, int) {
+	or := NewObsReader(r)
+	var out []Obs
+	for {
+		o, err := or.Read()
+		if err == io.EOF {
+			return out, nil, or.Torn()
+		}
+		if err != nil {
+			return out, err, or.Torn()
+		}
+		out = append(out, o)
+	}
+}
+
+// TestObsReaderCorruption drives the shared journal-corruption table
+// (internal/trace/corrupt) through the observation reader: torn final
+// lines recover the intact prefix, damage anywhere else fails — the
+// same contract the campaign checkpoint codec pins against the same
+// table.
+func TestObsReaderCorruption(t *testing.T) {
+	b := &Bundle{}
+	b.Add(obsProfile("cnn-a", gpu.V100))
+	b.Add(obsProfile("cnn-b", gpu.K80))
+	var buf bytes.Buffer
+	if err := WriteObsLog(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	intact := buf.Bytes()
+	full, err, torn := readAllTorn(bytes.NewReader(intact))
+	if err != nil || torn != 0 {
+		t.Fatalf("intact log: err %v, torn %d", err, torn)
+	}
+	for _, tc := range corrupt.Cases() {
+		mutated := tc.Mutate(append([]byte{}, intact...))
+		got, err, torn := readAllTorn(bytes.NewReader(mutated))
+		switch tc.Want {
+		case corrupt.WantAll:
+			if err != nil || len(got) != len(full) || torn != 0 {
+				t.Errorf("%s: got %d obs, err %v, torn %d; want all %d clean",
+					tc.Name, len(got), err, torn, len(full))
+			}
+		case corrupt.WantTorn:
+			wantLen := len(full)
+			if bytes.HasPrefix(mutated, bytes.TrimRight(intact, "\n")) {
+				// The fragment was appended after the intact log; no
+				// complete record was lost.
+			} else {
+				wantLen--
+			}
+			if err != nil || len(got) != wantLen || torn == 0 {
+				t.Errorf("%s: got %d obs, err %v, torn %d; want %d obs with torn tail",
+					tc.Name, len(got), err, torn, wantLen)
+			}
+		case corrupt.WantErr:
+			if err == nil {
+				t.Errorf("%s: corruption must be an error (got %d obs)", tc.Name, len(got))
+			}
+		}
 	}
 }

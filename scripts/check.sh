@@ -59,6 +59,17 @@ echo "== chaos determinism gate"
 # (scripts/chaos.sh).
 ./scripts/chaos.sh >/dev/null
 
+echo "== live-daemon chaos suite"
+# A daemon built with -tags chaosserve under real faults: kill -9
+# mid-calibration replays the write-ahead journal to a byte-identical
+# predictor, torn journal tails are trimmed on boot, corrupt reloads
+# under prediction load answer 422 with zero 5xx and an unchanged
+# generation, and injected handler panics degrade then heal the daemon
+# (scripts/chaos-serve.sh; CEER_SKIP_CHAOS_SERVE=1 skips).
+if [[ "${CEER_SKIP_CHAOS_SERVE:-}" != "1" ]]; then
+    ./scripts/chaos-serve.sh >/dev/null
+fi
+
 echo "== serving-path bench regression gate"
 # A moderate-depth bench run (enough iterations to average out timer
 # noise) written to a scratch file and gated against the committed

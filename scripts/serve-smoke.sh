@@ -53,7 +53,7 @@ fetch() { # fetch <path-with-query> <outfile>
 
 echo "== serve smoke: endpoints"
 fetch "/healthz" "${tmp}/healthz.json"
-grep -q '"status": *"ok"' "${tmp}/healthz.json"
+grep -q '"status": *"healthy"' "${tmp}/healthz.json"
 
 fetch "/v1/predict?model=resnet-50&config=2xP3" "${tmp}/predict.json"
 grep -q '"predictions"' "${tmp}/predict.json"
@@ -75,6 +75,27 @@ if ! cmp -s "${tmp}/predict.json" "${tmp}/predict_cli.json"; then
     diff "${tmp}/predict.json" "${tmp}/predict_cli.json" >&2 || true
     exit 1
 fi
+
+echo "== serve smoke: rejected reload keeps the old generation"
+cp "${tmp}/models.json" "${tmp}/models.good.json"
+echo '{torn mid-write' >"${tmp}/models.json"
+code=$(curl -sS --max-time 30 -X POST "${base}/admin/reload" \
+    -o "${tmp}/reload_rejected.json" -w '%{http_code}')
+if [[ "${code}" != "422" ]]; then
+    echo "serve smoke FAILED: reload of a corrupt file answered ${code}, want 422" >&2
+    cat "${tmp}/reload_rejected.json" >&2
+    exit 1
+fi
+grep -q '"status": *"rejected"' "${tmp}/reload_rejected.json"
+grep -q '"cause"' "${tmp}/reload_rejected.json"
+fetch "/v1/predict?model=resnet-50&config=2xP3" "${tmp}/predict_rejected.json"
+cmp -s "${tmp}/predict.json" "${tmp}/predict_rejected.json" || {
+    echo "serve smoke FAILED: prediction changed after a rejected reload" >&2
+    exit 1
+}
+fetch "/healthz" "${tmp}/healthz_rejected.json"
+grep -q '"status": *"healthy"' "${tmp}/healthz_rejected.json"
+cp "${tmp}/models.good.json" "${tmp}/models.json"
 
 echo "== serve smoke: hot reload"
 curl -fsS --max-time 10 -X POST "${base}/admin/reload" -o "${tmp}/reload.json"
